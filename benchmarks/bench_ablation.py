@@ -1,0 +1,31 @@
+"""Benchmark of the design-choice ablations (dispatch overhead, DRAM roofline,
+achievable utilization) described in DESIGN.md."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments import ablation
+
+
+def test_ablation_design_choices(benchmark, context):
+    """Run all ablation sweeps and check their qualitative behaviour."""
+    result = benchmark.pedantic(ablation.run, args=(context,), iterations=1, rounds=1)
+    dispatch = result.data["dispatch_overhead"]
+    bandwidth = result.data["dram_bandwidth"]
+    utilization = result.data["utilization_cap"]
+
+    # Larger MIMD dispatch overheads (no decoupled access-execute) erode the
+    # speedup; the decoupled design (1 cycle) must be the best point.
+    speedups = [v["geomean_speedup"] for v in dispatch.values()]
+    assert speedups[0] == max(speedups)
+    assert speedups[-1] < speedups[0]
+
+    # Shrinking DRAM bandwidth can only reduce (or preserve) the advantage.
+    bandwidth_speedups = [v["geomean_speedup"] for v in bandwidth.values()]
+    assert bandwidth_speedups == sorted(bandwidth_speedups)
+
+    # Higher achievable utilization (better dataflow packing) helps.
+    utilization_speedups = list(utilization.values())
+    assert utilization_speedups == sorted(utilization_speedups)
+    emit(result.report)

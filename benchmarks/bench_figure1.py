@@ -1,0 +1,20 @@
+"""Benchmark / regeneration of Figure 1: inconsequential-operation fractions."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments import figure1
+from repro.experiments.paper_data import MODEL_ORDER
+
+
+def test_figure1_inconsequential_fractions(benchmark, context):
+    """Regenerate Figure 1 and time the structural zero analysis."""
+    result = benchmark(figure1.run, context)
+    fractions = result.data["inconsequential_fraction"]
+    # The paper's headline: more than 60% of TConv multiply-adds are
+    # inconsequential on average, with 3D-GAN the highest.
+    assert fractions["Average"] > 0.60
+    per_model = {k: v for k, v in fractions.items() if k in MODEL_ORDER}
+    assert max(per_model, key=per_model.get) == "3D-GAN"
+    emit(result.report)

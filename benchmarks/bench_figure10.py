@@ -1,0 +1,20 @@
+"""Benchmark / regeneration of Figure 10: per-unit energy breakdown."""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.experiments import figure10
+from repro.experiments.paper_data import MODEL_ORDER
+
+
+def test_figure10_unit_energy_breakdown(benchmark, context):
+    """Regenerate Figure 10 and check GANAX reduces every component."""
+    result = benchmark(figure10.run, context)
+    for model in MODEL_ORDER:
+        breakdown = result.data["unit_energy"][model]
+        assert sum(breakdown["eyeriss"].values()) == pytest.approx(1.0)
+        for component, value in breakdown["eyeriss"].items():
+            assert breakdown["ganax"][component] <= value * 1.001
+    emit(result.report)

@@ -1,0 +1,19 @@
+"""Benchmark / regeneration of Figure 11: PE utilization."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments import figure11
+from repro.experiments.paper_data import MODEL_ORDER
+
+
+def test_figure11_pe_utilization(benchmark, context):
+    """Regenerate Figure 11: GANAX reaches ~90%, far above the baseline."""
+    result = benchmark(figure11.run, context)
+    utilization = result.data["pe_utilization"]
+    for model in MODEL_ORDER:
+        assert utilization["ganax"][model] > 0.75
+        assert utilization["ganax"][model] > utilization["eyeriss"][model]
+    assert utilization["ganax"]["Average"] > 0.80
+    emit(result.report)

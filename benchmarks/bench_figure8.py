@@ -1,0 +1,28 @@
+"""Benchmark / regeneration of Figure 8: speedup and energy reduction."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments import figure8
+from repro.experiments.paper_data import MODEL_ORDER
+
+
+def test_figure8_speedup_and_energy(benchmark, context):
+    """Regenerate both Figure 8 panels and time the full dual-simulator run."""
+    result = benchmark(figure8.run, context)
+    speedups = result.data["speedup"]
+    reductions = result.data["energy_reduction"]
+
+    # Shape checks against the paper: every GAN benefits, 3D-GAN benefits the
+    # most, MAGAN the least, and the geomeans land in the paper's ballpark
+    # (paper: 3.6x speedup, 3.1x energy reduction).
+    for model in MODEL_ORDER:
+        assert speedups[model] > 1.0
+        assert reductions[model] > 1.0
+    per_model = {k: v for k, v in speedups.items() if k in MODEL_ORDER}
+    assert max(per_model, key=per_model.get) == "3D-GAN"
+    assert min(per_model, key=per_model.get) == "MAGAN"
+    assert 2.0 <= speedups["Geomean"] <= 6.0
+    assert 1.5 <= reductions["Geomean"] <= 5.0
+    emit(result.report)

@@ -1,0 +1,27 @@
+"""Benchmark / regeneration of Figure 9: runtime and energy breakdowns."""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.experiments import figure9
+from repro.experiments.paper_data import MODEL_ORDER
+
+
+def test_figure9_runtime_and_energy_breakdown(benchmark, context):
+    """Regenerate Figure 9 and check the normalisation invariants."""
+    result = benchmark(figure9.run, context)
+    for model in MODEL_ORDER:
+        runtime = result.data["runtime"][model]
+        energy = result.data["energy"][model]
+        # EYERISS bars are normalised to themselves.
+        assert sum(runtime["eyeriss"].values()) == pytest.approx(1.0)
+        assert sum(energy["eyeriss"].values()) == pytest.approx(1.0)
+        # GANAX shrinks the generative share but not the discriminative one.
+        assert sum(runtime["ganax"].values()) < 1.0
+        assert runtime["ganax"]["discriminative"] == pytest.approx(
+            runtime["eyeriss"]["discriminative"], rel=1e-6
+        )
+        assert runtime["ganax"]["generative"] < runtime["eyeriss"]["generative"]
+    emit(result.report)

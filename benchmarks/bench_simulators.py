@@ -1,0 +1,67 @@
+"""Benchmarks of the analytical simulators themselves.
+
+These measure how long a full-GAN simulation takes on each accelerator model —
+useful for keeping the experiment harness fast as the library grows — and
+print the headline per-model numbers (the Figure 8 inputs).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.baseline.simulator import EyerissSimulator
+from repro.core.simulator import GanaxSimulator
+from repro.workloads import get_workload
+
+_MODELS = ("3D-GAN", "DCGAN", "MAGAN")
+
+
+@pytest.mark.parametrize("name", _MODELS)
+def test_eyeriss_simulation_speed(benchmark, name):
+    """Time a full EYERISS simulation of one GAN."""
+    model = get_workload(name)
+    simulator = EyerissSimulator()
+    result = benchmark(simulator.simulate_gan, model)
+    assert result.total_cycles > 0
+
+
+@pytest.mark.parametrize("name", _MODELS)
+def test_ganax_simulation_speed(benchmark, name):
+    """Time a full GANAX simulation of one GAN."""
+    model = get_workload(name)
+    simulator = GanaxSimulator()
+    result = benchmark(simulator.simulate_gan, model)
+    assert result.total_cycles > 0
+
+
+def test_per_model_summary(benchmark):
+    """Simulate every model once on both accelerators and print a summary."""
+
+    def run():
+        rows = []
+        for name in _MODELS:
+            model = get_workload(name)
+            eyeriss = EyerissSimulator().simulate_gan(model)
+            ganax = GanaxSimulator().simulate_gan(model)
+            rows.append(
+                [
+                    name,
+                    eyeriss.generator.cycles,
+                    ganax.generator.cycles,
+                    eyeriss.generator.cycles / ganax.generator.cycles,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert all(row[3] > 1.0 for row in rows)
+    emit(
+        format_table(
+            ["Model", "EYERISS cycles", "GANAX cycles", "Speedup"],
+            rows,
+            title="Generator cycles per accelerator",
+            float_format="{:.2f}",
+        )
+    )

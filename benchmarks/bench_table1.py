@@ -1,0 +1,14 @@
+"""Benchmark / regeneration of Table I: evaluated GAN models and layer counts."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments import table1
+
+
+def test_table1_layer_counts(benchmark, context):
+    """Regenerate Table I and check the counts match the paper exactly."""
+    result = benchmark(table1.run, context)
+    assert result.data["layer_counts"] == result.paper_reference["layer_counts"]
+    emit(result.report)

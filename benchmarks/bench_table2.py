@@ -1,0 +1,19 @@
+"""Benchmark / regeneration of Table II: energy costs of the hardware units."""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.experiments import table2
+
+
+def test_table2_energy_costs(benchmark, context):
+    """Regenerate Table II from the configured energy model."""
+    result = benchmark(table2.run, context)
+    measured = result.data["energy_table"]
+    reference = result.paper_reference["energy_table"]
+    for name, values in reference.items():
+        assert measured[name]["pj_per_bit"] == pytest.approx(values["pj_per_bit"])
+        assert measured[name]["relative"] == pytest.approx(values["relative"], rel=1e-6)
+    emit(result.report)

@@ -1,0 +1,18 @@
+"""Benchmark / regeneration of Table III: area breakdown and GANAX overhead."""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.experiments import table3
+
+
+def test_table3_area_breakdown(benchmark, context):
+    """Regenerate Table III; the total area and ~7.8% overhead must reproduce."""
+    result = benchmark(table3.run, context)
+    assert result.data["ganax_total_area_um2"] == pytest.approx(
+        result.paper_reference["ganax_total_area_um2"], rel=0.01
+    )
+    assert 0.05 <= result.data["area_overhead_fraction"] <= 0.11
+    emit(result.report)

@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+rendered report is printed (run pytest with ``-s`` to see it inline) so the
+benchmark run doubles as the textual regeneration of the evaluation section;
+the same reports are available via ``repro-experiments`` and
+``examples/paper_evaluation.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.base import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    """One shared experiment context (models + simulator runs) per session."""
+    return ExperimentContext()
+
+
+def emit(report: str) -> None:
+    """Print a rendered report so `pytest -s` shows the regenerated artefact."""
+    print()
+    print(report)

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Full paper evaluation: regenerate every table and figure in one run.
+
+This drives the same experiment registry the benchmarks use and prints the
+rendered reports (Figures 1, 8, 9, 10, 11 and Tables I, II, III plus the
+ablations).  Optionally dumps the raw data as JSON.
+
+Run with::
+
+    python examples/paper_evaluation.py [--json results.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.experiments import ExperimentContext, run_all
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", default=None, help="write raw results to this path")
+    args = parser.parse_args()
+
+    context = ExperimentContext()
+    results = run_all(context)
+
+    for result in results:
+        print(result.report)
+        print()
+
+    if args.json:
+        payload = {
+            r.experiment_id: {"title": r.title, "data": r.data, "paper": r.paper_reference}
+            for r in results
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

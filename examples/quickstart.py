@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Quickstart: compare one GAN on GANAX and on the EYERISS baseline.
+
+This example builds the DCGAN workload, runs its generator and discriminator
+through both accelerator models, and prints the headline metrics the GANAX
+paper reports: speedup, energy reduction and PE utilization of the generative
+model, plus a per-layer view showing where the zero-skipping dataflow pays
+off.
+
+Run with::
+
+    python examples/quickstart.py [MODEL]
+
+where MODEL is one of: 3D-GAN, ArtGAN, DCGAN, DiscoGAN, GP-GAN, MAGAN.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import ArchitectureConfig, compare_model, get_workload
+from repro.analysis.report import format_key_values, format_table
+
+
+def main() -> int:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "DCGAN"
+    model = get_workload(model_name)
+    config = ArchitectureConfig.paper_default()
+
+    print(f"Workload: {model.name} — {model.description}")
+    counts = model.layer_counts()
+    print(
+        f"  generator: {counts['generator_conv']} conv / {counts['generator_tconv']} tconv layers, "
+        f"discriminator: {counts['discriminator_conv']} conv / {counts['discriminator_tconv']} tconv layers"
+    )
+    print(
+        "  inconsequential MACs in generator TConv layers: "
+        f"{100 * model.generator_tconv_inconsequential_fraction():.1f}%"
+    )
+    print()
+
+    comparison = compare_model(model, config)
+
+    headline = {
+        "Generator speedup over EYERISS": f"{comparison.generator_speedup:.2f}x",
+        "Generator energy reduction": f"{comparison.generator_energy_reduction:.2f}x",
+        "EYERISS PE utilization": f"{100 * comparison.eyeriss_generator_utilization:.1f}%",
+        "GANAX PE utilization": f"{100 * comparison.ganax_generator_utilization:.1f}%",
+        "EYERISS generator runtime (ms)": f"{1e3 * config.cycles_to_seconds(comparison.eyeriss.generator.cycles):.3f}",
+        "GANAX generator runtime (ms)": f"{1e3 * config.cycles_to_seconds(comparison.ganax.generator.cycles):.3f}",
+        "EYERISS generator energy (uJ)": f"{comparison.eyeriss.generator.energy.total_uj:.1f}",
+        "GANAX generator energy (uJ)": f"{comparison.ganax.generator.energy.total_uj:.1f}",
+    }
+    print(format_key_values(f"{model.name}: GANAX vs EYERISS", headline))
+    print()
+
+    rows = []
+    eyeriss_layers = {r.layer_name: r for r in comparison.eyeriss.generator.layer_results}
+    for result in comparison.ganax.generator.layer_results:
+        if not result.is_convolutional:
+            continue
+        baseline = eyeriss_layers[result.layer_name]
+        rows.append(
+            [
+                result.layer_name,
+                "tconv" if result.is_transposed else "conv",
+                result.macs_total,
+                result.macs_consequential,
+                baseline.cycles,
+                result.cycles,
+                baseline.cycles / max(1, result.cycles),
+            ]
+        )
+    print(
+        format_table(
+            ["Layer", "Type", "Dense MACs", "Consequential MACs", "EYERISS cycles", "GANAX cycles", "Speedup"],
+            rows,
+            title=f"{model.name} generator, layer by layer",
+            float_format="{:.2f}",
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

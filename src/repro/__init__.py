@@ -1,0 +1,86 @@
+"""repro - a reproduction of GANAX (ISCA 2018) as a Python library.
+
+GANAX is a unified MIMD-SIMD accelerator for Generative Adversarial Networks.
+This package implements, from scratch:
+
+* the neural-network substrate (layers, shapes, functional reference,
+  structural zero analysis) and the six GAN workloads the paper evaluates,
+* an EYERISS-style row-stationary baseline accelerator model,
+* the GANAX architecture itself: the reorganized dataflow, the uop ISA, the
+  decoupled access-execute processing engines, the hierarchical uop buffers,
+  a cycle-level machine, and an analytical performance/energy model,
+* the analysis and experiment harness that regenerates every table and figure
+  of the paper's evaluation section.
+
+Quick start::
+
+    from repro import compare_model, get_workload
+
+    comparison = compare_model(get_workload("DCGAN"))
+    print(comparison.generator_speedup)          # speedup over EYERISS
+    print(comparison.generator_energy_reduction) # energy reduction over EYERISS
+"""
+
+from .analysis import (
+    ComparisonResult,
+    GanResult,
+    LayerResult,
+    NetworkResult,
+    compare_model,
+    compare_models,
+)
+from .baseline import EyerissSimulator
+from .config import ArchitectureConfig, SimulationOptions
+from .core import (
+    DataflowSchedule,
+    GanaxLayerExecutor,
+    GanaxMachine,
+    GanaxSimulator,
+    StridedIndexGenerator,
+    build_schedule,
+)
+from .errors import ReproError
+from .hw import AreaModel, EnergyBreakdown, EnergyModel, EnergyTable, EventCounters
+from .nn import (
+    ConvLayer,
+    FeatureMapShape,
+    GANModel,
+    Network,
+    TransposedConvLayer,
+)
+from .workloads import all_workloads, get_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ComparisonResult",
+    "GanResult",
+    "LayerResult",
+    "NetworkResult",
+    "compare_model",
+    "compare_models",
+    "EyerissSimulator",
+    "ArchitectureConfig",
+    "SimulationOptions",
+    "DataflowSchedule",
+    "GanaxLayerExecutor",
+    "GanaxMachine",
+    "GanaxSimulator",
+    "StridedIndexGenerator",
+    "build_schedule",
+    "ReproError",
+    "AreaModel",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "EnergyTable",
+    "EventCounters",
+    "ConvLayer",
+    "FeatureMapShape",
+    "GANModel",
+    "Network",
+    "TransposedConvLayer",
+    "all_workloads",
+    "get_workload",
+    "workload_names",
+    "__version__",
+]

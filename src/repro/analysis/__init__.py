@@ -1,0 +1,73 @@
+"""Result containers, metrics, breakdowns, reports and sweeps."""
+
+from .breakdown import (
+    FIGURE9_SEGMENTS,
+    average_breakdown,
+    energy_breakdown,
+    runtime_breakdown,
+    stacked_rows,
+    unit_energy_breakdown,
+)
+from .metrics import (
+    arithmetic_mean,
+    fraction_summary,
+    geometric_mean,
+    normalize,
+    percent,
+    ratio_summary,
+    reduction,
+    speedup,
+    utilization,
+)
+from .report import (
+    bullet_list,
+    format_fraction_series,
+    format_key_values,
+    format_ratio_series,
+    format_stacked_breakdown,
+    format_table,
+)
+from .charts import fraction_chart, horizontal_bar_chart, ratio_chart, stacked_chart
+from .results import ComparisonResult, GanResult, LayerResult, NetworkResult
+from .serialization import export_comparisons, read_csv, write_csv, write_json
+from .sweep import ParameterSweep, SweepPoint, compare_model, compare_models
+
+__all__ = [
+    "FIGURE9_SEGMENTS",
+    "average_breakdown",
+    "energy_breakdown",
+    "runtime_breakdown",
+    "stacked_rows",
+    "unit_energy_breakdown",
+    "arithmetic_mean",
+    "fraction_summary",
+    "geometric_mean",
+    "normalize",
+    "percent",
+    "ratio_summary",
+    "reduction",
+    "speedup",
+    "utilization",
+    "bullet_list",
+    "format_fraction_series",
+    "format_key_values",
+    "format_ratio_series",
+    "format_stacked_breakdown",
+    "format_table",
+    "fraction_chart",
+    "horizontal_bar_chart",
+    "ratio_chart",
+    "stacked_chart",
+    "ComparisonResult",
+    "GanResult",
+    "LayerResult",
+    "NetworkResult",
+    "export_comparisons",
+    "read_csv",
+    "write_csv",
+    "write_json",
+    "ParameterSweep",
+    "SweepPoint",
+    "compare_model",
+    "compare_models",
+]

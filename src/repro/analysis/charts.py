@@ -1,0 +1,142 @@
+"""ASCII bar charts for figure-style data.
+
+The paper's evaluation figures are bar charts.  The experiment harness renders
+its data as tables (:mod:`repro.analysis.report`); this module adds simple
+horizontal ASCII bar charts so the CLI output visually resembles the figures —
+one bar per GAN, an explicit scale, and optional paper-reference markers.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from ..errors import AnalysisError
+
+#: Character used for the filled portion of a bar.
+BAR_CHAR = "#"
+#: Character used for the paper-reference marker.
+MARKER_CHAR = "|"
+
+
+def horizontal_bar_chart(
+    title: str,
+    values: Mapping[str, float],
+    *,
+    width: int = 50,
+    unit: str = "x",
+    reference: Optional[Mapping[str, float]] = None,
+    max_value: Optional[float] = None,
+) -> str:
+    """Render a labelled horizontal bar chart.
+
+    Parameters
+    ----------
+    title:
+        Chart heading.
+    values:
+        Label -> value mapping; insertion order is preserved.
+    width:
+        Width of the bar area in characters.
+    unit:
+        Unit suffix appended to the numeric value (``"x"`` or ``"%"``).
+    reference:
+        Optional label -> paper value mapping; a ``|`` marker is drawn at each
+        reference position so measured bars can be compared at a glance.
+    max_value:
+        Scale maximum; defaults to the largest value/reference present.
+    """
+    if not values:
+        raise AnalysisError("cannot chart an empty value mapping")
+    if width < 10:
+        raise AnalysisError("chart width must be at least 10 characters")
+    if any(v < 0 for v in values.values()):
+        raise AnalysisError("bar chart values must be non-negative")
+
+    scale_candidates = list(values.values())
+    if reference:
+        scale_candidates.extend(v for v in reference.values() if v is not None)
+    scale = max_value if max_value is not None else max(scale_candidates)
+    if scale <= 0:
+        scale = 1.0
+
+    label_width = max(len(label) for label in values)
+    lines = [title, "=" * len(title)]
+    for label, value in values.items():
+        filled = min(width, int(round(width * value / scale)))
+        bar = list(BAR_CHAR * filled + " " * (width - filled))
+        if reference and reference.get(label) is not None:
+            marker = min(width - 1, int(round(width * reference[label] / scale)))
+            bar[marker] = MARKER_CHAR
+        rendered_value = _format_value(value, unit)
+        lines.append(f"{label.ljust(label_width)} [{''.join(bar)}] {rendered_value}")
+    lines.append(f"{' ' * label_width}  scale: 0 .. {_format_value(scale, unit)}"
+                 + ("   (| = paper)" if reference else ""))
+    return "\n".join(lines)
+
+
+def ratio_chart(
+    title: str,
+    per_model: Mapping[str, float],
+    reference: Optional[Mapping[str, float]] = None,
+) -> str:
+    """Figure 8-style chart: one bar per GAN, values in 'x'."""
+    return horizontal_bar_chart(title, per_model, unit="x", reference=reference)
+
+
+def fraction_chart(
+    title: str,
+    per_model: Mapping[str, float],
+    reference: Optional[Mapping[str, float]] = None,
+) -> str:
+    """Figure 1/11-style chart: one bar per GAN, values in percent."""
+    percentages = {label: 100.0 * value for label, value in per_model.items()}
+    scaled_reference = None
+    if reference is not None:
+        scaled_reference = {
+            label: 100.0 * value
+            for label, value in reference.items()
+            if value is not None
+        }
+    return horizontal_bar_chart(
+        title, percentages, unit="%", reference=scaled_reference, max_value=100.0
+    )
+
+
+def stacked_chart(
+    title: str,
+    per_model: Mapping[str, Mapping[str, float]],
+    segments: Sequence[str],
+    *,
+    width: int = 50,
+) -> str:
+    """Figure 9/10-style chart: one stacked bar per (model, accelerator) row.
+
+    ``per_model`` maps a row label to segment -> value; values are assumed to
+    be normalised so that 1.0 spans the full bar width.
+    """
+    if not per_model:
+        raise AnalysisError("cannot chart an empty mapping")
+    symbols = "#=+*o@"
+    if len(segments) > len(symbols):
+        raise AnalysisError(f"at most {len(symbols)} segments are supported")
+    label_width = max(len(label) for label in per_model)
+    lines = [title, "=" * len(title)]
+    for label, parts in per_model.items():
+        missing = [s for s in segments if s not in parts]
+        if missing:
+            raise AnalysisError(f"{label}: missing segments {missing}")
+        bar = ""
+        for symbol, segment in zip(symbols, segments):
+            bar += symbol * int(round(width * max(0.0, parts[segment])))
+        bar = bar[:width].ljust(width)
+        total = sum(parts[s] for s in segments)
+        lines.append(f"{label.ljust(label_width)} [{bar}] {total:.2f}")
+    legend = ", ".join(f"{symbol}={segment}" for symbol, segment in zip(symbols, segments))
+    lines.append(f"{' ' * label_width}  legend: {legend}")
+    return "\n".join(lines)
+
+
+def _format_value(value: float, unit: str) -> str:
+    if unit == "%":
+        return f"{value:.1f}%"
+    return f"{value:.2f}{unit}"

@@ -1,0 +1,95 @@
+"""Metric helpers: speedups, reductions, geometric means, utilizations.
+
+These are small, well-tested numeric helpers shared by the experiment modules
+and the report renderer.  The paper reports geometric means for speedup and
+energy reduction (Figure 8) and arithmetic averages for the fraction plots
+(Figures 1, 9, 10, 11); the helpers make that distinction explicit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Sequence
+
+from ..errors import AnalysisError
+
+
+def speedup(baseline_cycles: float, improved_cycles: float) -> float:
+    """Speedup of ``improved`` over ``baseline`` (>1 means faster)."""
+    if improved_cycles <= 0:
+        raise AnalysisError("improved cycles must be positive")
+    if baseline_cycles < 0:
+        raise AnalysisError("baseline cycles cannot be negative")
+    return baseline_cycles / improved_cycles
+
+
+def reduction(baseline_value: float, improved_value: float) -> float:
+    """Reduction factor of ``improved`` relative to ``baseline`` (>1 is better)."""
+    if improved_value <= 0:
+        raise AnalysisError("improved value must be positive")
+    if baseline_value < 0:
+        raise AnalysisError("baseline value cannot be negative")
+    return baseline_value / improved_value
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of a sequence of positive values."""
+    values = list(values)
+    if not values:
+        raise AnalysisError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise AnalysisError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    """Arithmetic mean of a sequence."""
+    values = list(values)
+    if not values:
+        raise AnalysisError("arithmetic mean of an empty sequence")
+    return sum(values) / len(values)
+
+
+def normalize(values: Mapping[str, float], reference: float) -> Dict[str, float]:
+    """Divide every entry by ``reference`` (used for 'normalised to EYERISS')."""
+    if reference <= 0:
+        raise AnalysisError("normalisation reference must be positive")
+    return {key: value / reference for key, value in values.items()}
+
+
+def utilization(active: float, total: float) -> float:
+    """Clamp ``active / total`` into [0, 1]; 0 when ``total`` is 0."""
+    if total <= 0:
+        return 0.0
+    if active < 0:
+        raise AnalysisError("active count cannot be negative")
+    return min(1.0, active / total)
+
+
+def percent(value: float, digits: int = 1) -> str:
+    """Render a fraction as a percentage string (for reports)."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def ratio_summary(per_model: Mapping[str, float]) -> Dict[str, float]:
+    """Attach the geometric mean to a per-model ratio mapping.
+
+    Mirrors the paper's figures, which plot per-GAN bars plus a Geomean bar.
+    """
+    if not per_model:
+        raise AnalysisError("no per-model values provided")
+    summary = dict(per_model)
+    summary["Geomean"] = geometric_mean(list(per_model.values()))
+    return summary
+
+
+def fraction_summary(per_model: Mapping[str, float]) -> Dict[str, float]:
+    """Attach the arithmetic average to a per-model fraction mapping.
+
+    Mirrors the fraction plots (Figures 1 and 11), which use an Average bar.
+    """
+    if not per_model:
+        raise AnalysisError("no per-model values provided")
+    summary = dict(per_model)
+    summary["Average"] = arithmetic_mean(list(per_model.values()))
+    return summary

@@ -1,0 +1,268 @@
+"""Result containers shared by the EYERISS baseline and the GANAX simulator.
+
+Both simulators produce, per layer, a :class:`LayerResult` holding the cycle
+count, activity counters and energy breakdown; whole-network results aggregate
+them into a :class:`NetworkResult` and whole-GAN runs into a
+:class:`GanResult` with separate generator / discriminator sections, which is
+the granularity the paper's Figures 8-11 report at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from ..errors import AnalysisError
+from ..hw.counters import EventCounters
+from ..hw.energy import EnergyBreakdown
+
+
+@dataclass(frozen=True)
+class LayerResult:
+    """Simulation result for one layer on one accelerator.
+
+    Attributes
+    ----------
+    layer_name:
+        Name of the layer within its network.
+    accelerator:
+        ``"eyeriss"`` or ``"ganax"``.
+    cycles:
+        Modelled execution cycles for the layer.
+    active_pe_cycles:
+        PE-cycles spent on consequential operations.
+    busy_pe_cycles:
+        PE-cycles during which a PE was occupied (consequential work, gated
+        zero work, or accumulation); used for utilization accounting.
+    total_pe_cycles:
+        ``cycles * num_pes`` — the denominator of PE utilization.
+    macs_total / macs_consequential:
+        Dense and consequential MAC counts of the layer.
+    counters:
+        Raw activity counters feeding the energy model.
+    energy:
+        Energy breakdown in picojoules.
+    is_transposed / is_convolutional:
+        Layer classification flags copied from the binding for reporting.
+    """
+
+    layer_name: str
+    accelerator: str
+    cycles: int
+    active_pe_cycles: int
+    busy_pe_cycles: int
+    total_pe_cycles: int
+    macs_total: int
+    macs_consequential: int
+    counters: EventCounters
+    energy: EnergyBreakdown
+    is_transposed: bool = False
+    is_convolutional: bool = False
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise AnalysisError(f"{self.layer_name}: cycles cannot be negative")
+        if self.total_pe_cycles < 0:
+            raise AnalysisError(f"{self.layer_name}: total PE-cycles cannot be negative")
+
+    @property
+    def pe_utilization(self) -> float:
+        """Fraction of PE-cycles doing consequential work (Figure 11)."""
+        if self.total_pe_cycles == 0:
+            return 0.0
+        return min(1.0, self.active_pe_cycles / self.total_pe_cycles)
+
+    @property
+    def energy_pj(self) -> float:
+        return self.energy.total_pj
+
+    @property
+    def seconds(self) -> float:
+        """Placeholder: converted by callers that know the clock frequency."""
+        raise AnalysisError(
+            "LayerResult does not know the clock; use ArchitectureConfig.cycles_to_seconds"
+        )
+
+
+@dataclass(frozen=True)
+class NetworkResult:
+    """Aggregated result of running one network (generator or discriminator)."""
+
+    network_name: str
+    accelerator: str
+    layer_results: Tuple[LayerResult, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "layer_results", tuple(self.layer_results))
+
+    @property
+    def cycles(self) -> int:
+        return sum(r.cycles for r in self.layer_results)
+
+    @property
+    def energy(self) -> EnergyBreakdown:
+        return EnergyBreakdown.sum(r.energy for r in self.layer_results)
+
+    @property
+    def energy_pj(self) -> float:
+        return self.energy.total_pj
+
+    @property
+    def macs_total(self) -> int:
+        return sum(r.macs_total for r in self.layer_results)
+
+    @property
+    def macs_consequential(self) -> int:
+        return sum(r.macs_consequential for r in self.layer_results)
+
+    @property
+    def counters(self) -> EventCounters:
+        total = EventCounters()
+        for r in self.layer_results:
+            total.add(r.counters)
+        return total
+
+    @property
+    def pe_utilization(self) -> float:
+        """Cycle-weighted PE utilization across the network's layers."""
+        total = sum(r.total_pe_cycles for r in self.layer_results)
+        if total == 0:
+            return 0.0
+        active = sum(r.active_pe_cycles for r in self.layer_results)
+        return min(1.0, active / total)
+
+    def layer(self, name: str) -> LayerResult:
+        for result in self.layer_results:
+            if result.layer_name == name:
+                return result
+        raise AnalysisError(f"no layer result named '{name}' in {self.network_name}")
+
+    def transposed_results(self) -> Tuple[LayerResult, ...]:
+        return tuple(r for r in self.layer_results if r.is_transposed)
+
+
+@dataclass(frozen=True)
+class GanResult:
+    """Result of running a full GAN (generator + discriminator) on one accelerator."""
+
+    model_name: str
+    accelerator: str
+    generator: NetworkResult
+    discriminator: Optional[NetworkResult] = None
+
+    @property
+    def total_cycles(self) -> int:
+        cycles = self.generator.cycles
+        if self.discriminator is not None:
+            cycles += self.discriminator.cycles
+        return cycles
+
+    @property
+    def total_energy(self) -> EnergyBreakdown:
+        energy = self.generator.energy
+        if self.discriminator is not None:
+            energy = energy + self.discriminator.energy
+        return energy
+
+    @property
+    def total_energy_pj(self) -> float:
+        return self.total_energy.total_pj
+
+    def runtime_split(self) -> Dict[str, int]:
+        """Cycles attributed to the generative and discriminative models."""
+        return {
+            "generative": self.generator.cycles,
+            "discriminative": self.discriminator.cycles if self.discriminator else 0,
+        }
+
+    def energy_split(self) -> Dict[str, float]:
+        """Energy attributed to the generative and discriminative models (pJ)."""
+        return {
+            "generative": self.generator.energy_pj,
+            "discriminative": self.discriminator.energy_pj if self.discriminator else 0.0,
+        }
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """A GANAX-vs-EYERISS comparison for one GAN model."""
+
+    model_name: str
+    eyeriss: GanResult
+    ganax: GanResult
+
+    def __post_init__(self) -> None:
+        if self.eyeriss.accelerator != "eyeriss" or self.ganax.accelerator != "ganax":
+            raise AnalysisError(
+                "ComparisonResult expects an EYERISS result and a GANAX result"
+            )
+
+    # -- generator-level metrics (Figures 8, 10, 11) -----------------------
+    @property
+    def generator_speedup(self) -> float:
+        """Speedup of the generative model on GANAX over EYERISS (Figure 8a)."""
+        ganax_cycles = self.ganax.generator.cycles
+        if ganax_cycles == 0:
+            raise AnalysisError(f"{self.model_name}: GANAX generator cycles are zero")
+        return self.eyeriss.generator.cycles / ganax_cycles
+
+    @property
+    def generator_energy_reduction(self) -> float:
+        """Energy reduction of the generative model (Figure 8b)."""
+        ganax_energy = self.ganax.generator.energy_pj
+        if ganax_energy == 0:
+            raise AnalysisError(f"{self.model_name}: GANAX generator energy is zero")
+        return self.eyeriss.generator.energy_pj / ganax_energy
+
+    @property
+    def eyeriss_generator_utilization(self) -> float:
+        return self.eyeriss.generator.pe_utilization
+
+    @property
+    def ganax_generator_utilization(self) -> float:
+        return self.ganax.generator.pe_utilization
+
+    # -- whole-model metrics (Figure 9) -------------------------------------
+    def normalized_runtime(self) -> Dict[str, Dict[str, float]]:
+        """Runtime split, normalised to the EYERISS total (Figure 9a)."""
+        baseline = self.eyeriss.total_cycles
+        if baseline == 0:
+            raise AnalysisError(f"{self.model_name}: EYERISS total cycles are zero")
+        return {
+            "eyeriss": {
+                key: value / baseline for key, value in self.eyeriss.runtime_split().items()
+            },
+            "ganax": {
+                key: value / baseline for key, value in self.ganax.runtime_split().items()
+            },
+        }
+
+    def normalized_energy(self) -> Dict[str, Dict[str, float]]:
+        """Energy split, normalised to the EYERISS total (Figure 9b)."""
+        baseline = self.eyeriss.total_energy_pj
+        if baseline == 0:
+            raise AnalysisError(f"{self.model_name}: EYERISS total energy is zero")
+        return {
+            "eyeriss": {
+                key: value / baseline for key, value in self.eyeriss.energy_split().items()
+            },
+            "ganax": {
+                key: value / baseline for key, value in self.ganax.energy_split().items()
+            },
+        }
+
+    def normalized_unit_energy(self) -> Dict[str, Dict[str, float]]:
+        """Per-unit generator energy, normalised to EYERISS total (Figure 10)."""
+        baseline = self.eyeriss.generator.energy_pj
+        if baseline == 0:
+            raise AnalysisError(f"{self.model_name}: EYERISS generator energy is zero")
+        return {
+            "eyeriss": {
+                key: value / baseline
+                for key, value in self.eyeriss.generator.energy.as_dict().items()
+            },
+            "ganax": {
+                key: value / baseline
+                for key, value in self.ganax.generator.energy.as_dict().items()
+            },
+        }

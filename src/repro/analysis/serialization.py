@@ -1,0 +1,152 @@
+"""Export experiment results and simulation results to JSON / CSV.
+
+Downstream users typically want the regenerated figure data in a form their
+own plotting pipeline can ingest.  This module flattens the nested result
+structures produced by the simulators and the experiment harness into rows and
+writes them as CSV (stdlib ``csv``) or JSON, without adding any plotting
+dependencies to the library.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Sequence, Union
+
+from ..errors import AnalysisError
+from .results import ComparisonResult, GanResult, NetworkResult
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# Flattening helpers
+# ----------------------------------------------------------------------
+def flatten_mapping(data: Mapping, prefix: str = "", separator: str = ".") -> Dict[str, object]:
+    """Flatten a nested mapping into dotted keys (lists are JSON-encoded)."""
+    flat: Dict[str, object] = {}
+    for key, value in data.items():
+        full_key = f"{prefix}{separator}{key}" if prefix else str(key)
+        if isinstance(value, Mapping):
+            flat.update(flatten_mapping(value, prefix=full_key, separator=separator))
+        elif isinstance(value, (list, tuple)):
+            flat[full_key] = json.dumps(list(value))
+        else:
+            flat[full_key] = value
+    return flat
+
+
+def network_result_rows(result: NetworkResult) -> List[Dict[str, object]]:
+    """One row per layer of a simulated network."""
+    rows: List[Dict[str, object]] = []
+    for layer in result.layer_results:
+        row: Dict[str, object] = {
+            "network": result.network_name,
+            "accelerator": result.accelerator,
+            "layer": layer.layer_name,
+            "is_transposed": layer.is_transposed,
+            "cycles": layer.cycles,
+            "macs_total": layer.macs_total,
+            "macs_consequential": layer.macs_consequential,
+            "pe_utilization": layer.pe_utilization,
+            "energy_total_pj": layer.energy.total_pj,
+        }
+        for component, value in layer.energy.as_dict().items():
+            row[f"energy_{component}_pj"] = value
+        rows.append(row)
+    return rows
+
+
+def gan_result_rows(result: GanResult) -> List[Dict[str, object]]:
+    """Layer rows for both networks of a simulated GAN."""
+    rows = network_result_rows(result.generator)
+    if result.discriminator is not None:
+        rows.extend(network_result_rows(result.discriminator))
+    for row in rows:
+        row["model"] = result.model_name
+    return rows
+
+
+def comparison_rows(comparisons: Mapping[str, ComparisonResult]) -> List[Dict[str, object]]:
+    """One summary row per GAN with the Figure 8 / Figure 11 quantities."""
+    if not comparisons:
+        raise AnalysisError("no comparisons to serialise")
+    rows = []
+    for name, comparison in comparisons.items():
+        rows.append(
+            {
+                "model": name,
+                "speedup": comparison.generator_speedup,
+                "energy_reduction": comparison.generator_energy_reduction,
+                "eyeriss_utilization": comparison.eyeriss_generator_utilization,
+                "ganax_utilization": comparison.ganax_generator_utilization,
+                "eyeriss_generator_cycles": comparison.eyeriss.generator.cycles,
+                "ganax_generator_cycles": comparison.ganax.generator.cycles,
+                "eyeriss_generator_energy_pj": comparison.eyeriss.generator.energy_pj,
+                "ganax_generator_energy_pj": comparison.ganax.generator.energy_pj,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Writers
+# ----------------------------------------------------------------------
+def write_csv(rows: Sequence[Mapping[str, object]], path: PathLike) -> Path:
+    """Write a list of flat row mappings as CSV; returns the written path."""
+    rows = list(rows)
+    if not rows:
+        raise AnalysisError("cannot write an empty row set")
+    path = Path(path)
+    fieldnames: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames, restval="")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(dict(row))
+    return path
+
+
+def write_json(data: Mapping, path: PathLike, indent: int = 2) -> Path:
+    """Write a nested mapping as JSON; returns the written path."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=indent, sort_keys=True)
+    return path
+
+
+def read_csv(path: PathLike) -> List[Dict[str, str]]:
+    """Read back a CSV written by :func:`write_csv` (values are strings)."""
+    path = Path(path)
+    if not path.exists():
+        raise AnalysisError(f"CSV file {path} does not exist")
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        return [dict(row) for row in csv.DictReader(handle)]
+
+
+def export_comparisons(
+    comparisons: Mapping[str, ComparisonResult],
+    directory: PathLike,
+    prefix: str = "ganax",
+) -> Dict[str, Path]:
+    """Export a full comparison set: summary CSV plus per-layer CSVs.
+
+    Returns a mapping of artefact name to written path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, Path] = {}
+    written["summary"] = write_csv(
+        comparison_rows(comparisons), directory / f"{prefix}_summary.csv"
+    )
+    layer_rows: List[Dict[str, object]] = []
+    for comparison in comparisons.values():
+        layer_rows.extend(gan_result_rows(comparison.eyeriss))
+        layer_rows.extend(gan_result_rows(comparison.ganax))
+    written["layers"] = write_csv(layer_rows, directory / f"{prefix}_layers.csv")
+    return written

@@ -1,0 +1,135 @@
+"""Parameter-sweep utilities for ablation studies.
+
+The ablation benchmarks sweep architectural parameters (DRAM bandwidth, PE
+array shape, zero-gating energy, MIMD dispatch overhead) and dataflow choices
+(output-row reorganization on/off, filter-row reorganization on/off) and ask
+how the headline metrics move.  :class:`ParameterSweep` runs a comparison for
+every parameter value and collects the per-model speedup / energy-reduction
+series in a structure the report renderer understands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..baseline.simulator import EyerissSimulator
+from ..config import ArchitectureConfig, SimulationOptions
+from ..core.simulator import GanaxSimulator
+from ..errors import AnalysisError
+from ..nn.network import GANModel
+from .metrics import geometric_mean
+from .results import ComparisonResult
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a parameter sweep."""
+
+    label: str
+    config: ArchitectureConfig
+    speedups: Dict[str, float]
+    energy_reductions: Dict[str, float]
+
+    @property
+    def geomean_speedup(self) -> float:
+        return geometric_mean(list(self.speedups.values()))
+
+    @property
+    def geomean_energy_reduction(self) -> float:
+        return geometric_mean(list(self.energy_reductions.values()))
+
+
+def compare_model(
+    model: GANModel,
+    config: Optional[ArchitectureConfig] = None,
+    options: Optional[SimulationOptions] = None,
+) -> ComparisonResult:
+    """Run one GAN on both accelerators with a shared configuration."""
+    config = config or ArchitectureConfig.paper_default()
+    eyeriss = EyerissSimulator(config=config, options=options)
+    ganax = GanaxSimulator(config=config, options=options)
+    return ComparisonResult(
+        model_name=model.name,
+        eyeriss=eyeriss.simulate_gan(model),
+        ganax=ganax.simulate_gan(model),
+    )
+
+
+def compare_models(
+    models: Sequence[GANModel],
+    config: Optional[ArchitectureConfig] = None,
+    options: Optional[SimulationOptions] = None,
+) -> Dict[str, ComparisonResult]:
+    """Run every GAN on both accelerators; returns name -> comparison."""
+    if not models:
+        raise AnalysisError("no models provided")
+    return {model.name: compare_model(model, config, options) for model in models}
+
+
+class ParameterSweep:
+    """Sweep one architectural parameter over a set of values."""
+
+    def __init__(
+        self,
+        models: Sequence[GANModel],
+        base_config: Optional[ArchitectureConfig] = None,
+        options: Optional[SimulationOptions] = None,
+    ) -> None:
+        if not models:
+            raise AnalysisError("a sweep needs at least one model")
+        self._models = list(models)
+        self._base_config = base_config or ArchitectureConfig.paper_default()
+        self._options = options
+
+    def run(
+        self,
+        parameter: str,
+        values: Sequence[Any],
+        label_format: str = "{parameter}={value}",
+    ) -> List[SweepPoint]:
+        """Run the sweep over ``values`` of the named configuration field."""
+        if not values:
+            raise AnalysisError("a sweep needs at least one parameter value")
+        points: List[SweepPoint] = []
+        for value in values:
+            config = self._base_config.with_updates(**{parameter: value})
+            comparisons = compare_models(self._models, config, self._options)
+            points.append(
+                SweepPoint(
+                    label=label_format.format(parameter=parameter, value=value),
+                    config=config,
+                    speedups={
+                        name: c.generator_speedup for name, c in comparisons.items()
+                    },
+                    energy_reductions={
+                        name: c.generator_energy_reduction
+                        for name, c in comparisons.items()
+                    },
+                )
+            )
+        return points
+
+    def run_configs(
+        self, labelled_configs: Mapping[str, ArchitectureConfig]
+    ) -> List[SweepPoint]:
+        """Run the sweep over explicit, pre-built configurations."""
+        if not labelled_configs:
+            raise AnalysisError("a sweep needs at least one configuration")
+        points: List[SweepPoint] = []
+        for label, config in labelled_configs.items():
+            comparisons = compare_models(self._models, config, self._options)
+            points.append(
+                SweepPoint(
+                    label=label,
+                    config=config,
+                    speedups={
+                        name: c.generator_speedup for name, c in comparisons.items()
+                    },
+                    energy_reductions={
+                        name: c.generator_energy_reduction
+                        for name, c in comparisons.items()
+                    },
+                )
+            )
+        return points

@@ -1,0 +1,15 @@
+"""EYERISS-style row-stationary baseline accelerator model."""
+
+from .performance import BaselineLayerEstimate, estimate_layer
+from .row_stationary import RowStationaryMapping, map_layer, mapping_utilization
+from .simulator import ACCELERATOR_NAME, EyerissSimulator
+
+__all__ = [
+    "BaselineLayerEstimate",
+    "estimate_layer",
+    "RowStationaryMapping",
+    "map_layer",
+    "mapping_utilization",
+    "ACCELERATOR_NAME",
+    "EyerissSimulator",
+]

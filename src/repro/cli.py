@@ -1,0 +1,90 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Installed as ``repro-experiments`` (see ``pyproject.toml``).  Examples::
+
+    repro-experiments list                # list available experiments
+    repro-experiments figure8             # regenerate Figure 8
+    repro-experiments all                 # regenerate everything
+    repro-experiments figure8 --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from .experiments.base import ExperimentContext
+from .experiments.registry import experiment_ids, run_all, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``repro-experiments``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of the GANAX paper (ISCA 2018).",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default="all",
+        help="experiment id (e.g. figure8, table3), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the computed data as JSON to PATH",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the rendered report (useful with --json)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for experiment_id in experiment_ids():
+            print(experiment_id)
+        return 0
+
+    context = ExperimentContext()
+    if args.experiment == "all":
+        results = run_all(context)
+    else:
+        try:
+            results = [run_experiment(args.experiment, context)]
+        except Exception as exc:  # surfaced as a clean CLI error
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if not args.quiet:
+        for result in results:
+            print(result.report)
+            print()
+
+    if args.json:
+        payload = {
+            result.experiment_id: {
+                "title": result.title,
+                "data": result.data,
+                "paper_reference": result.paper_reference,
+            }
+            for result in results
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        if not args.quiet:
+            print(f"wrote JSON results to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    raise SystemExit(main())

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the GANAX reproduction library.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError` so that
+callers can catch library errors without masking programming mistakes such as
+``TypeError`` from misuse of the Python API itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An architecture, energy, or area configuration is invalid."""
+
+
+class ShapeError(ReproError):
+    """A tensor / layer shape is inconsistent or unsupported."""
+
+
+class LayerError(ReproError):
+    """A layer specification is malformed (bad stride, kernel, channels...)."""
+
+
+class NetworkError(ReproError):
+    """A network definition is inconsistent (shape chain broken, empty...)."""
+
+
+class WorkloadError(ReproError):
+    """A named GAN workload could not be built or found."""
+
+
+class IsaError(ReproError):
+    """A micro-op is malformed, cannot be encoded, or cannot be decoded."""
+
+
+class AssemblerError(IsaError):
+    """The textual micro-op assembler rejected its input."""
+
+
+class ProgramError(IsaError):
+    """A micro-program is structurally invalid."""
+
+
+class HardwareError(ReproError):
+    """A hardware primitive (FIFO, buffer, DRAM, NoC) was misused."""
+
+
+class FifoError(HardwareError):
+    """Push on a full FIFO or pop on an empty FIFO."""
+
+
+class BufferError_(HardwareError):
+    """Out-of-range access on a scratchpad or on-chip buffer."""
+
+
+class SimulationError(ReproError):
+    """The cycle-level machine or analytical simulator reached a bad state."""
+
+
+class CompilationError(ReproError):
+    """A layer could not be lowered to a GANAX micro-program."""
+
+
+class DataflowError(ReproError):
+    """The dataflow reorganization produced an inconsistent schedule."""
+
+
+class AnalysisError(ReproError):
+    """Metric or report computation failed (e.g. empty result set)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment (figure/table reproduction) could not be executed."""

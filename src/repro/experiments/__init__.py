@@ -1,0 +1,20 @@
+"""Experiment harness: one module per paper table/figure plus ablations."""
+
+from .base import ExperimentContext, ExperimentResult
+from .registry import (
+    EXPERIMENTS,
+    experiment_ids,
+    get_experiment,
+    run_all,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentContext",
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "experiment_ids",
+    "get_experiment",
+    "run_all",
+    "run_experiment",
+]

@@ -1,0 +1,110 @@
+"""Shared infrastructure for the experiment modules.
+
+Every experiment (one per paper table/figure) implements the same small
+protocol: a ``run`` function that returns an :class:`ExperimentResult` holding
+the computed data, the paper's reference data where available, and a rendered
+plain-text report.  The registry in :mod:`repro.experiments.registry` exposes
+them by experiment id (``"figure1"``, ``"table3"``, ...), which the CLI and
+the benchmark harness use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Sequence
+
+from ..analysis.sweep import compare_models
+from ..analysis.results import ComparisonResult
+from ..config import ArchitectureConfig, SimulationOptions
+from ..errors import ExperimentError
+from ..nn.network import GANModel
+from ..workloads.registry import all_workloads
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """The outcome of regenerating one table or figure.
+
+    Attributes
+    ----------
+    experiment_id:
+        Short id matching the paper artefact (e.g. ``"figure8a"``).
+    title:
+        Human-readable title.
+    data:
+        The computed values in a JSON-friendly nested dict structure.
+    paper_reference:
+        The corresponding paper-reported values (same structure where
+        possible); empty when the paper gives no directly comparable numbers.
+    report:
+        A rendered plain-text table for printing.
+    """
+
+    experiment_id: str
+    title: str
+    data: Dict[str, Any]
+    paper_reference: Dict[str, Any] = field(default_factory=dict)
+    report: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.experiment_id:
+            raise ExperimentError("experiment_id must be non-empty")
+        if not self.title:
+            raise ExperimentError("title must be non-empty")
+
+
+class ExperimentContext:
+    """Lazily-built shared state for experiments (models + comparisons).
+
+    Building the six GAN models and running both simulators over all of them
+    takes a couple of hundred milliseconds; experiments that need the same
+    comparisons share them through a context so the full-suite runner and the
+    benchmarks do the work once.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ArchitectureConfig] = None,
+        options: Optional[SimulationOptions] = None,
+        models: Optional[Sequence[GANModel]] = None,
+    ) -> None:
+        self._config = config or ArchitectureConfig.paper_default()
+        self._options = options or SimulationOptions()
+        self._models = list(models) if models is not None else None
+        self._comparisons: Optional[Dict[str, ComparisonResult]] = None
+
+    @property
+    def config(self) -> ArchitectureConfig:
+        return self._config
+
+    @property
+    def options(self) -> SimulationOptions:
+        return self._options
+
+    @property
+    def models(self) -> Sequence[GANModel]:
+        if self._models is None:
+            self._models = all_workloads()
+        return self._models
+
+    @property
+    def comparisons(self) -> Dict[str, ComparisonResult]:
+        """GANAX-vs-EYERISS comparison per model, computed once."""
+        if self._comparisons is None:
+            self._comparisons = compare_models(self.models, self._config, self._options)
+        return self._comparisons
+
+    def model(self, name: str) -> GANModel:
+        for model in self.models:
+            if model.name == name:
+                return model
+        raise ExperimentError(f"no model named '{name}' in this context")
+
+
+#: Signature every experiment module's ``run`` function follows.
+ExperimentRunner = Callable[[Optional[ExperimentContext]], ExperimentResult]
+
+
+def ensure_context(context: Optional[ExperimentContext]) -> ExperimentContext:
+    """Return the given context or a fresh default one."""
+    return context if context is not None else ExperimentContext()

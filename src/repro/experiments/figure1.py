@@ -1,0 +1,55 @@
+"""Figure 1: fraction of inconsequential multiply-adds in TConv layers.
+
+The paper motivates GANAX by showing that, across the six evaluated GANs, more
+than 60% of the multiply-add operations of the generative models' transposed
+convolution layers are inconsequential because one operand is an inserted
+zero, with 3D-GAN around 80%.  This experiment recomputes the fraction from
+the structural zero analysis of each workload's generator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..analysis.charts import fraction_chart
+from ..analysis.metrics import fraction_summary
+from ..analysis.report import format_fraction_series
+from .base import ExperimentContext, ExperimentResult, ensure_context
+from .paper_data import FIGURE1_INCONSEQUENTIAL_FRACTION
+
+EXPERIMENT_ID = "figure1"
+TITLE = "Figure 1: Inconsequential operations in transposed-convolution layers"
+
+
+def compute_fractions(context: Optional[ExperimentContext] = None) -> Dict[str, float]:
+    """Per-model inconsequential fraction over generator TConv layers."""
+    context = ensure_context(context)
+    return {
+        model.name: model.generator_tconv_inconsequential_fraction()
+        for model in context.models
+    }
+
+
+def run(context: Optional[ExperimentContext] = None) -> ExperimentResult:
+    """Regenerate Figure 1."""
+    context = ensure_context(context)
+    fractions = fraction_summary(compute_fractions(context))
+    report = "\n\n".join(
+        [
+            format_fraction_series(
+                TITLE, fractions, reference=FIGURE1_INCONSEQUENTIAL_FRACTION
+            ),
+            fraction_chart(
+                "Figure 1 as bars (| marks the paper's value)",
+                fractions,
+                reference=FIGURE1_INCONSEQUENTIAL_FRACTION,
+            ),
+        ]
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        data={"inconsequential_fraction": fractions},
+        paper_reference={"inconsequential_fraction": dict(FIGURE1_INCONSEQUENTIAL_FRACTION)},
+        report=report,
+    )

@@ -1,0 +1,50 @@
+"""Figure 10: energy breakdown of generative models by microarchitectural unit.
+
+Figure 10 splits the generative models' energy between the PE datapath, the
+register files, the NoC, the global buffer and DRAM, normalised to the
+EYERISS total, and shows that GANAX reduces every component.  This experiment
+reports the same stacked series from the activity counters of both simulators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..analysis.breakdown import average_breakdown, unit_energy_breakdown
+from ..analysis.report import format_stacked_breakdown
+from ..hw.energy import ENERGY_COMPONENTS
+from .base import ExperimentContext, ExperimentResult, ensure_context
+
+EXPERIMENT_ID = "figure10"
+TITLE = "Figure 10: Generator energy breakdown by microarchitectural unit"
+
+
+def compute_unit_breakdowns(
+    context: Optional[ExperimentContext] = None,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Per-model, per-accelerator, per-unit energy normalised to EYERISS."""
+    context = ensure_context(context)
+    return {
+        name: unit_energy_breakdown(comparison)
+        for name, comparison in context.comparisons.items()
+    }
+
+
+def run(context: Optional[ExperimentContext] = None) -> ExperimentResult:
+    """Regenerate Figure 10."""
+    context = ensure_context(context)
+    breakdowns = compute_unit_breakdowns(context)
+    with_average = dict(breakdowns)
+    with_average["Average"] = average_breakdown(breakdowns)
+    report = format_stacked_breakdown(
+        "Figure 10: Normalized generator energy by unit (EYERISS total = 1.0)",
+        with_average,
+        ENERGY_COMPONENTS,
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        data={"unit_energy": with_average},
+        paper_reference={},
+        report=report,
+    )

@@ -1,0 +1,80 @@
+"""Figure 8: speedup and energy reduction of generative models vs EYERISS.
+
+Figure 8(a) reports the per-GAN speedup of the generative models on GANAX
+over the EYERISS baseline (3.6x geomean; 6.1x for 3D-GAN, 1.3x for MAGAN) and
+Figure 8(b) the corresponding energy reduction (3.1x average).  This
+experiment runs both analytical simulators over every workload's generator
+and reports the same series.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..analysis.charts import ratio_chart
+from ..analysis.metrics import ratio_summary
+from ..analysis.report import format_ratio_series
+from .base import ExperimentContext, ExperimentResult, ensure_context
+from .paper_data import FIGURE8_ENERGY_REDUCTION, FIGURE8_SPEEDUP
+
+EXPERIMENT_ID = "figure8"
+TITLE = "Figure 8: Speedup and energy reduction of generative models vs EYERISS"
+
+
+def compute_speedups(context: Optional[ExperimentContext] = None) -> Dict[str, float]:
+    """Per-model generator speedup (Figure 8a)."""
+    context = ensure_context(context)
+    return {
+        name: comparison.generator_speedup
+        for name, comparison in context.comparisons.items()
+    }
+
+
+def compute_energy_reductions(
+    context: Optional[ExperimentContext] = None,
+) -> Dict[str, float]:
+    """Per-model generator energy reduction (Figure 8b)."""
+    context = ensure_context(context)
+    return {
+        name: comparison.generator_energy_reduction
+        for name, comparison in context.comparisons.items()
+    }
+
+
+def run(context: Optional[ExperimentContext] = None) -> ExperimentResult:
+    """Regenerate Figure 8 (both panels)."""
+    context = ensure_context(context)
+    speedups = ratio_summary(compute_speedups(context))
+    reductions = ratio_summary(compute_energy_reductions(context))
+    report = "\n\n".join(
+        [
+            format_ratio_series(
+                "Figure 8(a): Speedup over EYERISS", speedups, reference=FIGURE8_SPEEDUP
+            ),
+            ratio_chart(
+                "Figure 8(a) as bars (| marks the paper's value)",
+                speedups,
+                reference=FIGURE8_SPEEDUP,
+            ),
+            format_ratio_series(
+                "Figure 8(b): Energy reduction over EYERISS",
+                reductions,
+                reference=FIGURE8_ENERGY_REDUCTION,
+            ),
+            ratio_chart(
+                "Figure 8(b) as bars (| marks the paper's value)",
+                reductions,
+                reference=FIGURE8_ENERGY_REDUCTION,
+            ),
+        ]
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        data={"speedup": speedups, "energy_reduction": reductions},
+        paper_reference={
+            "speedup": dict(FIGURE8_SPEEDUP),
+            "energy_reduction": dict(FIGURE8_ENERGY_REDUCTION),
+        },
+        report=report,
+    )

@@ -1,0 +1,79 @@
+"""Figure 9: runtime and energy breakdown, discriminative vs generative.
+
+Figure 9 normalises each GAN's total runtime (a) and energy (b) to the
+EYERISS value and splits it between the discriminative and generative models,
+showing that GANAX shrinks the generative share while delivering the same
+efficiency as EYERISS on the discriminative share.  For MAGAN only the
+discriminator's convolution layers are counted, matching the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..analysis.breakdown import (
+    FIGURE9_SEGMENTS,
+    average_breakdown,
+    energy_breakdown,
+    runtime_breakdown,
+)
+from ..analysis.report import format_stacked_breakdown
+from .base import ExperimentContext, ExperimentResult, ensure_context
+
+EXPERIMENT_ID = "figure9"
+TITLE = "Figure 9: Runtime and energy breakdown (discriminative vs generative)"
+
+
+def compute_runtime_breakdowns(
+    context: Optional[ExperimentContext] = None,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Per-model normalised runtime split (Figure 9a)."""
+    context = ensure_context(context)
+    return {
+        name: runtime_breakdown(comparison)
+        for name, comparison in context.comparisons.items()
+    }
+
+
+def compute_energy_breakdowns(
+    context: Optional[ExperimentContext] = None,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Per-model normalised energy split (Figure 9b)."""
+    context = ensure_context(context)
+    return {
+        name: energy_breakdown(comparison)
+        for name, comparison in context.comparisons.items()
+    }
+
+
+def run(context: Optional[ExperimentContext] = None) -> ExperimentResult:
+    """Regenerate Figure 9 (both panels)."""
+    context = ensure_context(context)
+    runtime = compute_runtime_breakdowns(context)
+    energy = compute_energy_breakdowns(context)
+    runtime_with_avg = dict(runtime)
+    runtime_with_avg["Average"] = average_breakdown(runtime)
+    energy_with_avg = dict(energy)
+    energy_with_avg["Average"] = average_breakdown(energy)
+
+    report = "\n\n".join(
+        [
+            format_stacked_breakdown(
+                "Figure 9(a): Normalized runtime (EYERISS total = 1.0)",
+                runtime_with_avg,
+                FIGURE9_SEGMENTS,
+            ),
+            format_stacked_breakdown(
+                "Figure 9(b): Normalized energy (EYERISS total = 1.0)",
+                energy_with_avg,
+                FIGURE9_SEGMENTS,
+            ),
+        ]
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        data={"runtime": runtime_with_avg, "energy": energy_with_avg},
+        paper_reference={},
+        report=report,
+    )

@@ -1,0 +1,88 @@
+"""Headline claims: the abstract/conclusion numbers in one view.
+
+The paper's abstract summarises the evaluation with four numbers: 3.6x average
+speedup, 3.1x average energy savings over EYERISS, roughly 7.8% area increase,
+and no efficiency loss on conventional convolution (discriminators).  This
+experiment gathers the reproduction's values for the same four claims plus the
+~90% PE utilization headline, so a reader can check the whole story at a
+glance before drilling into the per-figure experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..analysis.metrics import arithmetic_mean, geometric_mean
+from ..analysis.report import format_table
+from ..hw.area import AreaModel
+from .base import ExperimentContext, ExperimentResult, ensure_context
+from .paper_data import (
+    HEADLINE_AREA_OVERHEAD,
+    HEADLINE_ENERGY_REDUCTION,
+    HEADLINE_GANAX_UTILIZATION,
+    HEADLINE_SPEEDUP,
+)
+
+EXPERIMENT_ID = "headline"
+TITLE = "Headline claims: abstract-level summary of the reproduction"
+
+
+def compute_headline(context: Optional[ExperimentContext] = None) -> Dict[str, float]:
+    """The reproduction's values for the paper's headline claims."""
+    context = ensure_context(context)
+    comparisons = context.comparisons
+    speedups = [c.generator_speedup for c in comparisons.values()]
+    reductions = [c.generator_energy_reduction for c in comparisons.values()]
+    utilizations = [c.ganax_generator_utilization for c in comparisons.values()]
+
+    # "Without compromising the efficiency of conventional convolution
+    # accelerators": the largest relative discriminator slowdown across models.
+    discriminator_penalty = 0.0
+    for comparison in comparisons.values():
+        eyeriss = comparison.eyeriss.discriminator
+        ganax = comparison.ganax.discriminator
+        if eyeriss is None or ganax is None or eyeriss.cycles == 0:
+            continue
+        penalty = ganax.cycles / eyeriss.cycles - 1.0
+        discriminator_penalty = max(discriminator_penalty, penalty)
+
+    area = AreaModel(num_pes=context.config.num_pes)
+    return {
+        "geomean_speedup": geometric_mean(speedups),
+        "geomean_energy_reduction": geometric_mean(reductions),
+        "mean_ganax_utilization": arithmetic_mean(utilizations),
+        "area_overhead_fraction": area.ganax_overhead_fraction(),
+        "worst_discriminator_penalty": discriminator_penalty,
+    }
+
+
+def run(context: Optional[ExperimentContext] = None) -> ExperimentResult:
+    """Summarise the headline claims against the paper."""
+    context = ensure_context(context)
+    measured = compute_headline(context)
+    rows = [
+        ["Generator speedup over EYERISS (geomean)", f"{HEADLINE_SPEEDUP:.1f}x",
+         f"{measured['geomean_speedup']:.2f}x"],
+        ["Generator energy reduction (average)", f"{HEADLINE_ENERGY_REDUCTION:.1f}x",
+         f"{measured['geomean_energy_reduction']:.2f}x"],
+        ["GANAX PE utilization", f"~{100 * HEADLINE_GANAX_UTILIZATION:.0f}%",
+         f"{100 * measured['mean_ganax_utilization']:.0f}%"],
+        ["Area overhead over EYERISS", f"~{100 * HEADLINE_AREA_OVERHEAD:.1f}%",
+         f"{100 * measured['area_overhead_fraction']:.1f}%"],
+        ["Discriminator (conventional conv) slowdown", "none",
+         f"{100 * measured['worst_discriminator_penalty']:.2f}%"],
+    ]
+    report = format_table(["Claim", "Paper", "Measured"], rows, title=TITLE)
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        data=measured,
+        paper_reference={
+            "geomean_speedup": HEADLINE_SPEEDUP,
+            "geomean_energy_reduction": HEADLINE_ENERGY_REDUCTION,
+            "mean_ganax_utilization": HEADLINE_GANAX_UTILIZATION,
+            "area_overhead_fraction": HEADLINE_AREA_OVERHEAD,
+            "worst_discriminator_penalty": 0.0,
+        },
+        report=report,
+    )

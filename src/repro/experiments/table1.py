@@ -1,0 +1,67 @@
+"""Table I: the evaluated GAN models and their layer counts.
+
+Table I lists each evaluated GAN with its release year, a one-line
+description, and the number of convolution / transposed-convolution layers in
+its generative and discriminative models.  This experiment recomputes the
+layer counts from the workload definitions and checks them against the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..analysis.report import format_table
+from .base import ExperimentContext, ExperimentResult, ensure_context
+from .paper_data import TABLE1_DESCRIPTIONS, TABLE1_LAYER_COUNTS
+
+EXPERIMENT_ID = "table1"
+TITLE = "Table I: Evaluated GAN models and layer counts"
+
+
+def compute_layer_counts(
+    context: Optional[ExperimentContext] = None,
+) -> Dict[str, Dict[str, int]]:
+    """Conv/TConv layer counts per model, per sub-network."""
+    context = ensure_context(context)
+    return {model.name: model.layer_counts() for model in context.models}
+
+
+def run(context: Optional[ExperimentContext] = None) -> ExperimentResult:
+    """Regenerate Table I."""
+    context = ensure_context(context)
+    counts = compute_layer_counts(context)
+    headers = [
+        "Name",
+        "Year",
+        "Gen Conv",
+        "Gen TConv",
+        "Disc Conv",
+        "Disc TConv",
+        "Matches paper",
+        "Description",
+    ]
+    rows = []
+    for model in context.models:
+        c = counts[model.name]
+        year, description = TABLE1_DESCRIPTIONS.get(model.name, (model.year, model.description))
+        matches = TABLE1_LAYER_COUNTS.get(model.name) == c
+        rows.append(
+            [
+                model.name,
+                year,
+                c["generator_conv"],
+                c["generator_tconv"],
+                c["discriminator_conv"],
+                c["discriminator_tconv"],
+                matches,
+                description,
+            ]
+        )
+    report = format_table(headers, rows, title=TITLE)
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        data={"layer_counts": counts},
+        paper_reference={"layer_counts": TABLE1_LAYER_COUNTS},
+        report=report,
+    )

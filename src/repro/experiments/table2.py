@@ -1,0 +1,56 @@
+"""Table II: energy costs of the microarchitectural units and memories.
+
+Table II lists the per-bit energy of the major structures (register file, PE,
+inter-PE link, global buffer, DRAM) in TSMC 45 nm together with their cost
+relative to a register-file access.  These numbers are *inputs* to the
+reproduction's energy model; the experiment renders the configured table and
+verifies it matches the paper's values, so any change to the energy model
+defaults is immediately visible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..analysis.report import format_table
+from ..hw.energy import EnergyTable
+from .base import ExperimentContext, ExperimentResult, ensure_context
+from .paper_data import TABLE2_ENERGY
+
+EXPERIMENT_ID = "table2"
+TITLE = "Table II: Energy comparison of microarchitectural units and memory"
+
+
+def compute_energy_rows(
+    table: EnergyTable | None = None,
+) -> Dict[str, Tuple[float, float]]:
+    """(pJ/bit, relative cost) per structure from the configured energy table."""
+    table = table or EnergyTable.paper_table2()
+    relative = table.relative_costs()
+    absolute = {
+        "Register File Access": table.register_file_pj_per_bit,
+        "16-bit Fixed Point PE": table.pe_pj_per_bit,
+        "Inter-PE Communication": table.inter_pe_pj_per_bit,
+        "Global Buffer Access": table.global_buffer_pj_per_bit,
+        "DDR4 Memory Access": table.dram_pj_per_bit,
+    }
+    return {name: (absolute[name], relative[name]) for name in absolute}
+
+
+def run(context: Optional[ExperimentContext] = None) -> ExperimentResult:
+    """Regenerate Table II."""
+    ensure_context(context)
+    rows_data = compute_energy_rows()
+    headers = ["Operation", "Energy (pJ/bit)", "Relative Cost", "Paper (pJ/bit)", "Matches"]
+    rows = []
+    for name, (energy, relative) in rows_data.items():
+        paper_energy, _paper_relative = TABLE2_ENERGY[name]
+        rows.append([name, energy, relative, paper_energy, abs(energy - paper_energy) < 1e-9])
+    report = format_table(headers, rows, title=TITLE, float_format="{:.2f}")
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        data={"energy_table": {k: {"pj_per_bit": v[0], "relative": v[1]} for k, v in rows_data.items()}},
+        paper_reference={"energy_table": {k: {"pj_per_bit": v[0], "relative": v[1]} for k, v in TABLE2_ENERGY.items()}},
+        report=report,
+    )

@@ -1,0 +1,78 @@
+"""Table III: area of the major hardware units and the GANAX overhead.
+
+Table III reports the synthesised area of every unit inside a GANAX PE, the
+full 16x16 PE array, and the top-level structures, and states that GANAX adds
+roughly 7.8% area over an EYERISS baseline with the same PE count and on-chip
+memory.  This experiment regenerates the table from the area model and
+recomputes the overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..analysis.report import format_key_values, format_table
+from ..hw.area import AreaModel
+from .base import ExperimentContext, ExperimentResult, ensure_context
+from .paper_data import (
+    TABLE3_AREA_OVERHEAD,
+    TABLE3_PE_AREA_UM2,
+    TABLE3_TOTAL_AREA_UM2,
+)
+
+EXPERIMENT_ID = "table3"
+TITLE = "Table III: Area of the major hardware units (TSMC 45 nm)"
+
+
+def compute_area(
+    context: Optional[ExperimentContext] = None,
+) -> Dict[str, float]:
+    """Headline area quantities from the area model."""
+    context = ensure_context(context)
+    model = AreaModel(num_pes=context.config.num_pes)
+    return {
+        "pe_area_um2": model.pe_area.total,
+        "pe_array_area_um2": model.pe_array_area_um2(ganax=True),
+        "ganax_total_area_um2": model.total_area_um2(ganax=True),
+        "eyeriss_total_area_um2": model.total_area_um2(ganax=False),
+        "area_overhead_fraction": model.ganax_overhead_fraction(),
+    }
+
+
+def run(context: Optional[ExperimentContext] = None) -> ExperimentResult:
+    """Regenerate Table III."""
+    context = ensure_context(context)
+    model = AreaModel(num_pes=context.config.num_pes)
+    rows = [
+        [name, area, 100.0 * fraction]
+        for name, area, fraction in model.table3_rows()
+    ]
+    table = format_table(
+        ["Hardware Unit", "Area (um^2)", "Share (%)"],
+        rows,
+        title=TITLE,
+        float_format="{:.1f}",
+    )
+    headline = compute_area(context)
+    summary = format_key_values(
+        "GANAX vs EYERISS area",
+        {
+            "GANAX total area (mm^2)": f"{headline['ganax_total_area_um2'] * 1e-6:.3f}",
+            "EYERISS total area (mm^2)": f"{headline['eyeriss_total_area_um2'] * 1e-6:.3f}",
+            "Area overhead": f"{100.0 * headline['area_overhead_fraction']:.1f}%",
+            "Paper PE area (um^2)": TABLE3_PE_AREA_UM2,
+            "Paper total area (um^2)": TABLE3_TOTAL_AREA_UM2,
+            "Paper overhead": f"{100.0 * TABLE3_AREA_OVERHEAD:.1f}%",
+        },
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        data=headline,
+        paper_reference={
+            "pe_area_um2": TABLE3_PE_AREA_UM2,
+            "ganax_total_area_um2": TABLE3_TOTAL_AREA_UM2,
+            "area_overhead_fraction": TABLE3_AREA_OVERHEAD,
+        },
+        report=table + "\n\n" + summary,
+    )

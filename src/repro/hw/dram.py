@@ -1,0 +1,136 @@
+"""Off-chip DRAM traffic model.
+
+The paper charges DRAM accesses at 15 pJ/bit (Table II) and notes that the
+DDR4 power numbers come from Micron's system power calculator.  For the
+reproduction we model DRAM as a bandwidth-limited stream with per-word access
+counting:
+
+* the *energy* contribution is proportional to the number of words moved, and
+* the *performance* contribution is a roofline bound: a layer can never run
+  faster than its DRAM traffic divided by the sustained bandwidth.
+
+The analytical models call :meth:`DramModel.traffic_cycles` with byte counts;
+the cycle-level machine streams words through :meth:`read_words` /
+:meth:`write_words` so the same counters are used in both paths.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import HardwareError
+from .counters import EventCounters
+
+
+@dataclass(frozen=True)
+class DramTraffic:
+    """A summary of DRAM traffic for one layer or one model run."""
+
+    bytes_read: int
+    bytes_written: int
+
+    def __post_init__(self) -> None:
+        if self.bytes_read < 0 or self.bytes_written < 0:
+            raise HardwareError("DRAM traffic cannot be negative")
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    def __add__(self, other: "DramTraffic") -> "DramTraffic":
+        return DramTraffic(
+            bytes_read=self.bytes_read + other.bytes_read,
+            bytes_written=self.bytes_written + other.bytes_written,
+        )
+
+
+class DramModel:
+    """Bandwidth-limited DRAM model with access counting."""
+
+    def __init__(
+        self,
+        bandwidth_bytes_per_cycle: float,
+        data_bytes: int = 2,
+        counters: Optional[EventCounters] = None,
+        name: str = "dram",
+    ) -> None:
+        if bandwidth_bytes_per_cycle <= 0:
+            raise HardwareError("DRAM bandwidth must be positive")
+        if data_bytes <= 0:
+            raise HardwareError("data word size must be positive")
+        self._bandwidth = bandwidth_bytes_per_cycle
+        self._data_bytes = data_bytes
+        self._counters = counters
+        self._name = name
+        self._bytes_read = 0
+        self._bytes_written = 0
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def bandwidth_bytes_per_cycle(self) -> float:
+        return self._bandwidth
+
+    @property
+    def bytes_read(self) -> int:
+        return self._bytes_read
+
+    @property
+    def bytes_written(self) -> int:
+        return self._bytes_written
+
+    @property
+    def total_bytes(self) -> int:
+        return self._bytes_read + self._bytes_written
+
+    # ------------------------------------------------------------------
+    # Traffic accounting
+    # ------------------------------------------------------------------
+    def read_words(self, count: int) -> None:
+        """Record ``count`` data words streamed in from DRAM."""
+        if count < 0:
+            raise HardwareError("cannot read a negative number of words")
+        self._bytes_read += count * self._data_bytes
+        if self._counters is not None:
+            self._counters.dram_reads += count
+
+    def write_words(self, count: int) -> None:
+        """Record ``count`` data words streamed out to DRAM."""
+        if count < 0:
+            raise HardwareError("cannot write a negative number of words")
+        self._bytes_written += count * self._data_bytes
+        if self._counters is not None:
+            self._counters.dram_writes += count
+
+    def record_traffic(self, traffic: DramTraffic) -> None:
+        """Record a pre-computed traffic summary (analytical model path)."""
+        read_words = traffic.bytes_read // self._data_bytes
+        write_words = traffic.bytes_written // self._data_bytes
+        self.read_words(read_words)
+        self.write_words(write_words)
+
+    # ------------------------------------------------------------------
+    # Performance
+    # ------------------------------------------------------------------
+    def traffic_cycles(self, traffic: Optional[DramTraffic] = None) -> int:
+        """Minimum cycles needed to move ``traffic`` (or all recorded traffic).
+
+        This is the roofline bound used by the analytical models:
+        ``ceil(total_bytes / bandwidth)``.
+        """
+        total = traffic.total_bytes if traffic is not None else self.total_bytes
+        return int(math.ceil(total / self._bandwidth))
+
+    def reset(self) -> None:
+        """Clear traffic totals (counters owned elsewhere are untouched)."""
+        self._bytes_read = 0
+        self._bytes_written = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DramModel(name={self._name!r}, bandwidth={self._bandwidth} B/cycle, "
+            f"read={self._bytes_read} B, written={self._bytes_written} B)"
+        )

@@ -1,0 +1,229 @@
+"""16-bit fixed-point arithmetic model.
+
+The GANAX and EYERISS datapaths evaluated in the paper are 16-bit fixed-point
+(Table II prices a "16-bit Fixed Point PE", Table III sizes a 16-bit MAC).
+This module provides the quantisation substrate used to reason about that
+datapath from Python:
+
+* :class:`FixedPointFormat` — a signed Qm.n format with saturation,
+* :func:`quantize` / :func:`dequantize` — array conversion helpers, and
+* :class:`FixedPointAccumulator` — a MAC accumulator with a configurable
+  guard-bit width, mirroring how spatial accelerators keep wider partial sums
+  than their operand precision.
+
+The cycle-level machine operates on floats for clarity; tests use this module
+to bound the quantisation error a 16-bit datapath would introduce on the
+workloads' value ranges (GAN generators operate on tanh/sigmoid-bounded
+activations, so Q2.13 covers them comfortably).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+ArrayLike = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A signed fixed-point format with ``integer_bits`` + ``fraction_bits`` + sign.
+
+    Attributes
+    ----------
+    integer_bits:
+        Bits to the left of the binary point (excluding the sign bit).
+    fraction_bits:
+        Bits to the right of the binary point.
+    """
+
+    integer_bits: int
+    fraction_bits: int
+
+    def __post_init__(self) -> None:
+        if self.integer_bits < 0 or self.fraction_bits < 0:
+            raise ConfigurationError("fixed-point field widths cannot be negative")
+        if self.total_bits < 2:
+            raise ConfigurationError("a fixed-point format needs at least 2 bits")
+
+    # ------------------------------------------------------------------
+    # Derived properties
+    # ------------------------------------------------------------------
+    @property
+    def total_bits(self) -> int:
+        """Total storage width including the sign bit."""
+        return self.integer_bits + self.fraction_bits + 1
+
+    @property
+    def scale(self) -> float:
+        """Value of one least-significant bit."""
+        return 2.0 ** -self.fraction_bits
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable value."""
+        return (2 ** (self.total_bits - 1) - 1) * self.scale
+
+    @property
+    def min_value(self) -> float:
+        """Smallest (most negative) representable value."""
+        return -(2 ** (self.total_bits - 1)) * self.scale
+
+    @property
+    def max_code(self) -> int:
+        return 2 ** (self.total_bits - 1) - 1
+
+    @property
+    def min_code(self) -> int:
+        return -(2 ** (self.total_bits - 1))
+
+    # ------------------------------------------------------------------
+    # Constructors for the formats the paper's datapath implies
+    # ------------------------------------------------------------------
+    @classmethod
+    def q2_13(cls) -> "FixedPointFormat":
+        """16-bit activation format: sign + 2 integer + 13 fraction bits."""
+        return cls(integer_bits=2, fraction_bits=13)
+
+    @classmethod
+    def q0_15(cls) -> "FixedPointFormat":
+        """16-bit weight format: sign + 15 fraction bits (values in (-1, 1))."""
+        return cls(integer_bits=0, fraction_bits=15)
+
+    @classmethod
+    def accumulator(cls, guard_bits: int = 8) -> "FixedPointFormat":
+        """A wide accumulator format with ``guard_bits`` extra integer bits."""
+        if guard_bits < 0:
+            raise ConfigurationError("guard_bits cannot be negative")
+        return cls(integer_bits=2 + guard_bits, fraction_bits=13)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Q{self.integer_bits}.{self.fraction_bits}"
+
+
+# ----------------------------------------------------------------------
+# Quantisation helpers
+# ----------------------------------------------------------------------
+def quantize_to_code(values: ArrayLike, fmt: FixedPointFormat) -> np.ndarray:
+    """Quantise real values to integer codes with round-to-nearest + saturation."""
+    codes = np.rint(np.asarray(values, dtype=np.float64) / fmt.scale)
+    return np.clip(codes, fmt.min_code, fmt.max_code).astype(np.int64)
+
+
+def dequantize_code(codes: ArrayLike, fmt: FixedPointFormat) -> np.ndarray:
+    """Convert integer codes back to real values."""
+    return np.asarray(codes, dtype=np.float64) * fmt.scale
+
+
+def quantize(values: ArrayLike, fmt: FixedPointFormat) -> np.ndarray:
+    """Round-trip real values through the fixed-point grid (round + saturate)."""
+    return dequantize_code(quantize_to_code(values, fmt), fmt)
+
+
+def quantization_error(values: ArrayLike, fmt: FixedPointFormat) -> float:
+    """Maximum absolute quantisation error over ``values``.
+
+    For values inside the representable range the error is bounded by half an
+    LSB; saturated values can incur arbitrarily large errors, which is why the
+    workload-facing tests check their value ranges first.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    return float(np.max(np.abs(values - quantize(values, fmt)))) if values.size else 0.0
+
+
+class FixedPointAccumulator:
+    """A multiply-accumulate accumulator in fixed point.
+
+    Products of a ``Qa`` activation and ``Qw`` weight are accumulated at full
+    product precision into a wide register (operand fraction bits summed plus
+    ``guard_bits`` of headroom), then read out in the activation format — the
+    standard arrangement in 16-bit MAC datapaths and the reason the paper's
+    partial-sum registers are wider than its activations.
+    """
+
+    def __init__(
+        self,
+        activation_format: FixedPointFormat | None = None,
+        weight_format: FixedPointFormat | None = None,
+        guard_bits: int = 8,
+    ) -> None:
+        if guard_bits < 0:
+            raise ConfigurationError("guard_bits cannot be negative")
+        self._activations = activation_format or FixedPointFormat.q2_13()
+        self._weights = weight_format or FixedPointFormat.q0_15()
+        self._guard_bits = guard_bits
+        self._fraction_bits = self._activations.fraction_bits + self._weights.fraction_bits
+        integer_bits = (
+            self._activations.integer_bits + self._weights.integer_bits + guard_bits
+        )
+        self._wide = FixedPointFormat(
+            integer_bits=integer_bits, fraction_bits=self._fraction_bits
+        )
+        self._code = 0
+        self._macs = 0
+        self._saturated = False
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def activation_format(self) -> FixedPointFormat:
+        return self._activations
+
+    @property
+    def weight_format(self) -> FixedPointFormat:
+        return self._weights
+
+    @property
+    def wide_format(self) -> FixedPointFormat:
+        return self._wide
+
+    @property
+    def macs_performed(self) -> int:
+        return self._macs
+
+    @property
+    def saturated(self) -> bool:
+        """True if any accumulation clipped at the wide register's range."""
+        return self._saturated
+
+    @property
+    def value(self) -> float:
+        """Current accumulator value as a real number."""
+        return self._code * self._wide.scale
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self._code = 0
+        self._macs = 0
+        self._saturated = False
+
+    def mac(self, activation: float, weight: float) -> float:
+        """Accumulate one activation x weight product; returns the new value."""
+        a_code = int(quantize_to_code(activation, self._activations))
+        w_code = int(quantize_to_code(weight, self._weights))
+        self._code += a_code * w_code
+        self._macs += 1
+        if self._code > self._wide.max_code:
+            self._code = self._wide.max_code
+            self._saturated = True
+        elif self._code < self._wide.min_code:
+            self._code = self._wide.min_code
+            self._saturated = True
+        return self.value
+
+    def mac_many(self, activations: Iterable[float], weights: Iterable[float]) -> float:
+        """Accumulate a dot product element by element."""
+        for activation, weight in zip(activations, weights):
+            self.mac(activation, weight)
+        return self.value
+
+    def read_out(self) -> float:
+        """Read the accumulator back in the activation format (round + saturate)."""
+        return float(quantize(self.value, self._activations))

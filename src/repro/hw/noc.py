@@ -1,0 +1,115 @@
+"""Inter-PE network-on-chip (NoC) model.
+
+The GANAX / EYERISS PE array forwards filter rows between vertically adjacent
+PEs and accumulates partial sums horizontally across a processing vector
+(paper Figures 4-6).  For the reproduction we do not model router
+micro-architecture; we count word-hops, which is what the 0.40 pJ/bit
+inter-PE communication cost of Table II is charged against, and we expose the
+latency of a horizontal accumulation chain, which the performance model uses
+for the "five cycles vs two/three cycles" accumulation argument of Section II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import HardwareError
+from .counters import EventCounters
+
+
+@dataclass(frozen=True)
+class NocStatistics:
+    """Summary of NoC activity."""
+
+    multicast_transfers: int
+    psum_transfers: int
+
+    @property
+    def total_transfers(self) -> int:
+        return self.multicast_transfers + self.psum_transfers
+
+
+class NocModel:
+    """Word-hop counting model of the PE-array interconnect."""
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        counters: Optional[EventCounters] = None,
+        name: str = "noc",
+    ) -> None:
+        if rows <= 0 or cols <= 0:
+            raise HardwareError(f"{name}: array dimensions must be positive")
+        self._rows = rows
+        self._cols = cols
+        self._counters = counters
+        self._name = name
+        self._multicast_transfers = 0
+        self._psum_transfers = 0
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> int:
+        return self._rows
+
+    @property
+    def cols(self) -> int:
+        return self._cols
+
+    @property
+    def statistics(self) -> NocStatistics:
+        return NocStatistics(
+            multicast_transfers=self._multicast_transfers,
+            psum_transfers=self._psum_transfers,
+        )
+
+    # ------------------------------------------------------------------
+    # Traffic recording
+    # ------------------------------------------------------------------
+    def multicast(self, words: int, destinations: int) -> None:
+        """Record a multicast of ``words`` data words to ``destinations`` PEs.
+
+        The cost model charges one transfer per destination per word, which
+        matches the per-hop accounting of a broadcast over a row/column bus.
+        """
+        if words < 0 or destinations < 0:
+            raise HardwareError("multicast words/destinations cannot be negative")
+        transfers = words * destinations
+        self._multicast_transfers += transfers
+        if self._counters is not None:
+            self._counters.noc_transfers += transfers
+
+    def forward_psum(self, words: int, hops: int = 1) -> None:
+        """Record partial sums forwarded between neighbouring PEs."""
+        if words < 0 or hops < 0:
+            raise HardwareError("psum words/hops cannot be negative")
+        transfers = words * hops
+        self._psum_transfers += transfers
+        if self._counters is not None:
+            self._counters.noc_transfers += transfers
+
+    # ------------------------------------------------------------------
+    # Latency helpers
+    # ------------------------------------------------------------------
+    def accumulation_latency(self, active_pes: int) -> int:
+        """Cycles to reduce partial sums across ``active_pes`` PEs in a chain.
+
+        A linear accumulation chain over N active PEs takes N cycles (one
+        psum forward+add per hop), which is the quantity the paper's example
+        reduces from five to two/three via the GANAX dataflow.
+        """
+        if active_pes < 0:
+            raise HardwareError("active_pes cannot be negative")
+        return active_pes
+
+    def reset(self) -> None:
+        """Clear accumulated statistics."""
+        self._multicast_transfers = 0
+        self._psum_transfers = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NocModel(name={self._name!r}, rows={self._rows}, cols={self._cols})"

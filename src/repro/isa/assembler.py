@@ -1,0 +1,212 @@
+"""Textual assembler / disassembler for GANAX µops.
+
+The assembler accepts one µop per line using the mnemonics of Section IV of
+the paper, e.g.::
+
+    access.cfg  %pv0, %gen0, %addr, 17
+    access.cfg  %pv0, %gen0, %step, 2
+    access.start %pv0, %gen0
+    mimd.ld     %pv1, %repeat, 64
+    repeat
+    mac
+    mimd.exe    0, 1, 0, 1
+    act         tanh
+
+Comments start with ``#`` or ``;`` and blank lines are ignored.  The
+disassembler produces text the assembler accepts (round-trip tested).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Sequence
+
+from ..errors import AssemblerError
+from .uops import (
+    AccessCfg,
+    AccessStart,
+    AccessStop,
+    AddressGenerator,
+    ConfigRegister,
+    ExecuteOp,
+    ExecuteUop,
+    MicroOp,
+    MimdExecute,
+    MimdLoad,
+    RepeatUop,
+)
+
+_REGISTER_NAMES = {
+    "addr": ConfigRegister.ADDR,
+    "offset": ConfigRegister.OFFSET,
+    "step": ConfigRegister.STEP,
+    "end": ConfigRegister.END,
+    "repeat": ConfigRegister.REPEAT,
+}
+_REGISTER_NAMES_REVERSE = {v: k for k, v in _REGISTER_NAMES.items()}
+
+_GENERATOR_NAMES = {
+    "gen0": AddressGenerator.INPUT,
+    "gen1": AddressGenerator.WEIGHT,
+    "gen2": AddressGenerator.OUTPUT,
+    "input": AddressGenerator.INPUT,
+    "weight": AddressGenerator.WEIGHT,
+    "output": AddressGenerator.OUTPUT,
+}
+_GENERATOR_CANONICAL = {
+    AddressGenerator.INPUT: "gen0",
+    AddressGenerator.WEIGHT: "gen1",
+    AddressGenerator.OUTPUT: "gen2",
+}
+
+_EXECUTE_MNEMONICS = {op.value: op for op in ExecuteOp if op is not ExecuteOp.NOP}
+_EXECUTE_MNEMONICS["nop"] = ExecuteOp.NOP
+
+
+def _strip(line: str) -> str:
+    for marker in ("#", ";"):
+        if marker in line:
+            line = line.split(marker, 1)[0]
+    return line.strip()
+
+
+def _split_operands(text: str) -> List[str]:
+    if not text:
+        return []
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _parse_pv(token: str, mnemonic: str) -> int:
+    match = re.fullmatch(r"%?pv(\d+)", token)
+    if not match:
+        raise AssemblerError(f"{mnemonic}: expected a PV operand like %pv3, got '{token}'")
+    return int(match.group(1))
+
+
+def _parse_generator(token: str, mnemonic: str) -> AddressGenerator:
+    key = token.lstrip("%").lower()
+    if key not in _GENERATOR_NAMES:
+        raise AssemblerError(
+            f"{mnemonic}: unknown address generator '{token}' "
+            f"(expected %gen0/%gen1/%gen2 or %input/%weight/%output)"
+        )
+    return _GENERATOR_NAMES[key]
+
+
+def _parse_register(token: str, mnemonic: str) -> ConfigRegister:
+    key = token.lstrip("%").lower().rstrip(".")
+    if key not in _REGISTER_NAMES:
+        raise AssemblerError(
+            f"{mnemonic}: unknown configuration register '{token}' "
+            f"(expected %addr/%offset/%step/%end/%repeat)"
+        )
+    return _REGISTER_NAMES[key]
+
+
+def _parse_int(token: str, mnemonic: str) -> int:
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise AssemblerError(f"{mnemonic}: expected an integer, got '{token}'") from exc
+
+
+def assemble_line(line: str) -> MicroOp | None:
+    """Assemble a single line; returns None for blank/comment-only lines."""
+    text = _strip(line)
+    if not text:
+        return None
+    parts = text.split(None, 1)
+    mnemonic = parts[0].lower()
+    operands = _split_operands(parts[1] if len(parts) > 1 else "")
+
+    if mnemonic == "access.cfg":
+        if len(operands) != 4:
+            raise AssemblerError("access.cfg expects: %pv, %gen, %reg, imm")
+        return AccessCfg(
+            pv_index=_parse_pv(operands[0], mnemonic),
+            generator=_parse_generator(operands[1], mnemonic),
+            register=_parse_register(operands[2], mnemonic),
+            immediate=_parse_int(operands[3], mnemonic),
+        )
+    if mnemonic in ("access.start", "access.stop"):
+        if len(operands) != 2:
+            raise AssemblerError(f"{mnemonic} expects: %pv, %gen")
+        cls = AccessStart if mnemonic == "access.start" else AccessStop
+        return cls(
+            pv_index=_parse_pv(operands[0], mnemonic),
+            generator=_parse_generator(operands[1], mnemonic),
+        )
+    if mnemonic == "mimd.ld":
+        if len(operands) != 3:
+            raise AssemblerError("mimd.ld expects: %pv, %dst, imm")
+        destination = operands[1].lstrip("%").lower()
+        return MimdLoad(
+            pv_index=_parse_pv(operands[0], mnemonic),
+            destination=destination,
+            immediate=_parse_int(operands[2], mnemonic),
+        )
+    if mnemonic == "mimd.exe":
+        if not operands:
+            raise AssemblerError("mimd.exe expects at least one local µop index")
+        indices = tuple(_parse_int(op.lstrip("%"), mnemonic) for op in operands)
+        return MimdExecute(local_indices=indices)
+    if mnemonic == "repeat":
+        if len(operands) > 1:
+            raise AssemblerError("repeat expects at most one count operand")
+        count = _parse_int(operands[0], mnemonic) if operands else 0
+        return RepeatUop(count=count)
+    if mnemonic in _EXECUTE_MNEMONICS:
+        op = _EXECUTE_MNEMONICS[mnemonic]
+        if op is ExecuteOp.ACT:
+            activation = operands[0].lower() if operands else "relu"
+            return ExecuteUop(op=op, activation=activation)
+        if operands:
+            raise AssemblerError(f"{mnemonic} takes no operands")
+        return ExecuteUop(op=op)
+    raise AssemblerError(f"unknown mnemonic '{mnemonic}'")
+
+
+def assemble(source: str | Iterable[str]) -> List[MicroOp]:
+    """Assemble a multi-line program (string or iterable of lines)."""
+    if isinstance(source, str):
+        lines = source.splitlines()
+    else:
+        lines = list(source)
+    uops: List[MicroOp] = []
+    for number, line in enumerate(lines, start=1):
+        try:
+            uop = assemble_line(line)
+        except AssemblerError as exc:
+            raise AssemblerError(f"line {number}: {exc}") from exc
+        if uop is not None:
+            uops.append(uop)
+    return uops
+
+
+def disassemble_uop(uop: MicroOp) -> str:
+    """Render one µop as assembler text."""
+    if isinstance(uop, AccessCfg):
+        return (
+            f"access.cfg %pv{uop.pv_index}, %{_GENERATOR_CANONICAL[uop.generator]}, "
+            f"%{_REGISTER_NAMES_REVERSE[uop.register]}, {uop.immediate}"
+        )
+    if isinstance(uop, AccessStart):
+        return f"access.start %pv{uop.pv_index}, %{_GENERATOR_CANONICAL[uop.generator]}"
+    if isinstance(uop, AccessStop):
+        return f"access.stop %pv{uop.pv_index}, %{_GENERATOR_CANONICAL[uop.generator]}"
+    if isinstance(uop, MimdLoad):
+        return f"mimd.ld %pv{uop.pv_index}, %{uop.destination}, {uop.immediate}"
+    if isinstance(uop, MimdExecute):
+        return "mimd.exe " + ", ".join(str(i) for i in uop.local_indices)
+    if isinstance(uop, RepeatUop):
+        return f"repeat {uop.count}" if uop.count else "repeat"
+    if isinstance(uop, ExecuteUop):
+        if uop.op is ExecuteOp.ACT:
+            return f"act {uop.activation}"
+        return uop.op.value
+    raise AssemblerError(f"cannot disassemble {uop!r}")
+
+
+def disassemble(uops: Sequence[MicroOp]) -> str:
+    """Render a µop sequence as assembler text, one µop per line."""
+    return "\n".join(disassemble_uop(uop) for uop in uops)

@@ -1,0 +1,244 @@
+"""Bit-level encoding of GANAX µops.
+
+The paper fixes the geometry of the global µop buffer: 32 entries of 64 bits,
+with four bits per PV used to index that PV's local µop buffer and one extra
+bit selecting the execution model (SIMD or MIMD-SIMD) for the current
+operation.  Local µops are small (the execute group has no operand fields), so
+we encode them in 16 bits.
+
+The encoding here is a concrete, reversible realisation of that description.
+Round-tripping (``decode(encode(uop)) == uop``) is property-tested; the cycle
+level machine itself operates on the dataclass µops and only uses the encoder
+to size buffers and to charge µop-fetch energy, exactly like the real design
+would fetch encoded words.
+
+Global µop word layout::
+
+    bits 63..0   : the 64-bit payload of the paper's global µop entry
+      SIMD mode  : bits 15..0 hold the encoded local µop broadcast to all PEs,
+                   bits 23..16 hold a PV index where relevant,
+                   bits 47..32 hold a 16-bit immediate,
+                   bits 26..24 hold an address-generator index,
+                   bits 30..28 hold a configuration-register index.
+      MIMD mode  : bits 4*i+3 .. 4*i hold the local µop buffer index for PV i
+                   (16 PVs x 4 bits fill the 64-bit entry, as in the paper).
+    bits 67..64  : opcode (sideband, analogous to the buffer's control bits)
+    bit  68      : mode (0 = SIMD, 1 = MIMD-SIMD) — the paper's "extra one
+                   bit in the global µops" that selects the execution model.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..errors import IsaError
+from .uops import (
+    AccessCfg,
+    AccessStart,
+    AccessStop,
+    AddressGenerator,
+    ConfigRegister,
+    ExecuteOp,
+    ExecuteUop,
+    MicroOp,
+    MimdExecute,
+    MimdLoad,
+    RepeatUop,
+)
+
+#: Number of bits of one encoded global µop (paper: 64).
+GLOBAL_UOP_BITS = 64
+
+#: Number of bits of one encoded local µop.
+LOCAL_UOP_BITS = 16
+
+#: Bits of the global µop used per PV to index its local buffer (paper: 4).
+PV_INDEX_FIELD_BITS = 4
+
+_MODE_SHIFT = 68
+_OPCODE_SHIFT = 64
+_OPCODE_MASK = 0xF
+
+#: Total bits of an encoded word including the opcode/mode sideband.
+ENCODED_GLOBAL_WORD_BITS = 69
+
+# Opcodes for the global encoding.
+_OPCODES = {
+    "exec": 0x0,
+    "repeat": 0x1,
+    "mimd.ld": 0x2,
+    "mimd.exe": 0x3,
+    "access.cfg": 0x4,
+    "access.start": 0x5,
+    "access.stop": 0x6,
+}
+_OPCODES_REVERSE = {v: k for k, v in _OPCODES.items()}
+
+# Local (16-bit) encoding: bits 15..12 opcode, 11..8 op kind, 7..0 payload.
+_LOCAL_EXEC_OPCODE = 0x0
+_LOCAL_REPEAT_OPCODE = 0x1
+_EXEC_OP_CODES = {
+    ExecuteOp.ADD: 0x0,
+    ExecuteOp.MUL: 0x1,
+    ExecuteOp.MAC: 0x2,
+    ExecuteOp.POOL: 0x3,
+    ExecuteOp.ACT: 0x4,
+    ExecuteOp.NOP: 0x5,
+}
+_EXEC_OP_REVERSE = {v: k for k, v in _EXEC_OP_CODES.items()}
+_ACTIVATION_CODES = {"relu": 0, "leaky_relu": 1, "tanh": 2, "sigmoid": 3, "identity": 4}
+_ACTIVATION_REVERSE = {v: k for k, v in _ACTIVATION_CODES.items()}
+
+
+# ----------------------------------------------------------------------
+# Local µop encoding
+# ----------------------------------------------------------------------
+def encode_local_uop(uop: MicroOp) -> int:
+    """Encode a local-buffer µop (execute group) into a 16-bit word."""
+    if isinstance(uop, ExecuteUop):
+        payload = _ACTIVATION_CODES[uop.activation] if uop.op is ExecuteOp.ACT else 0
+        return (
+            (_LOCAL_EXEC_OPCODE << 12)
+            | (_EXEC_OP_CODES[uop.op] << 8)
+            | (payload & 0xFF)
+        )
+    if isinstance(uop, RepeatUop):
+        if uop.count >= (1 << 12):
+            raise IsaError(f"repeat count {uop.count} does not fit in 12 bits")
+        return (_LOCAL_REPEAT_OPCODE << 12) | uop.count
+    raise IsaError(f"µop {uop!r} cannot live in a local µop buffer")
+
+
+def decode_local_uop(word: int) -> MicroOp:
+    """Decode a 16-bit local µop word."""
+    if not (0 <= word < (1 << LOCAL_UOP_BITS)):
+        raise IsaError(f"local µop word {word:#x} does not fit in {LOCAL_UOP_BITS} bits")
+    opcode = (word >> 12) & 0xF
+    if opcode == _LOCAL_EXEC_OPCODE:
+        op_code = (word >> 8) & 0xF
+        if op_code not in _EXEC_OP_REVERSE:
+            raise IsaError(f"unknown execute op code {op_code:#x}")
+        op = _EXEC_OP_REVERSE[op_code]
+        payload = word & 0xFF
+        if op is ExecuteOp.ACT:
+            if payload not in _ACTIVATION_REVERSE:
+                raise IsaError(f"unknown activation code {payload:#x}")
+            return ExecuteUop(op=op, activation=_ACTIVATION_REVERSE[payload])
+        return ExecuteUop(op=op)
+    if opcode == _LOCAL_REPEAT_OPCODE:
+        return RepeatUop(count=word & 0xFFF)
+    raise IsaError(f"unknown local µop opcode {opcode:#x}")
+
+
+# ----------------------------------------------------------------------
+# Global µop encoding
+# ----------------------------------------------------------------------
+def encode_global_uop(uop: MicroOp, num_pvs: int = 16) -> int:
+    """Encode a global-buffer µop into its 64-bit entry plus sideband bits."""
+    if num_pvs <= 0 or num_pvs * PV_INDEX_FIELD_BITS > 64:
+        raise IsaError(f"cannot encode indices for {num_pvs} PVs in 64 bits")
+    if isinstance(uop, MimdExecute):
+        if len(uop.local_indices) > num_pvs:
+            raise IsaError(
+                f"mimd.exe carries {len(uop.local_indices)} indices but the "
+                f"encoding supports only {num_pvs} PVs"
+            )
+        word = (1 << _MODE_SHIFT) | (_OPCODES["mimd.exe"] << _OPCODE_SHIFT)
+        for pv, index in enumerate(uop.local_indices):
+            if index >= (1 << PV_INDEX_FIELD_BITS):
+                raise IsaError(
+                    f"local µop index {index} does not fit in "
+                    f"{PV_INDEX_FIELD_BITS} bits"
+                )
+            word |= index << (PV_INDEX_FIELD_BITS * pv)
+        return word
+
+    if isinstance(uop, MimdLoad):
+        word = (1 << _MODE_SHIFT) | (_OPCODES["mimd.ld"] << _OPCODE_SHIFT)
+        word |= (uop.pv_index & 0xFF) << 16
+        word |= (uop.immediate & 0xFFFF) << 32
+        registers = MimdLoad._REGISTERS
+        word |= (registers.index(uop.destination) & 0x7) << 24
+        return word
+
+    if isinstance(uop, AccessCfg):
+        word = _OPCODES["access.cfg"] << _OPCODE_SHIFT
+        word |= (uop.pv_index & 0xFF) << 16
+        word |= (int(uop.generator) & 0x7) << 24
+        word |= (uop.register.value & 0x7) << 28
+        word |= (uop.immediate & 0xFFFF) << 32
+        return word
+
+    if isinstance(uop, (AccessStart, AccessStop)):
+        key = "access.start" if isinstance(uop, AccessStart) else "access.stop"
+        word = _OPCODES[key] << _OPCODE_SHIFT
+        word |= (uop.pv_index & 0xFF) << 16
+        word |= (int(uop.generator) & 0x7) << 24
+        return word
+
+    if isinstance(uop, (ExecuteUop, RepeatUop)):
+        # SIMD broadcast of a local µop: mode bit 0, local encoding in 15..0.
+        opcode = _OPCODES["repeat"] if isinstance(uop, RepeatUop) else _OPCODES["exec"]
+        return (opcode << _OPCODE_SHIFT) | encode_local_uop(uop)
+
+    raise IsaError(f"µop {uop!r} cannot live in the global µop buffer")
+
+
+def decode_global_uop(word: int, num_pvs: int = 16) -> MicroOp:
+    """Decode a global µop word produced by :func:`encode_global_uop`."""
+    if not (0 <= word < (1 << ENCODED_GLOBAL_WORD_BITS)):
+        raise IsaError(
+            f"global µop word does not fit in {ENCODED_GLOBAL_WORD_BITS} bits"
+        )
+    opcode = (word >> _OPCODE_SHIFT) & _OPCODE_MASK
+    if opcode not in _OPCODES_REVERSE:
+        raise IsaError(f"unknown global µop opcode {opcode:#x}")
+    kind = _OPCODES_REVERSE[opcode]
+
+    if kind == "mimd.exe":
+        indices = tuple(
+            (word >> (PV_INDEX_FIELD_BITS * pv)) & ((1 << PV_INDEX_FIELD_BITS) - 1)
+            for pv in range(num_pvs)
+        )
+        return MimdExecute(local_indices=indices)
+    if kind == "mimd.ld":
+        registers = MimdLoad._REGISTERS
+        reg_index = (word >> 24) & 0x7
+        if reg_index >= len(registers):
+            raise IsaError(f"unknown mimd.ld register index {reg_index}")
+        return MimdLoad(
+            pv_index=(word >> 16) & 0xFF,
+            destination=registers[reg_index],
+            immediate=(word >> 32) & 0xFFFF,
+        )
+    if kind == "access.cfg":
+        return AccessCfg(
+            pv_index=(word >> 16) & 0xFF,
+            generator=AddressGenerator((word >> 24) & 0x7),
+            register=ConfigRegister((word >> 28) & 0x7),
+            immediate=(word >> 32) & 0xFFFF,
+        )
+    if kind == "access.start":
+        return AccessStart(
+            pv_index=(word >> 16) & 0xFF,
+            generator=AddressGenerator((word >> 24) & 0x7),
+        )
+    if kind == "access.stop":
+        return AccessStop(
+            pv_index=(word >> 16) & 0xFF,
+            generator=AddressGenerator((word >> 24) & 0x7),
+        )
+    # exec / repeat: SIMD broadcast of a local µop.
+    return decode_local_uop(word & 0xFFFF)
+
+
+def is_mimd_word(word: int) -> bool:
+    """The 1-bit mode field: True when the word is a MIMD-SIMD µop."""
+    return bool((word >> _MODE_SHIFT) & 0x1)
+
+
+def encoded_size_bits(uop: MicroOp) -> int:
+    """Size in bits of a µop in the buffer it belongs to."""
+    if isinstance(uop, (ExecuteUop, RepeatUop)):
+        return LOCAL_UOP_BITS
+    return GLOBAL_UOP_BITS

@@ -1,0 +1,256 @@
+"""Micro-program containers.
+
+A :class:`MicroProgram` is what the layer compiler produces and what the
+cycle-level machine executes: the preloaded contents of every PV's local µop
+buffer plus the ordered sequence of global µops.  The container validates the
+structural constraints the hardware imposes (local buffer capacity, local
+index ranges referenced by ``mimd.exe``, PV indices in range) so that invalid
+programs are rejected at build time rather than mid-simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import ProgramError
+from .encoding import GLOBAL_UOP_BITS, LOCAL_UOP_BITS, encode_global_uop, encode_local_uop
+from .uops import (
+    AccessCfg,
+    AccessStart,
+    AccessStop,
+    ExecuteUop,
+    MicroOp,
+    MimdExecute,
+    MimdLoad,
+    RepeatUop,
+)
+
+
+@dataclass(frozen=True)
+class MicroProgram:
+    """A complete GANAX micro-program for one layer (or layer tile).
+
+    Attributes
+    ----------
+    name:
+        Identifier, typically the layer name it was compiled from.
+    num_pvs:
+        Number of processing vectors the program targets.
+    local_uops:
+        Per-PV local µop buffer contents.  ``local_uops[pv][i]`` is the µop a
+        ``mimd.exe`` with index ``i`` for PV ``pv`` dispatches.
+    global_uops:
+        The ordered stream of global µops executed by the global controller.
+    """
+
+    name: str
+    num_pvs: int
+    local_uops: Tuple[Tuple[MicroOp, ...], ...]
+    global_uops: Tuple[MicroOp, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ProgramError("micro-program name must be non-empty")
+        if self.num_pvs <= 0:
+            raise ProgramError("num_pvs must be positive")
+        if len(self.local_uops) != self.num_pvs:
+            raise ProgramError(
+                f"expected {self.num_pvs} local µop buffers, got {len(self.local_uops)}"
+            )
+        object.__setattr__(
+            self,
+            "local_uops",
+            tuple(tuple(buffer) for buffer in self.local_uops),
+        )
+        object.__setattr__(self, "global_uops", tuple(self.global_uops))
+        self._validate()
+
+    def _validate(self) -> None:
+        for pv, buffer in enumerate(self.local_uops):
+            for uop in buffer:
+                if not isinstance(uop, (ExecuteUop, RepeatUop)):
+                    raise ProgramError(
+                        f"PV {pv} local buffer contains non-local µop {uop!r}"
+                    )
+        for position, uop in enumerate(self.global_uops):
+            if isinstance(uop, MimdExecute):
+                if len(uop.local_indices) != self.num_pvs:
+                    raise ProgramError(
+                        f"global µop {position}: mimd.exe carries "
+                        f"{len(uop.local_indices)} indices for {self.num_pvs} PVs"
+                    )
+                for pv, index in enumerate(uop.local_indices):
+                    if index >= len(self.local_uops[pv]):
+                        raise ProgramError(
+                            f"global µop {position}: PV {pv} local index {index} "
+                            f"out of range (buffer has {len(self.local_uops[pv])})"
+                        )
+            elif isinstance(uop, (MimdLoad, AccessCfg, AccessStart, AccessStop)):
+                if uop.pv_index >= self.num_pvs:
+                    raise ProgramError(
+                        f"global µop {position}: PV index {uop.pv_index} out of "
+                        f"range for {self.num_pvs} PVs"
+                    )
+            elif not isinstance(uop, (ExecuteUop, RepeatUop)):
+                raise ProgramError(
+                    f"global µop {position}: {uop!r} is not a valid global µop"
+                )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def max_local_buffer_entries(self) -> int:
+        """Largest local µop buffer footprint across PVs."""
+        return max((len(buffer) for buffer in self.local_uops), default=0)
+
+    @property
+    def num_global_uops(self) -> int:
+        return len(self.global_uops)
+
+    def count_by_kind(self) -> Dict[str, int]:
+        """Histogram of global µop mnemonics (useful in tests and reports)."""
+        counts: Dict[str, int] = {}
+        for uop in self.global_uops:
+            counts[uop.mnemonic] = counts.get(uop.mnemonic, 0) + 1
+        return counts
+
+    def mimd_uop_count(self) -> int:
+        """Number of global µops dispatched in MIMD-SIMD mode."""
+        return sum(1 for uop in self.global_uops if isinstance(uop, MimdExecute))
+
+    def simd_uop_count(self) -> int:
+        """Number of global µops broadcast in SIMD mode."""
+        return sum(
+            1 for uop in self.global_uops if isinstance(uop, (ExecuteUop, RepeatUop))
+        )
+
+    def validate_against_buffers(
+        self, local_entries: int, global_entries: int | None = None
+    ) -> None:
+        """Check the program fits the configured µop buffer sizes.
+
+        The global µop buffer is double-buffered and refilled per layer, so
+        exceeding its entry count is legal (it just means multiple fills);
+        callers pass ``global_entries`` only when they want a strict check.
+        """
+        if self.max_local_buffer_entries > local_entries:
+            raise ProgramError(
+                f"program '{self.name}' needs {self.max_local_buffer_entries} local "
+                f"µop entries but the hardware provides {local_entries}"
+            )
+        if global_entries is not None and self.num_global_uops > global_entries:
+            raise ProgramError(
+                f"program '{self.name}' has {self.num_global_uops} global µops, "
+                f"exceeding the strict limit of {global_entries}"
+            )
+
+    # ------------------------------------------------------------------
+    # Footprints
+    # ------------------------------------------------------------------
+    def local_buffer_bits(self) -> int:
+        """Total encoded footprint of all local µop buffers."""
+        return sum(len(buffer) for buffer in self.local_uops) * LOCAL_UOP_BITS
+
+    def global_buffer_bits(self) -> int:
+        """Total encoded footprint of the global µop stream."""
+        return self.num_global_uops * GLOBAL_UOP_BITS
+
+    def encoded_global_words(self) -> Tuple[int, ...]:
+        """The encoded 64-bit words of the global stream (for fetch costing)."""
+        return tuple(encode_global_uop(uop, num_pvs=self.num_pvs) for uop in self.global_uops)
+
+    def encoded_local_words(self) -> Tuple[Tuple[int, ...], ...]:
+        """The encoded 16-bit words of every local buffer."""
+        return tuple(
+            tuple(encode_local_uop(uop) for uop in buffer) for buffer in self.local_uops
+        )
+
+
+class MicroProgramBuilder:
+    """Imperative helper for assembling a :class:`MicroProgram`."""
+
+    def __init__(self, name: str, num_pvs: int) -> None:
+        if num_pvs <= 0:
+            raise ProgramError("num_pvs must be positive")
+        self._name = name
+        self._num_pvs = num_pvs
+        self._local: List[List[MicroOp]] = [[] for _ in range(num_pvs)]
+        self._global: List[MicroOp] = []
+
+    # -- local buffers ---------------------------------------------------
+    def preload_local(self, pv_index: int, uop: MicroOp) -> int:
+        """Append ``uop`` to PV ``pv_index``'s local buffer; returns its index.
+
+        Identical µops are deduplicated (the paper preloads a small set of
+        execute µops once and reuses them), so preloading the same µop twice
+        returns the original index.
+        """
+        self._check_pv(pv_index)
+        if not isinstance(uop, (ExecuteUop, RepeatUop)):
+            raise ProgramError(f"{uop!r} cannot be preloaded into a local buffer")
+        buffer = self._local[pv_index]
+        if uop in buffer:
+            return buffer.index(uop)
+        buffer.append(uop)
+        return len(buffer) - 1
+
+    def preload_local_everywhere(self, uop: MicroOp) -> Tuple[int, ...]:
+        """Preload ``uop`` into every PV's local buffer; returns per-PV indices."""
+        return tuple(self.preload_local(pv, uop) for pv in range(self._num_pvs))
+
+    # -- global stream ----------------------------------------------------
+    def emit(self, uop: MicroOp) -> None:
+        """Append a µop to the global stream."""
+        self._global.append(uop)
+
+    def emit_simd(self, uop: ExecuteUop | RepeatUop) -> None:
+        """Broadcast an execute µop to all PEs in SIMD mode."""
+        if not isinstance(uop, (ExecuteUop, RepeatUop)):
+            raise ProgramError("SIMD broadcast requires an execute-group µop")
+        self._global.append(uop)
+
+    def emit_mimd(self, local_indices: Sequence[int]) -> None:
+        """Dispatch one local µop index per PV in MIMD-SIMD mode."""
+        self._global.append(MimdExecute(local_indices=tuple(local_indices)))
+
+    def emit_access_cfg(self, pv_index: int, generator, register, immediate: int) -> None:
+        self._check_pv(pv_index)
+        self._global.append(
+            AccessCfg(
+                pv_index=pv_index,
+                generator=generator,
+                register=register,
+                immediate=immediate,
+            )
+        )
+
+    def emit_access_start(self, pv_index: int, generator) -> None:
+        self._check_pv(pv_index)
+        self._global.append(AccessStart(pv_index=pv_index, generator=generator))
+
+    def emit_access_stop(self, pv_index: int, generator) -> None:
+        self._check_pv(pv_index)
+        self._global.append(AccessStop(pv_index=pv_index, generator=generator))
+
+    def emit_mimd_load(self, pv_index: int, destination: str, immediate: int) -> None:
+        self._check_pv(pv_index)
+        self._global.append(
+            MimdLoad(pv_index=pv_index, destination=destination, immediate=immediate)
+        )
+
+    # -- finalisation ------------------------------------------------------
+    def build(self) -> MicroProgram:
+        return MicroProgram(
+            name=self._name,
+            num_pvs=self._num_pvs,
+            local_uops=tuple(tuple(buffer) for buffer in self._local),
+            global_uops=tuple(self._global),
+        )
+
+    def _check_pv(self, pv_index: int) -> None:
+        if not (0 <= pv_index < self._num_pvs):
+            raise ProgramError(
+                f"PV index {pv_index} out of range for {self._num_pvs} PVs"
+            )

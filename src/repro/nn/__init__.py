@@ -1,0 +1,59 @@
+"""Neural-network substrate: shapes, layers, functional reference, analysis."""
+
+from .shapes import (
+    FeatureMapShape,
+    conv_output_extent,
+    transposed_conv_output_extent,
+    zero_inserted_extent,
+)
+from .layers import (
+    ActivationLayer,
+    BatchNormLayer,
+    ConvLayer,
+    DenseLayer,
+    LayerSpec,
+    PoolingLayer,
+    ReshapeLayer,
+    TransposedConvLayer,
+)
+from .inference import LayerParameters, NetworkRunner, run_generator
+from .network import GANModel, LayerBinding, Network
+from .zero_analysis import (
+    LayerZeroStats,
+    RowPattern,
+    TransposedConvAnalysis,
+    analyze_transposed_conv,
+    count_consequential_macs_bruteforce,
+    distinct_row_patterns,
+    layer_zero_stats,
+    transposed_conv_inconsequential_fraction,
+)
+
+__all__ = [
+    "FeatureMapShape",
+    "conv_output_extent",
+    "transposed_conv_output_extent",
+    "zero_inserted_extent",
+    "ActivationLayer",
+    "BatchNormLayer",
+    "ConvLayer",
+    "DenseLayer",
+    "LayerSpec",
+    "PoolingLayer",
+    "ReshapeLayer",
+    "TransposedConvLayer",
+    "LayerParameters",
+    "NetworkRunner",
+    "run_generator",
+    "GANModel",
+    "LayerBinding",
+    "Network",
+    "LayerZeroStats",
+    "RowPattern",
+    "TransposedConvAnalysis",
+    "analyze_transposed_conv",
+    "count_consequential_macs_bruteforce",
+    "distinct_row_patterns",
+    "layer_zero_stats",
+    "transposed_conv_inconsequential_fraction",
+]

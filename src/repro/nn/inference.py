@@ -1,0 +1,258 @@
+"""Functional (NumPy) inference over Network definitions.
+
+The workloads in :mod:`repro.workloads` are *structural* descriptions used by
+the performance models.  This module makes them executable: it materialises
+random (or user-supplied) weights for every layer and runs an input through
+the network with the reference operators of :mod:`repro.nn.functional`.
+
+This serves three purposes:
+
+* it validates end-to-end that every workload's shape chain is consistent not
+  just symbolically but numerically (the generator really produces a
+  64x64x3 image / 64^3 voxel grid),
+* it gives examples a way to "generate" data with the DCGAN-style generators
+  the paper studies, and
+* it provides the reference path for datapath studies (e.g. quantising
+  activations/weights with :mod:`repro.hw.fixed_point` and measuring the
+  error a 16-bit accelerator datapath would introduce).
+
+Weight layouts follow :mod:`repro.nn.functional`: convolutions use
+``(M, C, k...)`` and transposed convolutions ``(C, M, k...)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..errors import NetworkError, ShapeError
+from .functional import (
+    conv2d,
+    conv3d,
+    leaky_relu,
+    relu,
+    sigmoid,
+    tanh,
+    transposed_conv2d,
+    transposed_conv3d,
+)
+from .layers import (
+    ActivationLayer,
+    BatchNormLayer,
+    ConvLayer,
+    DenseLayer,
+    LayerSpec,
+    PoolingLayer,
+    ReshapeLayer,
+    TransposedConvLayer,
+)
+from .network import Network
+
+_ACTIVATIONS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "relu": relu,
+    "leaky_relu": leaky_relu,
+    "tanh": tanh,
+    "sigmoid": sigmoid,
+}
+
+
+@dataclass
+class LayerParameters:
+    """Materialised parameters of one layer (empty for parameter-less layers)."""
+
+    weight: Optional[np.ndarray] = None
+    bias: Optional[np.ndarray] = None
+    scale: Optional[np.ndarray] = None
+    shift: Optional[np.ndarray] = None
+
+    @property
+    def parameter_count(self) -> int:
+        total = 0
+        for array in (self.weight, self.bias, self.scale, self.shift):
+            if array is not None:
+                total += array.size
+        return total
+
+
+class NetworkRunner:
+    """Executable view of a :class:`~repro.nn.network.Network`.
+
+    Parameters
+    ----------
+    network:
+        The network definition to execute.
+    rng:
+        Random generator used to initialise parameters (DCGAN-style
+        ``N(0, 0.02)`` weights).  Pass a seeded generator for reproducibility.
+    weight_scale:
+        Standard deviation of the random weight initialisation.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        rng: Optional[np.random.Generator] = None,
+        weight_scale: float = 0.02,
+    ) -> None:
+        if weight_scale <= 0:
+            raise NetworkError("weight_scale must be positive")
+        self._network = network
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._weight_scale = weight_scale
+        self._parameters: Dict[str, LayerParameters] = {}
+        self._initialise_parameters()
+
+    # ------------------------------------------------------------------
+    # Parameter handling
+    # ------------------------------------------------------------------
+    def _initialise_parameters(self) -> None:
+        for binding in self._network.bindings:
+            layer = binding.layer
+            params = LayerParameters()
+            if isinstance(layer, ConvLayer):
+                shape = (layer.out_channels, binding.input_shape.channels, *layer.kernel)
+                params.weight = self._rng.normal(0.0, self._weight_scale, size=shape)
+                params.bias = np.zeros(layer.out_channels)
+            elif isinstance(layer, TransposedConvLayer):
+                shape = (binding.input_shape.channels, layer.out_channels, *layer.kernel)
+                params.weight = self._rng.normal(0.0, self._weight_scale, size=shape)
+                params.bias = np.zeros(layer.out_channels)
+            elif isinstance(layer, DenseLayer):
+                shape = (layer.out_features, binding.input_shape.num_elements)
+                params.weight = self._rng.normal(0.0, self._weight_scale, size=shape)
+                params.bias = np.zeros(layer.out_features)
+            elif isinstance(layer, BatchNormLayer):
+                params.scale = np.ones(binding.input_shape.channels)
+                params.shift = np.zeros(binding.input_shape.channels)
+            self._parameters[layer.name] = params
+
+    @property
+    def network(self) -> Network:
+        return self._network
+
+    def parameters(self, layer_name: str) -> LayerParameters:
+        """Parameters of the named layer (raises for unknown layers)."""
+        if layer_name not in self._parameters:
+            raise NetworkError(f"no parameters for layer '{layer_name}'")
+        return self._parameters[layer_name]
+
+    def set_weight(self, layer_name: str, weight: np.ndarray) -> None:
+        """Override the weight tensor of one layer (shape-checked)."""
+        params = self.parameters(layer_name)
+        if params.weight is None:
+            raise NetworkError(f"layer '{layer_name}' has no weight tensor")
+        if params.weight.shape != weight.shape:
+            raise ShapeError(
+                f"layer '{layer_name}': expected weight shape {params.weight.shape}, "
+                f"got {weight.shape}"
+            )
+        params.weight = np.asarray(weight, dtype=np.float64)
+
+    def total_parameters(self) -> int:
+        """Total number of materialised scalar parameters."""
+        return sum(p.parameter_count for p in self._parameters.values())
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        x: np.ndarray,
+        collect_activations: bool = False,
+    ) -> np.ndarray | tuple:
+        """Run ``x`` (shaped like the network's input) through every layer.
+
+        With ``collect_activations=True`` the per-layer outputs are returned
+        alongside the final output as ``(output, {layer_name: activation})``.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        expected = self._network.input_shape.as_tuple()
+        if tuple(x.shape) != expected:
+            raise ShapeError(
+                f"network '{self._network.name}' expects input shape {expected}, "
+                f"got {tuple(x.shape)}"
+            )
+        activations: Dict[str, np.ndarray] = {}
+        for binding in self._network.bindings:
+            x = self._run_layer(binding.layer, x)
+            expected_out = binding.output_shape.as_tuple()
+            if tuple(x.shape) != expected_out:
+                raise ShapeError(
+                    f"layer '{binding.name}' produced shape {tuple(x.shape)}, "
+                    f"expected {expected_out}"
+                )
+            if collect_activations:
+                activations[binding.name] = x
+        if collect_activations:
+            return x, activations
+        return x
+
+    def _run_layer(self, layer: LayerSpec, x: np.ndarray) -> np.ndarray:
+        params = self._parameters[layer.name]
+        if isinstance(layer, ConvLayer):
+            op = conv2d if layer.rank == 2 else conv3d
+            out = op(x, params.weight, stride=layer.stride, padding=layer.padding)
+            return out + params.bias.reshape((-1,) + (1,) * layer.rank)
+        if isinstance(layer, TransposedConvLayer):
+            if layer.rank == 2:
+                out = transposed_conv2d(
+                    x,
+                    params.weight,
+                    stride=layer.stride,
+                    padding=layer.padding,
+                    output_padding=layer.output_padding,
+                )
+            else:
+                out = transposed_conv3d(
+                    x, params.weight, stride=layer.stride, padding=layer.padding
+                )
+            return out + params.bias.reshape((-1,) + (1,) * layer.rank)
+        if isinstance(layer, DenseLayer):
+            flat = x.reshape(-1)
+            return (params.weight @ flat + params.bias).reshape(layer.out_features, 1)
+        if isinstance(layer, ReshapeLayer):
+            assert layer.target is not None
+            return x.reshape(layer.target.as_tuple())
+        if isinstance(layer, BatchNormLayer):
+            shape = (-1,) + (1,) * (x.ndim - 1)
+            return x * params.scale.reshape(shape) + params.shift.reshape(shape)
+        if isinstance(layer, ActivationLayer):
+            return _ACTIVATIONS[layer.function](x)
+        if isinstance(layer, PoolingLayer):
+            return _max_pool(x, layer.kernel, layer.stride)
+        raise NetworkError(f"layer '{layer.name}' ({type(layer).__name__}) is not executable")
+
+
+def _max_pool(x: np.ndarray, kernel, stride) -> np.ndarray:
+    """Max pooling over the trailing spatial dimensions of a (C, *spatial) array."""
+    spatial = x.shape[1:]
+    out_spatial = tuple(
+        (extent - k) // s + 1 for extent, k, s in zip(spatial, kernel, stride)
+    )
+    out = np.empty((x.shape[0], *out_spatial), dtype=x.dtype)
+    for index in np.ndindex(*out_spatial):
+        window = x[
+            (slice(None),)
+            + tuple(slice(i * s, i * s + k) for i, k, s in zip(index, kernel, stride))
+        ]
+        out[(slice(None), *index)] = window.reshape(x.shape[0], -1).max(axis=1)
+    return out
+
+
+def run_generator(
+    network: Network,
+    latent: Optional[np.ndarray] = None,
+    seed: int = 0,
+) -> np.ndarray:
+    """Convenience: run a generator network on a latent vector.
+
+    When ``latent`` is omitted a standard-normal latent of the right size is
+    drawn from ``seed``.
+    """
+    rng = np.random.default_rng(seed)
+    runner = NetworkRunner(network, rng=rng)
+    if latent is None:
+        latent = rng.standard_normal(network.input_shape.as_tuple())
+    return runner.run(latent)

@@ -1,0 +1,272 @@
+"""Structural analysis of zero-insertion in transposed convolution layers.
+
+This module answers, for a given transposed-convolution layer, the questions
+that drive both the paper's motivation (Figure 1) and the GANAX dataflow
+(Section II):
+
+* how many multiply-adds of the dense (zero-inserted) convolution are
+  *inconsequential* because one operand is an inserted zero,
+* which filter rows are consequential for which output rows (the *row
+  patterns*), and
+* how many distinct row patterns exist (equal to the vertical stride), which
+  determines how many distinct µop sequences — and thus how much MIMD-ness —
+  the layer needs.
+
+Two implementations are provided: an exact arithmetic one used by the models
+and an explicit mask-based one used to cross-check it in tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import LayerError
+from .layers import ConvLayer, LayerSpec, TransposedConvLayer
+from .shapes import FeatureMapShape
+
+
+@dataclass(frozen=True)
+class RowPattern:
+    """The computation pattern of one output row of a transposed convolution.
+
+    Attributes
+    ----------
+    phase:
+        Row phase, i.e. the output row index modulo the vertical stride after
+        accounting for the border offset.  Rows with equal phase share the
+        same pattern.
+    consequential_filter_rows:
+        Indices of filter rows that touch genuine input values for rows of
+        this phase (interior rows; border rows may see a truncated subset).
+    taps_per_output_column:
+        For each output-column phase, the number of consequential kernel
+        columns, i.e. the fine-grain work per output element.
+    """
+
+    phase: int
+    consequential_filter_rows: Tuple[int, ...]
+    taps_per_output_column: Tuple[int, ...]
+
+    @property
+    def filter_rows_used(self) -> int:
+        """Number of filter rows contributing to rows of this phase."""
+        return len(self.consequential_filter_rows)
+
+    @property
+    def mean_column_taps(self) -> float:
+        """Average consequential kernel columns per output element."""
+        if not self.taps_per_output_column:
+            return 0.0
+        return sum(self.taps_per_output_column) / len(self.taps_per_output_column)
+
+
+@dataclass(frozen=True)
+class TransposedConvAnalysis:
+    """Aggregate structural statistics for one transposed-convolution layer."""
+
+    layer_name: str
+    input_shape: FeatureMapShape
+    output_shape: FeatureMapShape
+    total_macs: int
+    consequential_macs: int
+    row_patterns: Tuple[RowPattern, ...]
+    rows_per_pattern: Tuple[int, ...]
+
+    @property
+    def inconsequential_macs(self) -> int:
+        return self.total_macs - self.consequential_macs
+
+    @property
+    def inconsequential_fraction(self) -> float:
+        if self.total_macs == 0:
+            return 0.0
+        return self.inconsequential_macs / self.total_macs
+
+    @property
+    def num_patterns(self) -> int:
+        """Number of distinct row computation patterns (== vertical stride)."""
+        return len(self.row_patterns)
+
+
+# ----------------------------------------------------------------------
+# Exact arithmetic analysis
+# ----------------------------------------------------------------------
+def analyze_transposed_conv(
+    layer: TransposedConvLayer, input_shape: FeatureMapShape
+) -> TransposedConvAnalysis:
+    """Exact structural analysis of a transposed-convolution layer."""
+    if not isinstance(layer, TransposedConvLayer):
+        raise LayerError(f"{layer.name} is not a transposed convolution")
+    out = layer.output_shape(input_shape)
+
+    # Row patterns are defined along the second-to-last spatial dimension for
+    # rank >= 2 layers (the "height"); rank-1 layers use their only dimension.
+    row_dim = max(layer.rank - 2, 0)
+    col_dim = layer.rank - 1
+
+    stride_rows = layer.stride[row_dim]
+    kernel_rows = layer.kernel[row_dim]
+    padding_rows = layer.padding[row_dim]
+    border_rows = kernel_rows - 1 - padding_rows
+
+    col_taps = layer.consequential_taps_along_dim(input_shape, col_dim)
+    col_phase_taps = _phase_taps(col_taps, layer.stride[col_dim])
+
+    out_rows = out.spatial[row_dim]
+    patterns: List[RowPattern] = []
+    rows_counts: List[int] = []
+    # Only phases that actually occur in the output contribute a pattern (for
+    # very small outputs the number of patterns is bounded by the row count).
+    for phase in range(min(stride_rows, out_rows)):
+        filter_rows = tuple(
+            k
+            for k in range(kernel_rows)
+            if (phase + k - border_rows) % stride_rows == 0
+        )
+        patterns.append(
+            RowPattern(
+                phase=phase,
+                consequential_filter_rows=filter_rows,
+                taps_per_output_column=col_phase_taps,
+            )
+        )
+        rows_counts.append(_count_rows_with_phase(out_rows, stride_rows, phase))
+    rows_per_pattern = tuple(rows_counts)
+
+    return TransposedConvAnalysis(
+        layer_name=layer.name,
+        input_shape=input_shape,
+        output_shape=out,
+        total_macs=layer.total_macs(input_shape),
+        consequential_macs=layer.consequential_macs(input_shape),
+        row_patterns=tuple(patterns),
+        rows_per_pattern=rows_per_pattern,
+    )
+
+
+def _phase_taps(taps: Sequence[int], stride: int) -> Tuple[int, ...]:
+    """Representative (interior) tap count per output-column phase."""
+    result = []
+    for phase in range(stride):
+        values = [taps[i] for i in range(len(taps)) if i % stride == phase]
+        # Interior columns all share the same count; borders may be truncated.
+        result.append(max(values) if values else 0)
+    return tuple(result)
+
+
+def _count_rows_with_phase(extent: int, stride: int, phase: int) -> int:
+    """Number of output rows in [0, extent) whose index % stride == phase."""
+    if phase >= extent:
+        return 0
+    return (extent - 1 - phase) // stride + 1
+
+
+# ----------------------------------------------------------------------
+# Mask-based (brute force) counting used for validation
+# ----------------------------------------------------------------------
+def count_consequential_macs_bruteforce(
+    layer: TransposedConvLayer, input_shape: FeatureMapShape
+) -> int:
+    """Count consequential MACs by materialising the genuine-value mask.
+
+    This is O(output volume * kernel volume) and intended for small layers in
+    tests; the exact arithmetic in :meth:`TransposedConvLayer.consequential_macs`
+    must agree with it.
+    """
+    if layer.rank not in (1, 2, 3):
+        raise LayerError("brute-force counting supports ranks 1-3 only")
+    out = layer.output_shape(input_shape)
+    expanded = layer.expanded_spatial(input_shape)
+
+    mask = np.zeros(expanded, dtype=bool)
+    genuine_coords = []
+    for dim in range(layer.rank):
+        border = layer.kernel[dim] - 1 - layer.padding[dim]
+        coords = border + layer.stride[dim] * np.arange(input_shape.spatial[dim])
+        coords = coords[coords < expanded[dim]]
+        genuine_coords.append(coords)
+    mask[np.ix_(*genuine_coords)] = True
+
+    count = 0
+    for out_index in np.ndindex(*out.spatial):
+        window = mask[
+            tuple(
+                slice(o, o + k) for o, k in zip(out_index, layer.kernel)
+            )
+        ]
+        count += int(window.sum())
+    return count * out.channels * input_shape.channels
+
+
+# ----------------------------------------------------------------------
+# Network-level aggregation (Figure 1)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LayerZeroStats:
+    """Per-layer structural statistics used in Figure 1 style summaries."""
+
+    layer_name: str
+    is_transposed: bool
+    total_macs: int
+    consequential_macs: int
+
+    @property
+    def inconsequential_macs(self) -> int:
+        return self.total_macs - self.consequential_macs
+
+    @property
+    def inconsequential_fraction(self) -> float:
+        if self.total_macs == 0:
+            return 0.0
+        return self.inconsequential_macs / self.total_macs
+
+
+def layer_zero_stats(layer: LayerSpec, input_shape: FeatureMapShape) -> LayerZeroStats:
+    """Structural zero statistics for any layer type."""
+    return LayerZeroStats(
+        layer_name=layer.name,
+        is_transposed=layer.is_transposed,
+        total_macs=layer.total_macs(input_shape),
+        consequential_macs=layer.consequential_macs(input_shape),
+    )
+
+
+def transposed_conv_inconsequential_fraction(
+    layers_with_shapes: Sequence[Tuple[LayerSpec, FeatureMapShape]],
+) -> float:
+    """Fraction of dense MACs in TConv layers that are inconsequential.
+
+    This is the quantity plotted per GAN model in Figure 1 of the paper: the
+    numerator and denominator are summed over the transposed-convolution
+    layers only.
+    """
+    total = 0
+    consequential = 0
+    for layer, input_shape in layers_with_shapes:
+        if not layer.is_transposed:
+            continue
+        total += layer.total_macs(input_shape)
+        consequential += layer.consequential_macs(input_shape)
+    if total == 0:
+        return 0.0
+    return (total - consequential) / total
+
+
+def distinct_row_patterns(
+    layer: TransposedConvLayer, input_shape: FeatureMapShape
+) -> Dict[Tuple[int, ...], int]:
+    """Map from (consequential filter rows) pattern -> number of output rows.
+
+    The key observation of Section II is that the number of distinct patterns
+    equals the vertical stride, independent of the feature-map size.
+    """
+    analysis = analyze_transposed_conv(layer, input_shape)
+    result: Dict[Tuple[int, ...], int] = {}
+    for pattern, count in zip(analysis.row_patterns, analysis.rows_per_pattern):
+        key = pattern.consequential_filter_rows
+        result[key] = result.get(key, 0) + count
+    return result

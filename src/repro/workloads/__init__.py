@@ -1,0 +1,21 @@
+"""The six GAN workloads evaluated by the GANAX paper (Table I)."""
+
+from .artgan import build_artgan
+from .dcgan import build_dcgan
+from .discogan import build_discogan
+from .gpgan import build_gpgan
+from .magan import build_magan
+from .registry import all_workloads, get_workload, workload_names
+from .threed_gan import build_threed_gan
+
+__all__ = [
+    "build_artgan",
+    "build_dcgan",
+    "build_discogan",
+    "build_gpgan",
+    "build_magan",
+    "build_threed_gan",
+    "all_workloads",
+    "get_workload",
+    "workload_names",
+]

@@ -1,0 +1,54 @@
+"""ArtGAN workload (Tan et al., 2017).
+
+Table I lists ArtGAN with 5 transposed-convolution layers in the generator and
+6 convolution layers in the discriminator.  ArtGAN generates 128x128 artwork
+images conditioned on a category label; the generator projects the latent
+(plus label embedding) to a 4x4x1024 seed and upsamples through five stride-2
+transposed convolutions, and the discriminator downsamples 128x128 inputs
+through six stride-2 convolutions.
+"""
+
+from __future__ import annotations
+
+from ..nn.network import GANModel, Network
+from ..nn.shapes import FeatureMapShape
+from .builder import build_discriminator, build_generator, conv_stack, tconv_stack
+
+LATENT_DIM = 128
+SEED_SHAPE = FeatureMapShape.image(channels=1024, height=4, width=4)
+IMAGE_SHAPE = FeatureMapShape.image(channels=3, height=128, width=128)
+
+
+def build_artgan_generator() -> Network:
+    """The ArtGAN generator: 5 stride-2 4x4 transposed convolutions."""
+    layers = tconv_stack(
+        channel_plan=[512, 256, 128, 64, 3],
+        kernel=4,
+        stride=2,
+        padding=1,
+        prefix="tconv",
+    )
+    return build_generator("artgan_generator", LATENT_DIM, SEED_SHAPE, layers)
+
+
+def build_artgan_discriminator() -> Network:
+    """The ArtGAN discriminator: 6 stride-2 4x4 convolutions."""
+    layers = conv_stack(
+        channel_plan=[32, 64, 128, 256, 512, 1024],
+        kernel=4,
+        stride=2,
+        padding=1,
+        prefix="conv",
+    )
+    return build_discriminator("artgan_discriminator", IMAGE_SHAPE, layers)
+
+
+def build_artgan() -> GANModel:
+    """The full ArtGAN model as evaluated in the paper."""
+    return GANModel(
+        name="ArtGAN",
+        generator=build_artgan_generator(),
+        discriminator=build_artgan_discriminator(),
+        year=2017,
+        description="Complex artworks generation",
+    )

@@ -1,0 +1,183 @@
+"""Helpers for constructing DCGAN-style generator / discriminator stacks.
+
+The six GAN workloads evaluated in the paper (Table I) all follow the
+projection + stack-of-(transposed)-convolutions recipe introduced by DCGAN.
+The helpers below build those stacks from compact channel/stride descriptions
+so each workload module stays a readable, declarative summary of the published
+architecture rather than a wall of layer constructors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..errors import WorkloadError
+from ..nn.layers import (
+    ActivationLayer,
+    BatchNormLayer,
+    ConvLayer,
+    DenseLayer,
+    LayerSpec,
+    ReshapeLayer,
+    TransposedConvLayer,
+)
+from ..nn.network import Network
+from ..nn.shapes import FeatureMapShape
+
+
+def projection_layers(
+    latent_dim: int,
+    target: FeatureMapShape,
+    *,
+    prefix: str = "project",
+) -> Tuple[FeatureMapShape, Tuple[LayerSpec, ...]]:
+    """Dense projection of the latent vector followed by a reshape.
+
+    Returns the network input shape (the latent vector) and the layer tuple.
+    """
+    if latent_dim <= 0:
+        raise WorkloadError(f"latent_dim must be positive, got {latent_dim}")
+    input_shape = FeatureMapShape.vector(latent_dim)
+    layers: Tuple[LayerSpec, ...] = (
+        DenseLayer(name=f"{prefix}_fc", out_features=target.num_elements),
+        ReshapeLayer(name=f"{prefix}_reshape", target=target),
+        BatchNormLayer(name=f"{prefix}_bn"),
+        ActivationLayer(name=f"{prefix}_relu", function="relu"),
+    )
+    return input_shape, layers
+
+
+def tconv_stack(
+    channel_plan: Sequence[int],
+    *,
+    kernel: int | Tuple[int, ...],
+    stride: int | Sequence[int | Tuple[int, ...]],
+    padding: int | Tuple[int, ...],
+    rank: int = 2,
+    output_padding: int | Tuple[int, ...] = 0,
+    final_activation: str = "tanh",
+    hidden_activation: str = "relu",
+    batch_norm: bool = True,
+    prefix: str = "tconv",
+) -> Tuple[LayerSpec, ...]:
+    """A stack of transposed-convolution blocks.
+
+    ``channel_plan`` lists the output channels of each transposed convolution.
+    ``stride`` may be a single value applied to every block or one value per
+    block (used by MAGAN, whose blocks mix stride-1 and stride-2 layers).
+    """
+    if not channel_plan:
+        raise WorkloadError("channel_plan must contain at least one entry")
+    strides = _per_block(stride, len(channel_plan), "stride")
+    layers: list[LayerSpec] = []
+    last = len(channel_plan) - 1
+    for i, (out_channels, block_stride) in enumerate(zip(channel_plan, strides)):
+        index = i + 1
+        layers.append(
+            TransposedConvLayer(
+                name=f"{prefix}{index}",
+                out_channels=out_channels,
+                kernel=kernel,
+                stride=block_stride,
+                padding=padding,
+                output_padding=output_padding,
+                rank=rank,
+            )
+        )
+        if i != last:
+            if batch_norm:
+                layers.append(BatchNormLayer(name=f"{prefix}{index}_bn"))
+            layers.append(
+                ActivationLayer(name=f"{prefix}{index}_act", function=hidden_activation)
+            )
+        else:
+            layers.append(
+                ActivationLayer(name=f"{prefix}{index}_act", function=final_activation)
+            )
+    return tuple(layers)
+
+
+def conv_stack(
+    channel_plan: Sequence[int],
+    *,
+    kernel: int | Tuple[int, ...],
+    stride: int | Sequence[int | Tuple[int, ...]],
+    padding: int | Tuple[int, ...],
+    rank: int = 2,
+    activation: str = "leaky_relu",
+    final_activation: Optional[str] = "sigmoid",
+    batch_norm: bool = True,
+    prefix: str = "conv",
+) -> Tuple[LayerSpec, ...]:
+    """A stack of strided convolution blocks (DCGAN-style discriminator)."""
+    if not channel_plan:
+        raise WorkloadError("channel_plan must contain at least one entry")
+    strides = _per_block(stride, len(channel_plan), "stride")
+    layers: list[LayerSpec] = []
+    last = len(channel_plan) - 1
+    for i, (out_channels, block_stride) in enumerate(zip(channel_plan, strides)):
+        index = i + 1
+        layers.append(
+            ConvLayer(
+                name=f"{prefix}{index}",
+                out_channels=out_channels,
+                kernel=kernel,
+                stride=block_stride,
+                padding=padding,
+                rank=rank,
+            )
+        )
+        if i != last:
+            if batch_norm and i > 0:
+                layers.append(BatchNormLayer(name=f"{prefix}{index}_bn"))
+            layers.append(ActivationLayer(name=f"{prefix}{index}_act", function=activation))
+        elif final_activation is not None:
+            layers.append(
+                ActivationLayer(name=f"{prefix}{index}_act", function=final_activation)
+            )
+    return tuple(layers)
+
+
+def build_generator(
+    name: str,
+    latent_dim: int,
+    seed_shape: FeatureMapShape,
+    tconv_layers: Sequence[LayerSpec],
+) -> Network:
+    """Assemble a generator: projection + reshape + transposed conv stack."""
+    input_shape, head = projection_layers(latent_dim, seed_shape)
+    return Network(name=name, input_shape=input_shape, layers=(*head, *tconv_layers))
+
+
+def build_discriminator(
+    name: str,
+    input_shape: FeatureMapShape,
+    conv_layers: Sequence[LayerSpec],
+    *,
+    classifier_features: int = 1,
+) -> Network:
+    """Assemble a discriminator: conv stack + dense classifier head."""
+    layers: Tuple[LayerSpec, ...] = (
+        *conv_layers,
+        DenseLayer(name="classifier_fc", out_features=classifier_features),
+    )
+    return Network(name=name, input_shape=input_shape, layers=layers)
+
+
+def _per_block(
+    value: int | Tuple[int, ...] | Sequence[int | Tuple[int, ...]],
+    count: int,
+    name: str,
+) -> Tuple[int | Tuple[int, ...], ...]:
+    """Broadcast a scalar/tuple stride to every block, or validate a list."""
+    if isinstance(value, int):
+        return (value,) * count
+    if isinstance(value, tuple) and all(isinstance(v, int) for v in value):
+        # A single per-dimension tuple applied to every block.
+        return (value,) * count
+    values = tuple(value)  # type: ignore[arg-type]
+    if len(values) != count:
+        raise WorkloadError(
+            f"{name} list has {len(values)} entries but the stack has {count} blocks"
+        )
+    return values

@@ -1,0 +1,54 @@
+"""DCGAN workload (Radford et al., 2015).
+
+Table I of the GANAX paper lists DCGAN with 4 transposed-convolution layers in
+the generator and 5 convolution layers in the discriminator.  The canonical
+DCGAN generator projects a 100-dimensional latent vector to a 4x4x1024 seed
+and upsamples it through four stride-2, 5x5 transposed convolutions up to a
+64x64x3 image; the discriminator mirrors it with five stride-2 convolutions.
+"""
+
+from __future__ import annotations
+
+from ..nn.network import GANModel, Network
+from ..nn.shapes import FeatureMapShape
+from .builder import build_discriminator, build_generator, conv_stack, tconv_stack
+
+LATENT_DIM = 100
+SEED_SHAPE = FeatureMapShape.image(channels=1024, height=4, width=4)
+IMAGE_SHAPE = FeatureMapShape.image(channels=3, height=64, width=64)
+
+
+def build_dcgan_generator() -> Network:
+    """The DCGAN generator: 4 stride-2 5x5 transposed convolutions."""
+    layers = tconv_stack(
+        channel_plan=[512, 256, 128, 3],
+        kernel=5,
+        stride=2,
+        padding=2,
+        output_padding=1,
+        prefix="tconv",
+    )
+    return build_generator("dcgan_generator", LATENT_DIM, SEED_SHAPE, layers)
+
+
+def build_dcgan_discriminator() -> Network:
+    """The DCGAN discriminator: 5 stride-2 5x5 convolutions."""
+    layers = conv_stack(
+        channel_plan=[64, 128, 256, 512, 1024],
+        kernel=5,
+        stride=2,
+        padding=2,
+        prefix="conv",
+    )
+    return build_discriminator("dcgan_discriminator", IMAGE_SHAPE, layers)
+
+
+def build_dcgan() -> GANModel:
+    """The full DCGAN model as evaluated in the paper."""
+    return GANModel(
+        name="DCGAN",
+        generator=build_dcgan_generator(),
+        discriminator=build_dcgan_discriminator(),
+        year=2015,
+        description="Unsupervised representation learning",
+    )

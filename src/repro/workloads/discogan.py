@@ -1,0 +1,76 @@
+"""DiscoGAN workload (Kim et al., 2017).
+
+Table I lists DiscoGAN with 5 convolution layers *and* 4 transposed-convolution
+layers in the generator (it is an encoder-decoder image-to-image translator),
+and 5 convolution layers in the discriminator.  The generator encodes a
+64x64x3 image through five stride-2 convolutions down to a 2x2 bottleneck and
+decodes it back through four stride-2 transposed convolutions; the
+discriminator is a DCGAN-style stack of five stride-2 convolutions.
+"""
+
+from __future__ import annotations
+
+from ..nn.layers import ActivationLayer, BatchNormLayer, ConvLayer
+from ..nn.network import GANModel, Network
+from ..nn.shapes import FeatureMapShape
+from .builder import build_discriminator, conv_stack, tconv_stack
+
+IMAGE_SHAPE = FeatureMapShape.image(channels=3, height=64, width=64)
+
+
+def build_discogan_generator() -> Network:
+    """The DiscoGAN generator: conv encoder (5) + tconv decoder (4).
+
+    Four stride-2 encoder convolutions reduce 64x64 to 4x4; a fifth stride-1
+    bottleneck convolution keeps the 4x4 resolution so that the four stride-2
+    decoder transposed convolutions restore the original 64x64 output.
+    """
+    encoder = conv_stack(
+        channel_plan=[64, 128, 256, 512],
+        kernel=4,
+        stride=2,
+        padding=1,
+        activation="leaky_relu",
+        final_activation="leaky_relu",
+        prefix="enc",
+    )
+    bottleneck = (
+        ConvLayer(name="enc5", out_channels=1024, kernel=3, stride=1, padding=1),
+        BatchNormLayer(name="enc5_bn"),
+        ActivationLayer(name="enc5_act", function="leaky_relu"),
+    )
+    decoder = tconv_stack(
+        channel_plan=[512, 256, 128, 3],
+        kernel=4,
+        stride=2,
+        padding=1,
+        prefix="dec",
+    )
+    return Network(
+        name="discogan_generator",
+        input_shape=IMAGE_SHAPE,
+        layers=(*encoder, *bottleneck, *decoder),
+    )
+
+
+def build_discogan_discriminator() -> Network:
+    """The DiscoGAN discriminator: 5 stride-2 4x4 convolutions."""
+    layers = conv_stack(
+        channel_plan=[64, 128, 256, 512, 1024],
+        kernel=4,
+        stride=2,
+        padding=1,
+        prefix="conv",
+    )
+    return build_discriminator("discogan_discriminator", IMAGE_SHAPE, layers)
+
+
+def build_discogan() -> GANModel:
+    """The full DiscoGAN model as evaluated in the paper."""
+    return GANModel(
+        name="DiscoGAN",
+        generator=build_discogan_generator(),
+        discriminator=build_discogan_discriminator(),
+        year=2017,
+        description="Style transfer from one domain to another",
+    )

@@ -1,0 +1,55 @@
+"""GP-GAN workload (Wu et al., 2017).
+
+Table I lists GP-GAN with 4 transposed-convolution layers in the generator and
+5 convolution layers in the discriminator.  GP-GAN targets high-resolution
+image blending; its blending GAN is an encoder-decoder whose decoder
+upsamples a 4x4x1024 bottleneck through four stride-2 transposed convolutions
+to a 64x64 blended image.  As in the paper's accounting, the generator's
+compute-dominant layers are the transposed convolutions, and the discriminator
+is a DCGAN-style stack of five stride-2 convolutions.
+"""
+
+from __future__ import annotations
+
+from ..nn.network import GANModel, Network
+from ..nn.shapes import FeatureMapShape
+from .builder import build_discriminator, build_generator, conv_stack, tconv_stack
+
+LATENT_DIM = 256
+SEED_SHAPE = FeatureMapShape.image(channels=1024, height=4, width=4)
+IMAGE_SHAPE = FeatureMapShape.image(channels=3, height=64, width=64)
+
+
+def build_gpgan_generator() -> Network:
+    """The GP-GAN (blending GAN) decoder: 4 stride-2 4x4 transposed convs."""
+    layers = tconv_stack(
+        channel_plan=[512, 256, 128, 3],
+        kernel=4,
+        stride=2,
+        padding=1,
+        prefix="tconv",
+    )
+    return build_generator("gpgan_generator", LATENT_DIM, SEED_SHAPE, layers)
+
+
+def build_gpgan_discriminator() -> Network:
+    """The GP-GAN discriminator: 5 stride-2 4x4 convolutions."""
+    layers = conv_stack(
+        channel_plan=[64, 128, 256, 512, 1024],
+        kernel=4,
+        stride=2,
+        padding=1,
+        prefix="conv",
+    )
+    return build_discriminator("gpgan_discriminator", IMAGE_SHAPE, layers)
+
+
+def build_gpgan() -> GANModel:
+    """The full GP-GAN model as evaluated in the paper."""
+    return GANModel(
+        name="GP-GAN",
+        generator=build_gpgan_generator(),
+        discriminator=build_gpgan_discriminator(),
+        year=2017,
+        description="High-resolution image generation",
+    )

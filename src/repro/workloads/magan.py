@@ -1,0 +1,104 @@
+"""MAGAN workload (Wang et al., 2017).
+
+Table I lists MAGAN with 6 transposed-convolution layers in the generator and
+a discriminator containing both 6 convolution and 6 transposed-convolution
+layers — MAGAN's discriminator is an autoencoder whose reconstruction error
+drives the margin-adaptation training procedure.  The paper notes two MAGAN
+specifics that this module reproduces:
+
+* MAGAN has the *lowest* fraction of inserted zeros among the evaluated GANs
+  (Figure 1) and therefore the smallest speedup (about 1.3x in Figure 8a).
+  We model this with a generator whose six transposed-convolution blocks
+  alternate stride-2 upsampling layers with stride-1 refinement layers (which
+  insert no zeros), so only half of the generator's transposed-convolution
+  work sees zero insertion.
+* For the discriminator, only the convolution layers are counted in the
+  runtime/energy accounting (``discriminator_conv_only=True``), exactly as
+  the paper does for its Figure 9 breakdown.
+"""
+
+from __future__ import annotations
+
+from ..nn.layers import ActivationLayer, BatchNormLayer, ConvLayer, TransposedConvLayer
+from ..nn.network import GANModel, Network
+from ..nn.shapes import FeatureMapShape
+from .builder import build_generator
+
+LATENT_DIM = 100
+SEED_SHAPE = FeatureMapShape.image(channels=1024, height=8, width=8)
+IMAGE_SHAPE = FeatureMapShape.image(channels=3, height=64, width=64)
+
+
+def _block(layer, *, batch_norm: bool = True, activation: str = "relu"):
+    """A (t)conv layer followed by optional batch-norm and an activation."""
+    layers = [layer]
+    if batch_norm:
+        layers.append(BatchNormLayer(name=f"{layer.name}_bn"))
+    layers.append(ActivationLayer(name=f"{layer.name}_act", function=activation))
+    return layers
+
+
+def build_magan_generator() -> Network:
+    """The MAGAN generator: 6 transposed convolutions, alternating stride.
+
+    Stride-2 4x4 blocks upsample 8x8 -> 16 -> 32 -> 64 while interleaved
+    stride-1 3x3 blocks refine the feature maps without inserting zeros.
+    """
+    layers = []
+    layers += _block(TransposedConvLayer(name="tconv1", out_channels=512, kernel=4, stride=2, padding=1))
+    layers += _block(TransposedConvLayer(name="tconv2", out_channels=512, kernel=3, stride=1, padding=1))
+    layers += _block(TransposedConvLayer(name="tconv3", out_channels=256, kernel=4, stride=2, padding=1))
+    layers += _block(TransposedConvLayer(name="tconv4", out_channels=256, kernel=3, stride=1, padding=1))
+    layers += _block(TransposedConvLayer(name="tconv5", out_channels=128, kernel=4, stride=2, padding=1))
+    layers += _block(
+        TransposedConvLayer(name="tconv6", out_channels=3, kernel=3, stride=1, padding=1),
+        batch_norm=False,
+        activation="tanh",
+    )
+    return build_generator("magan_generator", LATENT_DIM, SEED_SHAPE, layers)
+
+
+def build_magan_discriminator() -> Network:
+    """The MAGAN discriminator: a 6-conv / 6-tconv autoencoder."""
+    encoder = []
+    encoder += _block(ConvLayer(name="enc1", out_channels=64, kernel=4, stride=2, padding=1),
+                      batch_norm=False, activation="leaky_relu")
+    encoder += _block(ConvLayer(name="enc2", out_channels=128, kernel=4, stride=2, padding=1),
+                      activation="leaky_relu")
+    encoder += _block(ConvLayer(name="enc3", out_channels=256, kernel=4, stride=2, padding=1),
+                      activation="leaky_relu")
+    encoder += _block(ConvLayer(name="enc4", out_channels=512, kernel=4, stride=2, padding=1),
+                      activation="leaky_relu")
+    encoder += _block(ConvLayer(name="enc5", out_channels=512, kernel=3, stride=1, padding=1),
+                      activation="leaky_relu")
+    encoder += _block(ConvLayer(name="enc6", out_channels=1024, kernel=3, stride=1, padding=1),
+                      activation="leaky_relu")
+
+    decoder = []
+    decoder += _block(TransposedConvLayer(name="dec1", out_channels=512, kernel=3, stride=1, padding=1))
+    decoder += _block(TransposedConvLayer(name="dec2", out_channels=512, kernel=4, stride=2, padding=1))
+    decoder += _block(TransposedConvLayer(name="dec3", out_channels=256, kernel=4, stride=2, padding=1))
+    decoder += _block(TransposedConvLayer(name="dec4", out_channels=128, kernel=4, stride=2, padding=1))
+    decoder += _block(TransposedConvLayer(name="dec5", out_channels=64, kernel=4, stride=2, padding=1))
+    decoder += _block(
+        TransposedConvLayer(name="dec6", out_channels=3, kernel=3, stride=1, padding=1),
+        batch_norm=False,
+        activation="tanh",
+    )
+    return Network(
+        name="magan_discriminator",
+        input_shape=IMAGE_SHAPE,
+        layers=(*encoder, *decoder),
+    )
+
+
+def build_magan() -> GANModel:
+    """The full MAGAN model as evaluated in the paper."""
+    return GANModel(
+        name="MAGAN",
+        generator=build_magan_generator(),
+        discriminator=build_magan_discriminator(),
+        year=2017,
+        description="Stable training procedure for GANs",
+        discriminator_conv_only=True,
+    )

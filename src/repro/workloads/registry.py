@@ -1,0 +1,86 @@
+"""Registry of the six GAN workloads evaluated in the paper.
+
+The registry maps canonical model names (as they appear in the paper's
+figures) to builder functions and caches the constructed models, because
+building a model only involves shape arithmetic and is cheap but not free.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..errors import WorkloadError
+from ..nn.network import GANModel
+from .artgan import build_artgan
+from .dcgan import build_dcgan
+from .discogan import build_discogan
+from .gpgan import build_gpgan
+from .magan import build_magan
+from .threed_gan import build_threed_gan
+
+#: Builders for every evaluated GAN, keyed by the paper's model name and
+#: ordered as in the paper's figures.
+WORKLOAD_BUILDERS: Dict[str, Callable[[], GANModel]] = {
+    "3D-GAN": build_threed_gan,
+    "ArtGAN": build_artgan,
+    "DCGAN": build_dcgan,
+    "DiscoGAN": build_discogan,
+    "GP-GAN": build_gpgan,
+    "MAGAN": build_magan,
+}
+
+#: Lower-case aliases accepted by :func:`get_workload`.
+_ALIASES: Dict[str, str] = {
+    "3dgan": "3D-GAN",
+    "3d-gan": "3D-GAN",
+    "threedgan": "3D-GAN",
+    "artgan": "ArtGAN",
+    "dcgan": "DCGAN",
+    "discogan": "DiscoGAN",
+    "gpgan": "GP-GAN",
+    "gp-gan": "GP-GAN",
+    "magan": "MAGAN",
+}
+
+_CACHE: Dict[str, GANModel] = {}
+
+
+def workload_names() -> Tuple[str, ...]:
+    """Canonical names of the evaluated GANs, in the paper's figure order."""
+    return tuple(WORKLOAD_BUILDERS)
+
+
+def get_workload(name: str) -> GANModel:
+    """Build (or fetch from cache) the GAN model called ``name``.
+
+    ``name`` may be the canonical paper name (e.g. ``"GP-GAN"``) or a relaxed
+    lower-case alias (``"gpgan"``).
+    """
+    canonical = _canonical_name(name)
+    if canonical not in _CACHE:
+        _CACHE[canonical] = WORKLOAD_BUILDERS[canonical]()
+    return _CACHE[canonical]
+
+
+def all_workloads() -> List[GANModel]:
+    """All six GAN models, in the paper's figure order."""
+    return [get_workload(name) for name in workload_names()]
+
+
+def clear_cache() -> None:
+    """Drop cached models (used by tests that mutate nothing but want isolation)."""
+    _CACHE.clear()
+
+
+def _canonical_name(name: str) -> str:
+    if name in WORKLOAD_BUILDERS:
+        return name
+    key = name.strip().lower().replace("_", "-")
+    if key in _ALIASES:
+        return _ALIASES[key]
+    key = key.replace("-", "")
+    if key in _ALIASES:
+        return _ALIASES[key]
+    raise WorkloadError(
+        f"unknown workload '{name}'; known workloads: {', '.join(workload_names())}"
+    )

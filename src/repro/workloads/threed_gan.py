@@ -1,0 +1,61 @@
+"""3D-GAN workload (Wu et al., NIPS 2016).
+
+Table I lists 3D-GAN with 4 transposed-convolution layers in the generator and
+5 convolution layers in the discriminator.  The generator maps a 200-d latent
+vector to a 4x4x4x512 voxel seed and upsamples it through four stride-2 4x4x4
+3-D transposed convolutions to a 64x64x64 occupancy grid; the discriminator
+mirrors it with five stride-2 3-D convolutions.
+
+Because the zero insertion happens along all three spatial dimensions, 3D-GAN
+has the largest fraction of inconsequential operations of all evaluated GANs
+(about 80% in Figure 1) and consequently the largest speedup (6.1x in
+Figure 8a).
+"""
+
+from __future__ import annotations
+
+from ..nn.network import GANModel, Network
+from ..nn.shapes import FeatureMapShape
+from .builder import build_discriminator, build_generator, conv_stack, tconv_stack
+
+LATENT_DIM = 200
+SEED_SHAPE = FeatureMapShape.volume(channels=512, depth=4, height=4, width=4)
+VOXEL_SHAPE = FeatureMapShape.volume(channels=1, depth=64, height=64, width=64)
+
+
+def build_threed_gan_generator() -> Network:
+    """The 3D-GAN generator: 4 stride-2 4x4x4 3-D transposed convolutions."""
+    layers = tconv_stack(
+        channel_plan=[256, 128, 64, 1],
+        kernel=4,
+        stride=2,
+        padding=1,
+        rank=3,
+        final_activation="sigmoid",
+        prefix="tconv3d",
+    )
+    return build_generator("3dgan_generator", LATENT_DIM, SEED_SHAPE, layers)
+
+
+def build_threed_gan_discriminator() -> Network:
+    """The 3D-GAN discriminator: 5 stride-2 4x4x4 3-D convolutions."""
+    layers = conv_stack(
+        channel_plan=[32, 64, 128, 256, 512],
+        kernel=4,
+        stride=2,
+        padding=1,
+        rank=3,
+        prefix="conv3d",
+    )
+    return build_discriminator("3dgan_discriminator", VOXEL_SHAPE, layers)
+
+
+def build_threed_gan() -> GANModel:
+    """The full 3D-GAN model as evaluated in the paper."""
+    return GANModel(
+        name="3D-GAN",
+        generator=build_threed_gan_generator(),
+        discriminator=build_threed_gan_discriminator(),
+        year=2016,
+        description="3D objects generation",
+    )

@@ -1,0 +1,106 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ArchitectureConfig, SimulationOptions
+from repro.nn.layers import ConvLayer, TransposedConvLayer
+from repro.nn.network import LayerBinding
+from repro.nn.shapes import FeatureMapShape
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="session")
+def paper_config() -> ArchitectureConfig:
+    """The 16x16 PE, 500 MHz configuration evaluated in the paper."""
+    return ArchitectureConfig.paper_default()
+
+
+@pytest.fixture(scope="session")
+def small_config() -> ArchitectureConfig:
+    """A small array configuration used by cycle-level tests."""
+    return ArchitectureConfig.paper_default().with_updates(num_pvs=2, pes_per_pv=4)
+
+
+@pytest.fixture(scope="session")
+def options() -> SimulationOptions:
+    return SimulationOptions()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for numerical tests."""
+    return np.random.default_rng(20180601)
+
+
+@pytest.fixture(scope="session")
+def example_tconv_layer() -> TransposedConvLayer:
+    """The paper's running example: 5x5 filter, stride 2, padding 2."""
+    return TransposedConvLayer(
+        name="example_tconv", out_channels=1, kernel=5, stride=2, padding=2
+    )
+
+
+@pytest.fixture(scope="session")
+def example_tconv_input() -> FeatureMapShape:
+    """The paper's running example input: a 4x4 single-channel map."""
+    return FeatureMapShape.image(1, 4, 4)
+
+
+@pytest.fixture(scope="session")
+def example_tconv_binding(example_tconv_layer, example_tconv_input) -> LayerBinding:
+    return LayerBinding(
+        index=0,
+        layer=example_tconv_layer,
+        input_shape=example_tconv_input,
+        output_shape=example_tconv_layer.output_shape(example_tconv_input),
+    )
+
+
+@pytest.fixture(scope="session")
+def dcgan_like_tconv_binding() -> LayerBinding:
+    """A multi-channel DCGAN-style transposed convolution binding."""
+    layer = TransposedConvLayer(
+        name="dcgan_tconv",
+        out_channels=8,
+        kernel=4,
+        stride=2,
+        padding=1,
+    )
+    input_shape = FeatureMapShape.image(16, 8, 8)
+    return LayerBinding(
+        index=0,
+        layer=layer,
+        input_shape=input_shape,
+        output_shape=layer.output_shape(input_shape),
+    )
+
+
+@pytest.fixture(scope="session")
+def conv_binding() -> LayerBinding:
+    """A conventional convolution binding (discriminator-style)."""
+    layer = ConvLayer(name="disc_conv", out_channels=8, kernel=4, stride=2, padding=1)
+    input_shape = FeatureMapShape.image(4, 16, 16)
+    return LayerBinding(
+        index=0,
+        layer=layer,
+        input_shape=input_shape,
+        output_shape=layer.output_shape(input_shape),
+    )
+
+
+@pytest.fixture(scope="session")
+def dcgan_model():
+    return get_workload("DCGAN")
+
+
+@pytest.fixture(scope="session")
+def magan_model():
+    return get_workload("MAGAN")
+
+
+@pytest.fixture(scope="session")
+def threedgan_model():
+    return get_workload("3D-GAN")

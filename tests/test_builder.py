@@ -1,0 +1,98 @@
+"""Unit tests for the workload builder helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.nn.layers import ConvLayer, DenseLayer, TransposedConvLayer
+from repro.nn.shapes import FeatureMapShape
+from repro.workloads.builder import (
+    build_discriminator,
+    build_generator,
+    conv_stack,
+    projection_layers,
+    tconv_stack,
+)
+
+
+class TestProjectionLayers:
+    def test_projection_shapes(self):
+        target = FeatureMapShape.image(64, 4, 4)
+        input_shape, layers = projection_layers(100, target)
+        assert input_shape.num_elements == 100
+        assert len(layers) == 4
+        assert isinstance(layers[0], DenseLayer)
+        assert layers[0].out_features == target.num_elements
+
+    def test_rejects_nonpositive_latent(self):
+        with pytest.raises(WorkloadError):
+            projection_layers(0, FeatureMapShape.image(4, 2, 2))
+
+
+class TestTconvStack:
+    def test_layer_count_and_types(self):
+        layers = tconv_stack(channel_plan=[32, 16, 3], kernel=4, stride=2, padding=1)
+        tconvs = [l for l in layers if isinstance(l, TransposedConvLayer)]
+        assert len(tconvs) == 3
+        assert tconvs[-1].out_channels == 3
+
+    def test_last_block_has_final_activation_no_bn(self):
+        layers = tconv_stack(
+            channel_plan=[8, 3], kernel=4, stride=2, padding=1, final_activation="tanh"
+        )
+        names = [l.name for l in layers]
+        assert "tconv2_bn" not in names
+        final_acts = [l for l in layers if l.name == "tconv2_act"]
+        assert final_acts[0].function == "tanh"
+
+    def test_per_block_strides(self):
+        layers = tconv_stack(
+            channel_plan=[8, 8, 3], kernel=4, stride=[2, 1, 2], padding=1
+        )
+        tconvs = [l for l in layers if isinstance(l, TransposedConvLayer)]
+        assert [t.stride[0] for t in tconvs] == [2, 1, 2]
+
+    def test_stride_list_length_mismatch_raises(self):
+        with pytest.raises(WorkloadError):
+            tconv_stack(channel_plan=[8, 3], kernel=4, stride=[2, 2, 2], padding=1)
+
+    def test_empty_plan_raises(self):
+        with pytest.raises(WorkloadError):
+            tconv_stack(channel_plan=[], kernel=4, stride=2, padding=1)
+
+
+class TestConvStack:
+    def test_layer_count(self):
+        layers = conv_stack(channel_plan=[16, 32], kernel=4, stride=2, padding=1)
+        convs = [l for l in layers if isinstance(l, ConvLayer)]
+        assert len(convs) == 2
+
+    def test_no_final_activation_when_none(self):
+        layers = conv_stack(
+            channel_plan=[16, 32], kernel=4, stride=2, padding=1, final_activation=None
+        )
+        assert layers[-1].name == "conv2"
+
+    def test_3d_stack(self):
+        layers = conv_stack(channel_plan=[8], kernel=4, stride=2, padding=1, rank=3)
+        conv = layers[0]
+        assert isinstance(conv, ConvLayer)
+        assert conv.rank == 3
+        assert conv.kernel == (4, 4, 4)
+
+
+class TestAssembly:
+    def test_build_generator_shape_chain(self):
+        seed = FeatureMapShape.image(32, 4, 4)
+        layers = tconv_stack(channel_plan=[16, 3], kernel=4, stride=2, padding=1)
+        generator = build_generator("g", 64, seed, layers)
+        assert generator.input_shape.num_elements == 64
+        assert generator.output_shape.as_tuple() == (3, 16, 16)
+
+    def test_build_discriminator_has_classifier(self):
+        image = FeatureMapShape.image(3, 16, 16)
+        layers = conv_stack(channel_plan=[8, 16], kernel=4, stride=2, padding=1)
+        disc = build_discriminator("d", image, layers)
+        assert disc.output_shape.num_elements == 1
+        assert disc.binding("classifier_fc") is not None

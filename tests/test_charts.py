@@ -1,0 +1,105 @@
+"""Unit tests for the ASCII bar-chart rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.charts import (
+    BAR_CHAR,
+    MARKER_CHAR,
+    fraction_chart,
+    horizontal_bar_chart,
+    ratio_chart,
+    stacked_chart,
+)
+from repro.errors import AnalysisError
+
+
+class TestHorizontalBarChart:
+    def test_bars_scale_with_values(self):
+        chart = horizontal_bar_chart("T", {"A": 1.0, "B": 2.0}, width=20)
+        lines = chart.splitlines()
+        bar_a = lines[2].split("[")[1].split("]")[0]
+        bar_b = lines[3].split("[")[1].split("]")[0]
+        assert bar_a.count(BAR_CHAR) == 10
+        assert bar_b.count(BAR_CHAR) == 20
+
+    def test_reference_marker_drawn(self):
+        chart = horizontal_bar_chart(
+            "T", {"A": 4.0}, width=20, reference={"A": 2.0}, max_value=4.0
+        )
+        bar = chart.splitlines()[2].split("[")[1].split("]")[0]
+        assert bar[10] == MARKER_CHAR
+        assert "(| = paper)" in chart
+
+    def test_values_appear_with_unit(self):
+        chart = horizontal_bar_chart("T", {"A": 3.6}, unit="x")
+        assert "3.60x" in chart
+
+    def test_labels_aligned(self):
+        chart = horizontal_bar_chart("T", {"short": 1.0, "a-much-longer-label": 1.0})
+        lines = chart.splitlines()[2:4]
+        assert lines[0].index("[") == lines[1].index("[")
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(AnalysisError):
+            horizontal_bar_chart("T", {})
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(AnalysisError):
+            horizontal_bar_chart("T", {"A": -1.0})
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(AnalysisError):
+            horizontal_bar_chart("T", {"A": 1.0}, width=5)
+
+    def test_zero_values_render(self):
+        chart = horizontal_bar_chart("T", {"A": 0.0})
+        assert BAR_CHAR not in chart.splitlines()[2].split("[")[1].split("]")[0]
+
+
+class TestFigureStyleCharts:
+    def test_ratio_chart_uses_x_unit(self):
+        chart = ratio_chart("Speedup", {"DCGAN": 4.5, "Geomean": 4.1})
+        assert "4.50x" in chart and "Geomean" in chart
+
+    def test_fraction_chart_uses_percent_scale(self):
+        chart = fraction_chart("Utilization", {"DCGAN": 0.89})
+        assert "89.0%" in chart
+        assert "100.0%" in chart  # fixed 0..100 scale
+
+    def test_fraction_chart_reference(self):
+        chart = fraction_chart("F", {"DCGAN": 0.9}, reference={"DCGAN": 0.5})
+        bar = chart.splitlines()[2].split("[")[1].split("]")[0]
+        assert MARKER_CHAR in bar
+
+
+class TestStackedChart:
+    def test_segments_render_with_distinct_symbols(self):
+        chart = stacked_chart(
+            "Runtime",
+            {"DCGAN/eyeriss": {"disc": 0.1, "gen": 0.9}},
+            segments=("disc", "gen"),
+        )
+        bar = chart.splitlines()[2].split("[")[1].split("]")[0]
+        assert "#" in bar and "=" in bar
+        assert "legend" in chart
+
+    def test_total_shown(self):
+        chart = stacked_chart(
+            "T", {"row": {"a": 0.25, "b": 0.25}}, segments=("a", "b")
+        )
+        assert "0.50" in chart
+
+    def test_missing_segment_rejected(self):
+        with pytest.raises(AnalysisError):
+            stacked_chart("T", {"row": {"a": 0.5}}, segments=("a", "b"))
+
+    def test_empty_mapping_rejected(self):
+        with pytest.raises(AnalysisError):
+            stacked_chart("T", {}, segments=("a",))
+
+    def test_too_many_segments_rejected(self):
+        segments = tuple("abcdefgh")
+        with pytest.raises(AnalysisError):
+            stacked_chart("T", {"row": {s: 0.1 for s in segments}}, segments=segments)

@@ -1,0 +1,51 @@
+"""Tests for the repro-experiments command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import experiment_ids
+
+
+class TestParser:
+    def test_defaults_to_all(self):
+        args = build_parser().parse_args([])
+        assert args.experiment == "all"
+        assert args.json is None
+
+    def test_parses_experiment_and_json(self):
+        args = build_parser().parse_args(["figure8", "--json", "out.json", "--quiet"])
+        assert args.experiment == "figure8"
+        assert args.json == "out.json"
+        assert args.quiet
+
+
+class TestMain:
+    def test_list_prints_experiment_ids(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(experiment_ids()) <= set(out)
+
+    def test_single_experiment_report(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "DDR4" in out
+
+    def test_unknown_experiment_returns_error(self, capsys):
+        assert main(["figure42"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_json_output(self, tmp_path, capsys):
+        path = tmp_path / "results.json"
+        assert main(["table3", "--json", str(path), "--quiet"]) == 0
+        payload = json.loads(path.read_text())
+        assert "table3" in payload
+        assert "area_overhead_fraction" in payload["table3"]["data"]
+
+    def test_quiet_suppresses_report(self, capsys):
+        assert main(["table2", "--quiet"]) == 0
+        assert capsys.readouterr().out.strip() == ""

@@ -1,0 +1,91 @@
+"""Unit tests for the architecture configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ArchitectureConfig, SimulationOptions
+from repro.errors import ConfigurationError
+
+
+class TestArchitectureConfig:
+    def test_paper_default_geometry(self):
+        config = ArchitectureConfig.paper_default()
+        assert config.num_pvs == 16
+        assert config.pes_per_pv == 16
+        assert config.num_pes == 256
+        assert config.frequency_hz == pytest.approx(500e6)
+        assert config.data_bits == 16
+
+    def test_paper_default_uop_buffers(self):
+        config = ArchitectureConfig.paper_default()
+        assert config.local_uop_entries == 16
+        assert config.global_uop_entries == 32
+        assert config.global_uop_bits == 64
+        assert config.pv_index_bits == 4
+
+    def test_derived_quantities(self):
+        config = ArchitectureConfig.paper_default()
+        assert config.data_bytes == 2
+        assert config.cycle_time_s == pytest.approx(2e-9)
+        assert config.peak_macs_per_cycle == 256
+        assert config.cycles_to_seconds(500e6) == pytest.approx(1.0)
+
+    def test_with_updates_returns_new_instance(self):
+        base = ArchitectureConfig.paper_default()
+        other = base.with_updates(num_pvs=8)
+        assert other.num_pvs == 8
+        assert base.num_pvs == 16
+
+    def test_from_mapping(self):
+        config = ArchitectureConfig.from_mapping({"num_pvs": 4, "pes_per_pv": 8})
+        assert config.num_pes == 32
+
+    def test_from_mapping_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError):
+            ArchitectureConfig.from_mapping({"bogus": 1})
+
+    def test_rejects_nonpositive_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            ArchitectureConfig(num_pvs=0)
+        with pytest.raises(ConfigurationError):
+            ArchitectureConfig(pes_per_pv=-1)
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ConfigurationError):
+            ArchitectureConfig(frequency_hz=0)
+
+    def test_rejects_bad_utilization_cap(self):
+        with pytest.raises(ConfigurationError):
+            ArchitectureConfig(ganax_target_utilization=0.0)
+        with pytest.raises(ConfigurationError):
+            ArchitectureConfig(ganax_target_utilization=1.5)
+
+    def test_rejects_bad_gating_fraction(self):
+        with pytest.raises(ConfigurationError):
+            ArchitectureConfig(zero_gating_energy_fraction=-0.1)
+
+    def test_rejects_insufficient_pv_index_bits(self):
+        with pytest.raises(ConfigurationError):
+            ArchitectureConfig(pv_index_bits=2, local_uop_entries=16)
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            ArchitectureConfig(dram_bandwidth_bytes_per_cycle=0)
+
+    def test_config_is_frozen(self):
+        config = ArchitectureConfig.paper_default()
+        with pytest.raises(Exception):
+            config.num_pvs = 4  # type: ignore[misc]
+
+
+class TestSimulationOptions:
+    def test_defaults(self):
+        options = SimulationOptions()
+        assert options.batch_size == 1
+        assert options.include_discriminator
+        assert options.magan_discriminator_conv_only
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ConfigurationError):
+            SimulationOptions(batch_size=0)

@@ -1,0 +1,161 @@
+"""Unit tests for the GANAX dataflow (output/filter-row reorganization)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dataflow import (
+    average_active_filter_rows,
+    build_schedule,
+    pv_assignment,
+)
+from repro.errors import DataflowError
+from repro.nn.layers import ActivationLayer, ConvLayer, TransposedConvLayer
+from repro.nn.network import LayerBinding
+from repro.nn.shapes import FeatureMapShape
+from repro.nn.zero_analysis import analyze_transposed_conv
+
+
+def _bind(layer, input_shape):
+    return LayerBinding(
+        index=0,
+        layer=layer,
+        input_shape=input_shape,
+        output_shape=layer.output_shape(input_shape),
+    )
+
+
+class TestTransposedConvSchedule:
+    def test_paper_example_two_groups(self, example_tconv_binding):
+        schedule = build_schedule(example_tconv_binding)
+        assert schedule.num_patterns == 2
+        assert schedule.output_rows == 7
+        assert schedule.output_cols == 7
+
+    def test_paper_example_group_filter_rows(self, example_tconv_binding):
+        schedule = build_schedule(example_tconv_binding)
+        by_phase = {g.phase: g for g in schedule.row_groups}
+        assert by_phase[0].filter_rows == (0, 2, 4)
+        assert by_phase[1].filter_rows == (1, 3)
+
+    def test_paper_example_accumulation_depth_reduced(self, example_tconv_binding):
+        # The accumulation chain shrinks from 5 to 3 (even rows) / 2 (odd rows).
+        schedule = build_schedule(example_tconv_binding)
+        depths = sorted(g.accumulation_depth for g in schedule.row_groups)
+        assert depths == [2, 3]
+
+    def test_paper_example_idle_fraction_is_half(self, example_tconv_binding):
+        # Figure 4(b): 50% of the compute nodes are idle before reorganization.
+        schedule = build_schedule(example_tconv_binding)
+        assert schedule.baseline_idle_fraction() == pytest.approx(0.5, abs=0.05)
+
+    def test_groups_cover_all_output_rows_exactly_once(self, example_tconv_binding):
+        schedule = build_schedule(example_tconv_binding)
+        covered = sorted(row for g in schedule.row_groups for row in g.output_rows)
+        assert covered == list(range(schedule.output_rows))
+
+    def test_rows_within_group_share_phase(self, example_tconv_binding):
+        schedule = build_schedule(example_tconv_binding)
+        for group in schedule.row_groups:
+            assert all(row % schedule.stride_rows == group.phase for row in group.output_rows)
+
+    def test_column_segments_cover_all_columns(self, example_tconv_binding):
+        schedule = build_schedule(example_tconv_binding)
+        for group in schedule.row_groups:
+            covered = sorted(c for s in group.column_segments for c in s.columns)
+            assert covered == list(range(schedule.output_cols))
+
+    def test_group_for_row_lookup(self, example_tconv_binding):
+        schedule = build_schedule(example_tconv_binding)
+        assert schedule.group_for_row(2).phase == 0
+        assert schedule.group_for_row(3).phase == 1
+        with pytest.raises(DataflowError):
+            schedule.group_for_row(99)
+
+    def test_consistent_with_zero_analysis(self, example_tconv_binding):
+        schedule = build_schedule(example_tconv_binding)
+        analysis = analyze_transposed_conv(
+            example_tconv_binding.layer, example_tconv_binding.input_shape
+        )
+        schedule_rows = {g.phase: g.filter_rows for g in schedule.row_groups}
+        analysis_rows = {p.phase: p.consequential_filter_rows for p in analysis.row_patterns}
+        assert schedule_rows == analysis_rows
+
+    def test_dcgan_geometry_uniform_two_taps(self, dcgan_like_tconv_binding):
+        # Kernel 4 / stride 2: every group uses exactly 2 filter rows and every
+        # column phase exactly 2 kernel columns.
+        schedule = build_schedule(dcgan_like_tconv_binding)
+        assert schedule.num_patterns == 2
+        assert all(g.active_pes == 2 for g in schedule.row_groups)
+        for group in schedule.row_groups:
+            assert all(s.taps == 2 for s in group.column_segments)
+        assert schedule.is_uniform
+
+    def test_stride1_is_single_simd_pattern(self):
+        layer = TransposedConvLayer(name="t", out_channels=2, kernel=3, stride=1, padding=1)
+        schedule = build_schedule(_bind(layer, FeatureMapShape.image(2, 8, 8)))
+        assert schedule.num_patterns == 1
+        assert schedule.is_uniform
+
+    def test_stride3_three_patterns(self):
+        layer = TransposedConvLayer(name="t", out_channels=1, kernel=6, stride=3, padding=2)
+        schedule = build_schedule(_bind(layer, FeatureMapShape.image(1, 5, 5)))
+        assert schedule.num_patterns == 3
+
+    def test_3d_layer_schedules_one_slice(self):
+        layer = TransposedConvLayer(
+            name="t3", out_channels=2, kernel=4, stride=2, padding=1, rank=3
+        )
+        schedule = build_schedule(_bind(layer, FeatureMapShape.volume(2, 4, 4, 4)))
+        assert schedule.output_rows == 8
+        assert schedule.output_cols == 8
+        assert schedule.num_patterns == 2
+
+    def test_average_active_filter_rows_paper_example(self, example_tconv_binding):
+        schedule = build_schedule(example_tconv_binding)
+        # 4 even rows use 3 filter rows, 3 odd rows use 2: mean = (4*3+3*2)/7.
+        assert average_active_filter_rows(schedule) == pytest.approx((4 * 3 + 3 * 2) / 7)
+
+
+class TestConvSchedule:
+    def test_conv_schedule_is_single_group(self, conv_binding):
+        schedule = build_schedule(conv_binding)
+        assert schedule.num_patterns == 1
+        group = schedule.row_groups[0]
+        assert group.filter_rows == tuple(range(4))
+        assert schedule.is_uniform
+
+    def test_conv_idle_fraction_is_zero(self, conv_binding):
+        assert build_schedule(conv_binding).baseline_idle_fraction() == 0.0
+
+    def test_non_convolutional_layer_rejected(self):
+        layer = ActivationLayer(name="a", function="relu")
+        binding = LayerBinding(
+            index=0,
+            layer=layer,
+            input_shape=FeatureMapShape.image(1, 4, 4),
+            output_shape=FeatureMapShape.image(1, 4, 4),
+        )
+        with pytest.raises(DataflowError):
+            build_schedule(binding)
+
+
+class TestPvAssignment:
+    def test_round_robin_covers_all_rows(self, example_tconv_binding):
+        schedule = build_schedule(example_tconv_binding)
+        assignment = pv_assignment(schedule, num_pvs=4)
+        assigned = sorted(row for rows in assignment.values() for row in rows)
+        assert assigned == list(range(schedule.output_rows))
+
+    def test_adjacent_rows_of_same_group_land_on_adjacent_pvs(self, example_tconv_binding):
+        schedule = build_schedule(example_tconv_binding)
+        assignment = pv_assignment(schedule, num_pvs=16)
+        even_rows = schedule.row_groups[0].output_rows
+        pv_of = {row: pv for pv, rows in assignment.items() for row in rows}
+        pvs = [pv_of[row] for row in even_rows]
+        assert pvs == list(range(len(even_rows)))
+
+    def test_invalid_pv_count(self, example_tconv_binding):
+        schedule = build_schedule(example_tconv_binding)
+        with pytest.raises(DataflowError):
+            pv_assignment(schedule, num_pvs=0)

@@ -1,0 +1,191 @@
+"""Tests for the experiment harness: every paper table/figure regenerates."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    ExperimentContext,
+    experiment_ids,
+    run_all,
+    run_experiment,
+)
+from repro.experiments import figure1, figure8, figure9, figure10, figure11, table1, table2, table3
+from repro.experiments.paper_data import MODEL_ORDER
+
+
+@pytest.fixture(scope="module")
+def context() -> ExperimentContext:
+    """One shared context so the simulators run only once for this module."""
+    return ExperimentContext()
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = experiment_ids()
+        for required in ("figure1", "figure8", "figure9", "figure10", "figure11",
+                         "table1", "table2", "table3", "ablation"):
+            assert required in ids
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("figure99")
+
+    def test_run_experiment_by_id(self, context):
+        result = run_experiment("table2", context)
+        assert result.experiment_id == "table2"
+        assert result.report
+
+
+class TestFigure1(object):
+    def test_fractions_cover_all_models(self, context):
+        result = figure1.run(context)
+        fractions = result.data["inconsequential_fraction"]
+        for model in MODEL_ORDER:
+            assert model in fractions
+        assert "Average" in fractions
+
+    def test_average_above_60_percent(self, context):
+        result = figure1.run(context)
+        assert result.data["inconsequential_fraction"]["Average"] > 0.60
+
+    def test_threedgan_highest_magan_lowest(self, context):
+        fractions = figure1.run(context).data["inconsequential_fraction"]
+        per_model = {k: v for k, v in fractions.items() if k in MODEL_ORDER}
+        assert max(per_model, key=per_model.get) == "3D-GAN"
+        assert min(per_model, key=per_model.get) == "MAGAN"
+
+
+class TestFigure8:
+    def test_speedup_series_structure(self, context):
+        result = figure8.run(context)
+        speedups = result.data["speedup"]
+        assert set(MODEL_ORDER) <= set(speedups)
+        assert "Geomean" in speedups
+
+    def test_geomean_speedup_in_paper_ballpark(self, context):
+        """Paper: 3.6x geomean.  The reproduction should land in 2x-6x."""
+        speedups = figure8.run(context).data["speedup"]
+        assert 2.0 <= speedups["Geomean"] <= 6.0
+
+    def test_geomean_energy_reduction_in_paper_ballpark(self, context):
+        """Paper: 3.1x average.  The reproduction should land in 1.5x-5x."""
+        reductions = figure8.run(context).data["energy_reduction"]
+        assert 1.5 <= reductions["Geomean"] <= 5.0
+
+    def test_threedgan_fastest_magan_slowest(self, context):
+        speedups = figure8.run(context).data["speedup"]
+        per_model = {k: v for k, v in speedups.items() if k in MODEL_ORDER}
+        assert max(per_model, key=per_model.get) == "3D-GAN"
+        assert min(per_model, key=per_model.get) == "MAGAN"
+
+    def test_every_model_benefits(self, context):
+        result = figure8.run(context)
+        for model in MODEL_ORDER:
+            assert result.data["speedup"][model] > 1.0
+            assert result.data["energy_reduction"][model] > 1.0
+
+    def test_threedgan_speedup_exceeds_5x(self, context):
+        """Paper: 6.1x for 3D-GAN; the reproduction should exceed 5x."""
+        assert figure8.run(context).data["speedup"]["3D-GAN"] > 5.0
+
+
+class TestFigure9:
+    def test_breakdowns_normalised_to_eyeriss(self, context):
+        result = figure9.run(context)
+        for model in MODEL_ORDER:
+            runtime = result.data["runtime"][model]
+            assert sum(runtime["eyeriss"].values()) == pytest.approx(1.0)
+            assert sum(runtime["ganax"].values()) < 1.0
+
+    def test_discriminative_share_preserved(self, context):
+        result = figure9.run(context)
+        for model in MODEL_ORDER:
+            runtime = result.data["runtime"][model]
+            assert runtime["ganax"]["discriminative"] == pytest.approx(
+                runtime["eyeriss"]["discriminative"], rel=1e-6
+            )
+
+    def test_average_bar_present(self, context):
+        result = figure9.run(context)
+        assert "Average" in result.data["runtime"]
+        assert "Average" in result.data["energy"]
+
+
+class TestFigure10:
+    def test_components_and_normalisation(self, context):
+        result = figure10.run(context)
+        for model in MODEL_ORDER:
+            breakdown = result.data["unit_energy"][model]
+            assert set(breakdown["eyeriss"]) == {"pe", "rf", "noc", "gbuf", "dram"}
+            assert sum(breakdown["eyeriss"].values()) == pytest.approx(1.0)
+
+    def test_ganax_reduces_every_component(self, context):
+        result = figure10.run(context)
+        for model in MODEL_ORDER:
+            breakdown = result.data["unit_energy"][model]
+            for component, value in breakdown["eyeriss"].items():
+                assert breakdown["ganax"][component] <= value * 1.001
+
+
+class TestFigure11:
+    def test_ganax_utilization_near_90_percent(self, context):
+        """Paper: around 90% PE utilization for GANAX across all GANs."""
+        result = figure11.run(context)
+        for model in MODEL_ORDER:
+            assert result.data["pe_utilization"]["ganax"][model] > 0.75
+
+    def test_ganax_beats_eyeriss_everywhere(self, context):
+        result = figure11.run(context)
+        for model in MODEL_ORDER:
+            assert (
+                result.data["pe_utilization"]["ganax"][model]
+                > result.data["pe_utilization"]["eyeriss"][model]
+            )
+
+    def test_eyeriss_utilization_tracks_zero_fraction(self, context):
+        """EYERISS utilization is roughly the consequential fraction."""
+        figure1_result = figure1.run(context)
+        figure11_result = figure11.run(context)
+        for model in MODEL_ORDER:
+            consequential = 1.0 - figure1_result.data["inconsequential_fraction"][model]
+            utilization = figure11_result.data["pe_utilization"]["eyeriss"][model]
+            assert utilization <= consequential + 0.15
+
+
+class TestTables:
+    def test_table1_matches_paper_counts(self, context):
+        result = table1.run(context)
+        assert result.data["layer_counts"] == result.paper_reference["layer_counts"]
+
+    def test_table2_matches_paper_energy(self, context):
+        result = table2.run(context)
+        measured = result.data["energy_table"]
+        reference = result.paper_reference["energy_table"]
+        for key, value in reference.items():
+            assert measured[key]["pj_per_bit"] == pytest.approx(value["pj_per_bit"])
+
+    def test_table3_overhead_near_paper(self, context):
+        result = table3.run(context)
+        assert 0.05 <= result.data["area_overhead_fraction"] <= 0.11
+        assert result.data["ganax_total_area_um2"] == pytest.approx(
+            result.paper_reference["ganax_total_area_um2"], rel=0.01
+        )
+
+
+class TestFullSuite:
+    def test_run_all_produces_reports(self, context):
+        results = run_all(context)
+        assert len(results) == len(experiment_ids())
+        for result in results:
+            assert result.report.strip()
+            assert result.data
+
+    def test_results_are_json_serialisable(self, context):
+        results = run_all(context)
+        payload = {r.experiment_id: r.data for r in results}
+        encoded = json.dumps(payload)
+        assert json.loads(encoded) == payload

@@ -1,0 +1,183 @@
+"""Unit and property tests for the 16-bit fixed-point datapath model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hw.fixed_point import (
+    FixedPointAccumulator,
+    FixedPointFormat,
+    dequantize_code,
+    quantization_error,
+    quantize,
+    quantize_to_code,
+)
+
+
+class TestFixedPointFormat:
+    def test_q2_13_is_16_bits(self):
+        fmt = FixedPointFormat.q2_13()
+        assert fmt.total_bits == 16
+        assert fmt.scale == pytest.approx(2 ** -13)
+
+    def test_q0_15_is_16_bits(self):
+        fmt = FixedPointFormat.q0_15()
+        assert fmt.total_bits == 16
+        assert fmt.max_value < 1.0
+        assert fmt.min_value == -1.0
+
+    def test_range_is_asymmetric_twos_complement(self):
+        fmt = FixedPointFormat.q2_13()
+        assert fmt.max_value == pytest.approx(4.0 - fmt.scale)
+        assert fmt.min_value == pytest.approx(-4.0)
+
+    def test_accumulator_format_has_guard_bits(self):
+        fmt = FixedPointFormat.accumulator(guard_bits=8)
+        assert fmt.integer_bits == 10
+        assert fmt.total_bits == 24
+
+    def test_invalid_formats_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedPointFormat(integer_bits=-1, fraction_bits=4)
+        with pytest.raises(ConfigurationError):
+            FixedPointFormat(integer_bits=0, fraction_bits=0)
+        with pytest.raises(ConfigurationError):
+            FixedPointFormat.accumulator(guard_bits=-1)
+
+
+class TestQuantization:
+    def test_exact_values_roundtrip(self):
+        fmt = FixedPointFormat.q2_13()
+        values = np.array([0.0, fmt.scale, -fmt.scale, 1.0, -2.5])
+        assert np.allclose(quantize(values, fmt), values)
+
+    def test_error_bounded_by_half_lsb(self, rng):
+        fmt = FixedPointFormat.q2_13()
+        values = rng.uniform(-3.9, 3.9, size=1000)
+        assert quantization_error(values, fmt) <= fmt.scale / 2 + 1e-12
+
+    def test_saturation_clamps_to_range(self):
+        fmt = FixedPointFormat.q2_13()
+        assert quantize(100.0, fmt) == pytest.approx(fmt.max_value)
+        assert quantize(-100.0, fmt) == pytest.approx(fmt.min_value)
+
+    def test_codes_are_integers_in_range(self, rng):
+        fmt = FixedPointFormat.q0_15()
+        codes = quantize_to_code(rng.uniform(-2, 2, size=100), fmt)
+        assert codes.dtype == np.int64
+        assert codes.max() <= fmt.max_code
+        assert codes.min() >= fmt.min_code
+
+    def test_dequantize_inverts_codes(self):
+        fmt = FixedPointFormat.q2_13()
+        codes = np.array([0, 1, -1, fmt.max_code, fmt.min_code])
+        values = dequantize_code(codes, fmt)
+        assert np.array_equal(quantize_to_code(values, fmt), codes)
+
+    def test_empty_input_error_is_zero(self):
+        assert quantization_error(np.array([]), FixedPointFormat.q2_13()) == 0.0
+
+    @given(st.floats(min_value=-3.5, max_value=3.5, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_quantize_is_idempotent(self, value):
+        fmt = FixedPointFormat.q2_13()
+        once = quantize(value, fmt)
+        assert quantize(once, fmt) == pytest.approx(float(once))
+
+    @given(
+        st.floats(min_value=-3.5, max_value=3.5, allow_nan=False),
+        st.floats(min_value=-3.5, max_value=3.5, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_quantization_is_monotone(self, a, b):
+        fmt = FixedPointFormat.q2_13()
+        low, high = min(a, b), max(a, b)
+        assert quantize(low, fmt) <= quantize(high, fmt)
+
+
+class TestAccumulator:
+    def test_dot_product_close_to_float(self, rng):
+        accumulator = FixedPointAccumulator()
+        activations = rng.uniform(-1, 1, size=64)
+        weights = rng.uniform(-0.5, 0.5, size=64)
+        accumulator.mac_many(activations, weights)
+        reference = float(np.dot(activations, weights))
+        assert accumulator.value == pytest.approx(reference, abs=1e-2)
+        assert accumulator.macs_performed == 64
+        assert not accumulator.saturated
+
+    def test_readout_saturates_to_activation_range(self):
+        accumulator = FixedPointAccumulator()
+        for _ in range(100):
+            accumulator.mac(3.0, 0.9)
+        assert accumulator.read_out() == pytest.approx(
+            accumulator.activation_format.max_value
+        )
+
+    def test_guard_bits_prevent_overflow_for_kernel_sized_sums(self):
+        # A 5x5x512-tap dot product of bounded operands stays within the wide
+        # accumulator when 8 guard bits are provided.
+        accumulator = FixedPointAccumulator(guard_bits=8)
+        taps = 25
+        for _ in range(taps):
+            accumulator.mac(2.0, 0.5)
+        assert not accumulator.saturated
+        assert accumulator.value == pytest.approx(taps * 1.0, rel=1e-3)
+
+    def test_saturation_flag_on_overflow(self):
+        accumulator = FixedPointAccumulator(guard_bits=0)
+        for _ in range(1000):
+            accumulator.mac(3.9, 0.999)
+        assert accumulator.saturated
+
+    def test_reset_clears_state(self):
+        accumulator = FixedPointAccumulator()
+        accumulator.mac(1.0, 1.0)
+        accumulator.reset()
+        assert accumulator.value == 0.0
+        assert accumulator.macs_performed == 0
+
+    def test_wide_format_width(self):
+        accumulator = FixedPointAccumulator(guard_bits=8)
+        assert accumulator.wide_format.fraction_bits == 13 + 15
+        assert accumulator.wide_format.integer_bits == 2 + 0 + 8
+
+    def test_invalid_guard_bits(self):
+        with pytest.raises(ConfigurationError):
+            FixedPointAccumulator(guard_bits=-2)
+
+    @given(st.integers(min_value=1, max_value=64), st.integers(min_value=0, max_value=2 ** 16 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_accumulator_matches_integer_model(self, length, seed):
+        """The accumulator equals exact integer arithmetic on quantised codes."""
+        rng = np.random.default_rng(seed)
+        activations = rng.uniform(-2, 2, size=length)
+        weights = rng.uniform(-0.9, 0.9, size=length)
+        accumulator = FixedPointAccumulator()
+        accumulator.mac_many(activations, weights)
+        a_fmt, w_fmt = accumulator.activation_format, accumulator.weight_format
+        expected_code = int(
+            np.sum(quantize_to_code(activations, a_fmt) * quantize_to_code(weights, w_fmt))
+        )
+        expected = expected_code * accumulator.wide_format.scale
+        assert accumulator.value == pytest.approx(expected)
+
+
+class TestWorkloadValueRanges:
+    def test_generator_activations_fit_q2_13(self, rng):
+        """GAN generator activations are tanh/sigmoid/ReLU-of-normalised data:
+        a Q2.13 activation grid covers them with < 1 LSB of error."""
+        fmt = FixedPointFormat.q2_13()
+        activations = np.tanh(rng.standard_normal(10_000) * 2.0)
+        assert quantization_error(activations, fmt) <= fmt.scale
+
+    def test_trained_weight_scale_fits_q0_15(self, rng):
+        """DCGAN-style weights are initialised with sigma=0.02 and stay well
+        inside (-1, 1); Q0.15 represents them with < 1 LSB of error."""
+        fmt = FixedPointFormat.q0_15()
+        weights = rng.normal(0.0, 0.02, size=10_000)
+        assert np.all(np.abs(weights) < fmt.max_value)
+        assert quantization_error(weights, fmt) <= fmt.scale

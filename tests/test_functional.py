@@ -1,0 +1,214 @@
+"""Unit tests for the NumPy functional reference (conv / transposed conv)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.functional import (
+    conv2d,
+    conv3d,
+    genuine_mask_2d,
+    insert_zeros_2d,
+    insert_zeros_nd,
+    leaky_relu,
+    relu,
+    sigmoid,
+    tanh,
+    transposed_conv2d,
+    transposed_conv2d_via_zero_insertion,
+    transposed_conv3d,
+)
+
+
+class TestZeroInsertion:
+    def test_insert_zeros_2d_shape(self, rng):
+        x = rng.standard_normal((2, 4, 4))
+        out = insert_zeros_2d(x, 2)
+        assert out.shape == (2, 7, 7)
+
+    def test_insert_zeros_2d_preserves_values(self, rng):
+        x = rng.standard_normal((1, 3, 3))
+        out = insert_zeros_2d(x, 2)
+        assert np.allclose(out[:, ::2, ::2], x)
+
+    def test_insert_zeros_2d_inserted_positions_are_zero(self, rng):
+        x = rng.standard_normal((1, 3, 3)) + 10.0
+        out = insert_zeros_2d(x, 2)
+        assert np.all(out[:, 1::2, :] == 0)
+        assert np.all(out[:, :, 1::2] == 0)
+
+    def test_insert_zeros_2d_stride1_is_identity(self, rng):
+        x = rng.standard_normal((3, 5, 5))
+        assert np.array_equal(insert_zeros_2d(x, 1), x)
+
+    def test_insert_zeros_2d_anisotropic(self, rng):
+        x = rng.standard_normal((1, 3, 4))
+        out = insert_zeros_2d(x, (2, 3))
+        assert out.shape == (1, 5, 10)
+
+    def test_insert_zeros_2d_rejects_bad_rank(self, rng):
+        with pytest.raises(ShapeError):
+            insert_zeros_2d(rng.standard_normal((4, 4)), 2)
+
+    def test_insert_zeros_nd_3d(self, rng):
+        x = rng.standard_normal((2, 3, 3, 3))
+        out = insert_zeros_nd(x, (2, 2, 2))
+        assert out.shape == (2, 5, 5, 5)
+        assert np.allclose(out[:, ::2, ::2, ::2], x)
+
+    def test_insert_zeros_nd_rejects_rank_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            insert_zeros_nd(rng.standard_normal((2, 3, 3)), (2, 2, 2))
+
+    def test_genuine_mask_counts(self):
+        mask = genuine_mask_2d((4, 4), stride=2, kernel=5, padding=2)
+        # Exactly the 16 genuine positions are marked.
+        assert mask.sum() == 16
+
+    def test_genuine_mask_matches_zero_count(self, rng):
+        # Count of consequential MACs via mask equals direct enumeration.
+        mask = genuine_mask_2d((4, 4), stride=2, kernel=5, padding=2)
+        total = 0
+        for oy in range(7):
+            for ox in range(7):
+                total += int(mask[oy : oy + 5, ox : ox + 5].sum())
+        assert total > 0
+        assert total < 7 * 7 * 25
+
+
+class TestConv2d:
+    def test_identity_kernel(self, rng):
+        x = rng.standard_normal((1, 5, 5))
+        w = np.zeros((1, 1, 3, 3))
+        w[0, 0, 1, 1] = 1.0
+        out = conv2d(x, w, stride=1, padding=1)
+        assert np.allclose(out, x)
+
+    def test_output_shape_stride2(self, rng):
+        x = rng.standard_normal((3, 8, 8))
+        w = rng.standard_normal((4, 3, 4, 4))
+        out = conv2d(x, w, stride=2, padding=1)
+        assert out.shape == (4, 4, 4)
+
+    def test_averaging_kernel(self):
+        x = np.ones((1, 4, 4))
+        w = np.full((1, 1, 2, 2), 0.25)
+        out = conv2d(x, w, stride=2, padding=0)
+        assert np.allclose(out, 1.0)
+
+    def test_linearity(self, rng):
+        x1 = rng.standard_normal((2, 6, 6))
+        x2 = rng.standard_normal((2, 6, 6))
+        w = rng.standard_normal((3, 2, 3, 3))
+        lhs = conv2d(x1 + x2, w, padding=1)
+        rhs = conv2d(x1, w, padding=1) + conv2d(x2, w, padding=1)
+        assert np.allclose(lhs, rhs)
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ShapeError):
+            conv2d(rng.standard_normal((2, 4, 4)), rng.standard_normal((1, 3, 3, 3)))
+
+    def test_kernel_too_large_raises(self, rng):
+        with pytest.raises(ShapeError):
+            conv2d(rng.standard_normal((1, 2, 2)), rng.standard_normal((1, 1, 5, 5)))
+
+
+class TestTransposedConv2d:
+    def test_output_shape(self, rng):
+        x = rng.standard_normal((2, 4, 4))
+        w = rng.standard_normal((2, 3, 4, 4))
+        out = transposed_conv2d(x, w, stride=2, padding=1)
+        assert out.shape == (3, 8, 8)
+
+    def test_matches_zero_insertion_formulation(self, rng):
+        x = rng.standard_normal((2, 4, 4))
+        w = rng.standard_normal((2, 3, 5, 5))
+        direct = transposed_conv2d(x, w, stride=2, padding=2)
+        via_zeros = transposed_conv2d_via_zero_insertion(x, w, stride=2, padding=2)
+        assert np.allclose(direct, via_zeros)
+
+    def test_matches_zero_insertion_stride3(self, rng):
+        x = rng.standard_normal((1, 3, 3))
+        w = rng.standard_normal((1, 2, 4, 4))
+        direct = transposed_conv2d(x, w, stride=3, padding=1)
+        via_zeros = transposed_conv2d_via_zero_insertion(x, w, stride=3, padding=1)
+        assert np.allclose(direct, via_zeros)
+
+    def test_adjoint_of_convolution(self, rng):
+        """Transposed convolution is the adjoint of convolution:
+        <conv(x), y> == <x, tconv(y)> for matching geometries."""
+        c_in, c_out = 2, 3
+        x = rng.standard_normal((c_in, 8, 8))
+        w = rng.standard_normal((c_out, c_in, 4, 4))
+        y = rng.standard_normal((c_out, 4, 4))
+        conv_out = conv2d(x, w, stride=2, padding=1)
+        lhs = float(np.sum(conv_out * y))
+        # The conv weight (M, C, kH, kW) is read by the transposed convolution
+        # as (C_in=M, C_out=C, kH, kW): applying it to y lands back in x-space.
+        tconv_out = transposed_conv2d(y, w, stride=2, padding=1)
+        rhs = float(np.sum(x * tconv_out))
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_single_pixel_scatter(self):
+        x = np.zeros((1, 3, 3))
+        x[0, 1, 1] = 1.0
+        w = np.arange(9, dtype=float).reshape(1, 1, 3, 3)
+        out = transposed_conv2d(x, w, stride=2, padding=1)
+        # The single non-zero input scatters a copy of the kernel (clipped by
+        # padding) centred at output position (2, 2).
+        assert out.shape == (1, 5, 5)
+        assert out[0, 2, 2] == w[0, 0, 1, 1]
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ShapeError):
+            transposed_conv2d(rng.standard_normal((2, 4, 4)), rng.standard_normal((3, 1, 3, 3)))
+
+
+class TestConv3d:
+    def test_output_shape(self, rng):
+        x = rng.standard_normal((2, 8, 8, 8))
+        w = rng.standard_normal((4, 2, 4, 4, 4))
+        out = conv3d(x, w, stride=2, padding=1)
+        assert out.shape == (4, 4, 4, 4)
+
+    def test_identity_kernel(self, rng):
+        x = rng.standard_normal((1, 4, 4, 4))
+        w = np.zeros((1, 1, 3, 3, 3))
+        w[0, 0, 1, 1, 1] = 1.0
+        assert np.allclose(conv3d(x, w, stride=1, padding=1), x)
+
+    def test_transposed_conv3d_shape(self, rng):
+        x = rng.standard_normal((2, 4, 4, 4))
+        w = rng.standard_normal((2, 1, 4, 4, 4))
+        out = transposed_conv3d(x, w, stride=2, padding=1)
+        assert out.shape == (1, 8, 8, 8)
+
+    def test_transposed_conv3d_adjoint(self, rng):
+        x = rng.standard_normal((1, 4, 4, 4))
+        w = rng.standard_normal((2, 1, 4, 4, 4))
+        y = rng.standard_normal((2, 2, 2, 2))
+        conv_out = conv3d(x, w, stride=2, padding=1)
+        lhs = float(np.sum(conv_out * y))
+        tconv_out = transposed_conv3d(y, w, stride=2, padding=1)
+        rhs = float(np.sum(x * tconv_out))
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestActivations:
+    def test_relu(self):
+        assert np.array_equal(relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0])
+
+    def test_leaky_relu(self):
+        out = leaky_relu(np.array([-1.0, 2.0]), negative_slope=0.2)
+        assert out[0] == pytest.approx(-0.2)
+        assert out[1] == pytest.approx(2.0)
+
+    def test_tanh_bounds(self, rng):
+        out = tanh(rng.standard_normal(100) * 10)
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_sigmoid_bounds(self, rng):
+        out = sigmoid(rng.standard_normal(100) * 10)
+        assert np.all((out > 0) & (out < 1))

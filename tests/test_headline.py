@@ -1,0 +1,47 @@
+"""Tests for the headline-claims experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentContext, experiment_ids, run_experiment
+from repro.experiments import headline
+
+
+@pytest.fixture(scope="module")
+def context() -> ExperimentContext:
+    return ExperimentContext()
+
+
+class TestHeadline:
+    def test_registered(self):
+        assert "headline" in experiment_ids()
+
+    def test_runs_via_registry(self, context):
+        result = run_experiment("headline", context)
+        assert result.experiment_id == "headline"
+        assert "Claim" in result.report
+
+    def test_speedup_and_energy_in_paper_ballpark(self, context):
+        measured = headline.compute_headline(context)
+        assert 2.0 <= measured["geomean_speedup"] <= 6.0
+        assert 1.5 <= measured["geomean_energy_reduction"] <= 5.0
+
+    def test_utilization_near_90_percent(self, context):
+        measured = headline.compute_headline(context)
+        assert 0.80 <= measured["mean_ganax_utilization"] <= 1.0
+
+    def test_area_overhead_single_digit_percent(self, context):
+        measured = headline.compute_headline(context)
+        assert 0.05 <= measured["area_overhead_fraction"] <= 0.11
+
+    def test_no_discriminator_penalty(self, context):
+        """GANAX must not slow down conventional convolution at all."""
+        measured = headline.compute_headline(context)
+        assert measured["worst_discriminator_penalty"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_report_lists_all_five_claims(self, context):
+        report = headline.run(context).report
+        assert report.count("\n") >= 7  # title + separator + header + 5 rows
+        for keyword in ("speedup", "energy", "utilization", "Area", "Discriminator"):
+            assert keyword in report

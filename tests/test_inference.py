@@ -1,0 +1,152 @@
+"""Tests for the functional (NumPy) network inference runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkError, ShapeError
+from repro.hw.fixed_point import FixedPointFormat, quantize
+from repro.nn.inference import NetworkRunner, run_generator
+from repro.nn.layers import (
+    ActivationLayer,
+    ConvLayer,
+    DenseLayer,
+    PoolingLayer,
+    ReshapeLayer,
+    TransposedConvLayer,
+)
+from repro.nn.network import Network
+from repro.nn.shapes import FeatureMapShape
+from repro.workloads import get_workload
+
+
+def _tiny_generator() -> Network:
+    return Network(
+        name="tiny_gen",
+        input_shape=FeatureMapShape.vector(16),
+        layers=(
+            DenseLayer(name="fc", out_features=8 * 4 * 4),
+            ReshapeLayer(name="reshape", target=FeatureMapShape.image(8, 4, 4)),
+            ActivationLayer(name="a0", function="relu"),
+            TransposedConvLayer(name="t1", out_channels=4, kernel=4, stride=2, padding=1),
+            ActivationLayer(name="a1", function="relu"),
+            TransposedConvLayer(name="t2", out_channels=1, kernel=4, stride=2, padding=1),
+            ActivationLayer(name="a2", function="tanh"),
+        ),
+    )
+
+
+class TestNetworkRunner:
+    def test_tiny_generator_output_shape(self, rng):
+        runner = NetworkRunner(_tiny_generator(), rng=rng)
+        out = runner.run(rng.standard_normal((16, 1)))
+        assert out.shape == (1, 16, 16)
+
+    def test_output_respects_final_tanh(self, rng):
+        runner = NetworkRunner(_tiny_generator(), rng=rng)
+        out = runner.run(rng.standard_normal((16, 1)) * 10)
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_collect_activations(self, rng):
+        runner = NetworkRunner(_tiny_generator(), rng=rng)
+        out, activations = runner.run(rng.standard_normal((16, 1)), collect_activations=True)
+        assert set(activations) == {b.name for b in runner.network.bindings}
+        assert activations["a2"].shape == out.shape
+        assert activations["t1"].shape == (4, 8, 8)
+
+    def test_input_shape_checked(self, rng):
+        runner = NetworkRunner(_tiny_generator(), rng=rng)
+        with pytest.raises(ShapeError):
+            runner.run(rng.standard_normal((15, 1)))
+
+    def test_parameter_count_matches_layer_accounting(self, rng):
+        network = _tiny_generator()
+        runner = NetworkRunner(network, rng=rng)
+        # Weight tensors match the symbolic weight counts; biases/bn add extras.
+        symbolic = network.total_weights()
+        assert runner.total_parameters() >= symbolic
+
+    def test_set_weight_overrides(self, rng):
+        runner = NetworkRunner(_tiny_generator(), rng=rng)
+        weight = runner.parameters("t2").weight
+        runner.set_weight("t2", np.zeros_like(weight))
+        out = runner.run(rng.standard_normal((16, 1)))
+        assert np.allclose(out, 0.0)  # tanh(0) == 0
+
+    def test_set_weight_shape_checked(self, rng):
+        runner = NetworkRunner(_tiny_generator(), rng=rng)
+        with pytest.raises(ShapeError):
+            runner.set_weight("t2", np.zeros((1, 1, 2, 2)))
+
+    def test_unknown_layer_parameters(self, rng):
+        runner = NetworkRunner(_tiny_generator(), rng=rng)
+        with pytest.raises(NetworkError):
+            runner.parameters("missing")
+
+    def test_deterministic_given_seeded_rng(self):
+        latent = np.ones((16, 1))
+        out1 = NetworkRunner(_tiny_generator(), rng=np.random.default_rng(7)).run(latent)
+        out2 = NetworkRunner(_tiny_generator(), rng=np.random.default_rng(7)).run(latent)
+        np.testing.assert_array_equal(out1, out2)
+
+    def test_pooling_and_conv_network(self, rng):
+        network = Network(
+            name="cnn",
+            input_shape=FeatureMapShape.image(1, 8, 8),
+            layers=(
+                ConvLayer(name="c1", out_channels=4, kernel=3, stride=1, padding=1),
+                ActivationLayer(name="a1", function="leaky_relu"),
+                PoolingLayer(name="p1", kernel=2, stride=2),
+                DenseLayer(name="fc", out_features=1),
+                ActivationLayer(name="s", function="sigmoid"),
+            ),
+        )
+        runner = NetworkRunner(network, rng=rng)
+        out = runner.run(rng.standard_normal((1, 8, 8)))
+        assert out.shape == (1, 1)
+        assert 0.0 < out[0, 0] < 1.0
+
+    def test_invalid_weight_scale(self):
+        with pytest.raises(NetworkError):
+            NetworkRunner(_tiny_generator(), weight_scale=0.0)
+
+
+class TestWorkloadInference:
+    def test_dcgan_generator_produces_image(self):
+        generator = get_workload("DCGAN").generator
+        image = run_generator(generator, seed=1)
+        assert image.shape == (3, 64, 64)
+        assert np.all(np.abs(image) <= 1.0)  # tanh output
+
+    def test_magan_generator_produces_image(self):
+        generator = get_workload("MAGAN").generator
+        image = run_generator(generator, seed=2)
+        assert image.shape == (3, 64, 64)
+
+    def test_discriminator_scores_generated_image(self, rng):
+        model = get_workload("DCGAN")
+        image = run_generator(model.generator, seed=3)
+        score = NetworkRunner(model.discriminator, rng=rng).run(image)
+        assert score.shape == (1, 1)
+        assert np.isfinite(score).all()
+
+
+class TestFixedPointEndToEnd:
+    def test_16bit_quantisation_error_is_small(self, rng):
+        """Quantising activations to the 16-bit grid after every layer changes
+        the tiny generator's output only marginally — the datapath precision
+        the paper assumes is adequate for these workloads."""
+        network = _tiny_generator()
+        latent = rng.standard_normal((16, 1))
+        runner = NetworkRunner(network, rng=np.random.default_rng(11))
+        reference, activations = runner.run(latent, collect_activations=True)
+
+        fmt = FixedPointFormat.q2_13()
+        quantised = latent
+        runner2 = NetworkRunner(network, rng=np.random.default_rng(11))
+        x = quantised
+        for binding in network.bindings:
+            x = runner2._run_layer(binding.layer, x)  # noqa: SLF001 - white-box test
+            x = quantize(x, fmt)
+        assert np.max(np.abs(x - reference)) < 0.02

@@ -1,0 +1,154 @@
+"""Unit tests for Network / GANModel containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.nn.layers import ActivationLayer, ConvLayer, DenseLayer, TransposedConvLayer
+from repro.nn.network import GANModel, Network
+from repro.nn.shapes import FeatureMapShape
+
+
+def _tiny_generator() -> Network:
+    return Network(
+        name="gen",
+        input_shape=FeatureMapShape.image(8, 4, 4),
+        layers=(
+            TransposedConvLayer(name="t1", out_channels=4, kernel=4, stride=2, padding=1),
+            ActivationLayer(name="a1", function="relu"),
+            TransposedConvLayer(name="t2", out_channels=1, kernel=4, stride=2, padding=1),
+            ActivationLayer(name="a2", function="tanh"),
+        ),
+    )
+
+
+def _tiny_discriminator() -> Network:
+    return Network(
+        name="disc",
+        input_shape=FeatureMapShape.image(1, 16, 16),
+        layers=(
+            ConvLayer(name="c1", out_channels=4, kernel=4, stride=2, padding=1),
+            ConvLayer(name="c2", out_channels=8, kernel=4, stride=2, padding=1),
+            DenseLayer(name="fc", out_features=1),
+        ),
+    )
+
+
+class TestNetwork:
+    def test_shape_chain_resolved(self):
+        net = _tiny_generator()
+        assert net.output_shape.as_tuple() == (1, 16, 16)
+        assert len(net) == 4
+
+    def test_bindings_chain_inputs_to_outputs(self):
+        net = _tiny_generator()
+        bindings = net.bindings
+        for previous, current in zip(bindings, bindings[1:]):
+            assert previous.output_shape == current.input_shape
+
+    def test_layer_counts(self):
+        assert _tiny_generator().transposed_conv_layer_count() == 2
+        assert _tiny_generator().conv_layer_count() == 0
+        assert _tiny_discriminator().conv_layer_count() == 2
+
+    def test_total_macs_is_sum_of_bindings(self):
+        net = _tiny_generator()
+        assert net.total_macs() == sum(b.total_macs for b in net.bindings)
+
+    def test_consequential_less_than_total_for_tconv(self):
+        net = _tiny_generator()
+        assert net.consequential_macs() < net.total_macs()
+
+    def test_binding_lookup_by_name(self):
+        net = _tiny_generator()
+        binding = net.binding("t2")
+        assert binding.layer.name == "t2"
+        assert binding.is_transposed
+
+    def test_binding_lookup_missing_raises(self):
+        with pytest.raises(NetworkError):
+            _tiny_generator().binding("nope")
+
+    def test_convolutional_bindings_filter(self):
+        net = _tiny_generator()
+        assert len(net.convolutional_bindings()) == 2
+        assert all(b.is_convolutional for b in net.convolutional_bindings())
+
+    def test_transposed_bindings_filter(self):
+        assert len(_tiny_discriminator().transposed_bindings()) == 0
+
+    def test_total_weights_positive(self):
+        assert _tiny_discriminator().total_weights() > 0
+
+    def test_duplicate_layer_names_rejected(self):
+        with pytest.raises(NetworkError):
+            Network(
+                name="bad",
+                input_shape=FeatureMapShape.image(1, 8, 8),
+                layers=(
+                    ConvLayer(name="c", out_channels=2, kernel=3, stride=1, padding=1),
+                    ConvLayer(name="c", out_channels=2, kernel=3, stride=1, padding=1),
+                ),
+            )
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(NetworkError):
+            Network(name="bad", input_shape=FeatureMapShape.image(1, 8, 8), layers=())
+
+    def test_broken_shape_chain_reports_layer(self):
+        with pytest.raises(NetworkError, match="kernel"):
+            Network(
+                name="bad",
+                input_shape=FeatureMapShape.image(1, 2, 2),
+                layers=(
+                    ConvLayer(name="c1", out_channels=2, kernel=5, stride=1, padding=0),
+                ),
+            )
+
+    def test_iteration_yields_bindings(self):
+        names = [binding.name for binding in _tiny_generator()]
+        assert names == ["t1", "a1", "t2", "a2"]
+
+
+class TestGANModel:
+    def test_layer_counts_dict(self):
+        model = GANModel(
+            name="tiny", generator=_tiny_generator(), discriminator=_tiny_discriminator()
+        )
+        counts = model.layer_counts()
+        assert counts == {
+            "generator_conv": 0,
+            "generator_tconv": 2,
+            "discriminator_conv": 2,
+            "discriminator_tconv": 0,
+        }
+
+    def test_generator_inconsequential_fraction_bounds(self):
+        model = GANModel(
+            name="tiny", generator=_tiny_generator(), discriminator=_tiny_discriminator()
+        )
+        fraction = model.generator_tconv_inconsequential_fraction()
+        assert 0.0 < fraction < 1.0
+
+    def test_discriminator_accounting_excludes_tconv_when_flagged(self):
+        autoencoder_disc = Network(
+            name="disc_ae",
+            input_shape=FeatureMapShape.image(1, 16, 16),
+            layers=(
+                ConvLayer(name="c1", out_channels=4, kernel=4, stride=2, padding=1),
+                TransposedConvLayer(name="d1", out_channels=1, kernel=4, stride=2, padding=1),
+            ),
+        )
+        model = GANModel(
+            name="ae",
+            generator=_tiny_generator(),
+            discriminator=autoencoder_disc,
+            discriminator_conv_only=True,
+        )
+        names = [b.name for b in model.discriminator_bindings_for_accounting()]
+        assert names == ["c1"]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(NetworkError):
+            GANModel(name="", generator=_tiny_generator(), discriminator=_tiny_discriminator())

@@ -1,0 +1,262 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.index_generator import GeneratorConfig, StridedIndexGenerator
+from repro.hw.counters import EventCounters
+from repro.hw.energy import EnergyModel
+from repro.hw.fifo import Fifo
+from repro.isa.assembler import assemble_line, disassemble_uop
+from repro.isa.encoding import (
+    decode_global_uop,
+    decode_local_uop,
+    encode_global_uop,
+    encode_local_uop,
+)
+from repro.isa.uops import (
+    AccessCfg,
+    AddressGenerator,
+    ConfigRegister,
+    ExecuteOp,
+    ExecuteUop,
+    MimdExecute,
+    MimdLoad,
+    RepeatUop,
+)
+from repro.nn.functional import (
+    insert_zeros_2d,
+    transposed_conv2d,
+    transposed_conv2d_via_zero_insertion,
+)
+from repro.nn.layers import TransposedConvLayer
+from repro.nn.shapes import FeatureMapShape, transposed_conv_output_extent
+from repro.nn.zero_analysis import (
+    analyze_transposed_conv,
+    count_consequential_macs_bruteforce,
+)
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+tconv_geometry = st.tuples(
+    st.integers(min_value=2, max_value=6),   # kernel
+    st.integers(min_value=1, max_value=3),   # stride
+    st.integers(min_value=2, max_value=5),   # input extent
+).map(lambda t: (t[0], t[1], min(t[0] - 1, t[1]), t[2]))  # padding <= kernel-1, <= stride
+
+local_uops = st.one_of(
+    st.sampled_from([ExecuteOp.ADD, ExecuteOp.MUL, ExecuteOp.MAC, ExecuteOp.POOL, ExecuteOp.NOP]).map(
+        lambda op: ExecuteUop(op=op)
+    ),
+    st.sampled_from(["relu", "leaky_relu", "tanh", "sigmoid", "identity"]).map(
+        lambda act: ExecuteUop(op=ExecuteOp.ACT, activation=act)
+    ),
+    st.integers(min_value=0, max_value=4095).map(lambda n: RepeatUop(count=n)),
+)
+
+global_uops = st.one_of(
+    local_uops,
+    st.builds(
+        AccessCfg,
+        pv_index=st.integers(min_value=0, max_value=15),
+        generator=st.sampled_from(list(AddressGenerator)),
+        register=st.sampled_from(list(ConfigRegister)),
+        immediate=st.integers(min_value=0, max_value=(1 << 16) - 1),
+    ),
+    st.builds(
+        MimdLoad,
+        pv_index=st.integers(min_value=0, max_value=15),
+        destination=st.just("repeat"),
+        immediate=st.integers(min_value=0, max_value=(1 << 16) - 1),
+    ),
+    st.lists(st.integers(min_value=0, max_value=15), min_size=16, max_size=16).map(
+        lambda idx: MimdExecute(local_indices=tuple(idx))
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# Transposed convolution / zero insertion invariants
+# ----------------------------------------------------------------------
+class TestTransposedConvProperties:
+    @given(tconv_geometry, st.integers(min_value=0, max_value=2 ** 32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_scatter_equals_zero_insertion_formulation(self, geometry, seed):
+        kernel, stride, padding, size = geometry
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((1, size, size))
+        w = rng.standard_normal((1, 1, kernel, kernel))
+        direct = transposed_conv2d(x, w, stride=stride, padding=padding)
+        via_zeros = transposed_conv2d_via_zero_insertion(x, w, stride=stride, padding=padding)
+        np.testing.assert_allclose(direct, via_zeros, atol=1e-9)
+
+    @given(tconv_geometry)
+    @settings(max_examples=50, deadline=None)
+    def test_output_extent_formula_matches_reference_shape(self, geometry):
+        kernel, stride, padding, size = geometry
+        x = np.zeros((1, size, size))
+        w = np.zeros((1, 1, kernel, kernel))
+        out = transposed_conv2d(x, w, stride=stride, padding=padding)
+        expected = transposed_conv_output_extent(size, kernel, stride, padding)
+        assert out.shape == (1, expected, expected)
+
+    @given(tconv_geometry)
+    @settings(max_examples=50, deadline=None)
+    def test_consequential_count_matches_bruteforce(self, geometry):
+        kernel, stride, padding, size = geometry
+        layer = TransposedConvLayer(
+            name="t", out_channels=1, kernel=kernel, stride=stride, padding=padding
+        )
+        shape = FeatureMapShape.image(1, size, size)
+        assert layer.consequential_macs(shape) == count_consequential_macs_bruteforce(layer, shape)
+
+    @given(tconv_geometry)
+    @settings(max_examples=50, deadline=None)
+    def test_consequential_never_exceeds_total(self, geometry):
+        kernel, stride, padding, size = geometry
+        layer = TransposedConvLayer(
+            name="t", out_channels=2, kernel=kernel, stride=stride, padding=padding
+        )
+        shape = FeatureMapShape.image(3, size, size)
+        assert 0 < layer.consequential_macs(shape) <= layer.total_macs(shape)
+
+    @given(tconv_geometry)
+    @settings(max_examples=50, deadline=None)
+    def test_number_of_row_patterns_equals_stride(self, geometry):
+        kernel, stride, padding, size = geometry
+        layer = TransposedConvLayer(
+            name="t", out_channels=1, kernel=kernel, stride=stride, padding=padding
+        )
+        shape = FeatureMapShape.image(1, size, size)
+        analysis = analyze_transposed_conv(layer, shape)
+        out_rows = layer.output_shape(shape).spatial[0]
+        assert analysis.num_patterns == min(stride, out_rows)
+
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_zero_insertion_preserves_values_and_count(self, channels, h, w, stride):
+        rng = np.random.default_rng(h * 31 + w * 7 + stride)
+        x = rng.standard_normal((channels, h, w)) + 1.0  # strictly non-zero
+        expanded = insert_zeros_2d(x, stride)
+        assert np.count_nonzero(expanded) == x.size
+        np.testing.assert_array_equal(expanded[:, ::stride, ::stride], x)
+
+
+# ----------------------------------------------------------------------
+# ISA round-trip invariants
+# ----------------------------------------------------------------------
+class TestIsaProperties:
+    @given(local_uops)
+    @settings(max_examples=100, deadline=None)
+    def test_local_encoding_roundtrip(self, uop):
+        assert decode_local_uop(encode_local_uop(uop)) == uop
+
+    @given(global_uops)
+    @settings(max_examples=100, deadline=None)
+    def test_global_encoding_roundtrip(self, uop):
+        assert decode_global_uop(encode_global_uop(uop, num_pvs=16), num_pvs=16) == uop
+
+    @given(global_uops)
+    @settings(max_examples=100, deadline=None)
+    def test_assembler_roundtrip(self, uop):
+        assert assemble_line(disassemble_uop(uop)) == uop
+
+
+# ----------------------------------------------------------------------
+# Strided index generator invariants
+# ----------------------------------------------------------------------
+class TestIndexGeneratorProperties:
+    @given(
+        st.integers(min_value=0, max_value=200),   # offset
+        st.integers(min_value=1, max_value=8),     # step
+        st.integers(min_value=1, max_value=40),    # end
+        st.integers(min_value=0, max_value=6),     # repeat
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_drain_length_matches_prediction(self, offset, step, end, repeat):
+        end = max(end, step)  # the hardware constrains Step <= End
+        config = GeneratorConfig(addr=0, offset=offset, step=step, end=end, repeat=repeat)
+        generator = StridedIndexGenerator()
+        generator.configure(config)
+        generator.start()
+        addresses = generator.drain()
+        assert len(addresses) == config.total_addresses()
+
+    @given(
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_addresses_stay_in_configured_range(self, offset, step, end, repeat):
+        end = max(end, step)  # the hardware constrains Step <= End
+        generator = StridedIndexGenerator()
+        generator.configure(GeneratorConfig(addr=0, offset=offset, step=step, end=end, repeat=repeat))
+        generator.start()
+        for address in generator.drain():
+            assert offset <= address < offset + end
+
+
+# ----------------------------------------------------------------------
+# FIFO, counters and energy invariants
+# ----------------------------------------------------------------------
+class TestHardwareProperties:
+    @given(st.lists(st.integers(), max_size=64), st.integers(min_value=1, max_value=16))
+    @settings(max_examples=100, deadline=None)
+    def test_fifo_preserves_order(self, items, depth):
+        fifo = Fifo(depth=depth)
+        accepted = []
+        for item in items:
+            if fifo.try_push(item):
+                accepted.append(item)
+        popped = []
+        while not fifo.is_empty:
+            popped.append(fifo.pop())
+        assert popped == accepted[: len(popped)]
+        assert len(popped) == min(len(accepted), depth)
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(list(EventCounters().as_dict().keys())),
+            st.integers(min_value=0, max_value=10_000),
+            max_size=6,
+        ),
+        st.dictionaries(
+            st.sampled_from(list(EventCounters().as_dict().keys())),
+            st.integers(min_value=0, max_value=10_000),
+            max_size=6,
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_counter_addition_is_commutative_and_exact(self, left, right):
+        a = EventCounters(**left)
+        b = EventCounters(**right)
+        assert (a + b).as_dict() == (b + a).as_dict()
+        for key, value in (a + b).as_dict().items():
+            assert value == a.as_dict()[key] + b.as_dict()[key]
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(list(EventCounters().as_dict().keys())),
+            st.integers(min_value=0, max_value=10_000),
+            max_size=8,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_energy_is_nonnegative_and_additive(self, counts):
+        model = EnergyModel()
+        counters = EventCounters(**counts)
+        breakdown = model.energy_of(counters)
+        assert breakdown.total_pj >= 0.0
+        doubled = model.energy_of(counters + counters)
+        assert doubled.total_pj == pytest.approx(2 * breakdown.total_pj)

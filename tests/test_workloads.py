@@ -1,0 +1,131 @@
+"""Unit tests for the six GAN workload definitions (Table I)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.experiments.paper_data import TABLE1_LAYER_COUNTS
+from repro.workloads.registry import all_workloads, get_workload, workload_names
+
+
+class TestRegistry:
+    def test_six_workloads(self):
+        assert len(workload_names()) == 6
+        assert len(all_workloads()) == 6
+
+    def test_paper_order(self):
+        assert workload_names() == (
+            "3D-GAN", "ArtGAN", "DCGAN", "DiscoGAN", "GP-GAN", "MAGAN"
+        )
+
+    def test_aliases_resolve(self):
+        assert get_workload("dcgan").name == "DCGAN"
+        assert get_workload("3dgan").name == "3D-GAN"
+        assert get_workload("gp-gan").name == "GP-GAN"
+        assert get_workload("GPGAN").name == "GP-GAN"
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(WorkloadError):
+            get_workload("StyleGAN")
+
+    def test_models_are_cached(self):
+        assert get_workload("DCGAN") is get_workload("DCGAN")
+
+
+class TestTable1LayerCounts:
+    @pytest.mark.parametrize("name", list(TABLE1_LAYER_COUNTS))
+    def test_layer_counts_match_table1(self, name):
+        model = get_workload(name)
+        assert model.layer_counts() == TABLE1_LAYER_COUNTS[name]
+
+    @pytest.mark.parametrize("name", list(TABLE1_LAYER_COUNTS))
+    def test_models_have_description_and_year(self, name):
+        model = get_workload(name)
+        assert model.description
+        assert 2014 <= model.year <= 2018
+
+
+class TestGeneratorStructure:
+    def test_dcgan_generator_output_is_64x64_rgb(self):
+        model = get_workload("DCGAN")
+        assert model.generator.output_shape.as_tuple() == (3, 64, 64)
+
+    def test_threedgan_generator_output_is_64_cubed(self):
+        model = get_workload("3D-GAN")
+        assert model.generator.output_shape.as_tuple() == (1, 64, 64, 64)
+
+    def test_artgan_generator_output_is_128x128(self):
+        model = get_workload("ArtGAN")
+        assert model.generator.output_shape.spatial == (128, 128)
+
+    def test_discogan_generator_is_image_to_image(self):
+        model = get_workload("DiscoGAN")
+        assert model.generator.input_shape.as_tuple() == (3, 64, 64)
+        assert model.generator.output_shape.as_tuple() == (3, 64, 64)
+
+    def test_magan_generator_output_is_64x64_rgb(self):
+        model = get_workload("MAGAN")
+        assert model.generator.output_shape.as_tuple() == (3, 64, 64)
+
+    def test_magan_discriminator_counts_conv_only(self):
+        model = get_workload("MAGAN")
+        assert model.discriminator_conv_only
+        bindings = model.discriminator_bindings_for_accounting()
+        assert all(not b.is_transposed for b in bindings)
+        assert len(bindings) == 6
+
+    def test_generators_use_stride2_upsampling(self):
+        for name in ("DCGAN", "ArtGAN", "GP-GAN"):
+            model = get_workload(name)
+            strides = [
+                b.layer.stride[0]
+                for b in model.generator.transposed_bindings()
+            ]
+            assert all(s == 2 for s in strides)
+
+
+class TestZeroFractions:
+    def test_threedgan_has_highest_fraction(self):
+        fractions = {
+            m.name: m.generator_tconv_inconsequential_fraction() for m in all_workloads()
+        }
+        assert max(fractions, key=fractions.get) == "3D-GAN"
+
+    def test_magan_has_lowest_fraction(self):
+        fractions = {
+            m.name: m.generator_tconv_inconsequential_fraction() for m in all_workloads()
+        }
+        assert min(fractions, key=fractions.get) == "MAGAN"
+
+    def test_average_fraction_exceeds_60_percent(self):
+        """Figure 1: more than 60% of TConv multiply-adds are inconsequential."""
+        fractions = [
+            m.generator_tconv_inconsequential_fraction() for m in all_workloads()
+        ]
+        assert sum(fractions) / len(fractions) > 0.60
+
+    def test_all_fractions_below_one(self):
+        for model in all_workloads():
+            assert model.generator_tconv_inconsequential_fraction() < 1.0
+
+    def test_threedgan_fraction_around_80_percent(self):
+        fraction = get_workload("3D-GAN").generator_tconv_inconsequential_fraction()
+        assert 0.75 <= fraction <= 0.92
+
+
+class TestWorkloadScale:
+    @pytest.mark.parametrize("name", list(TABLE1_LAYER_COUNTS))
+    def test_generators_have_giga_mac_scale_compute(self, name):
+        """Every generator should be a realistic, compute-heavy network."""
+        model = get_workload(name)
+        assert model.generator.total_macs() > 1e8
+
+    @pytest.mark.parametrize("name", list(TABLE1_LAYER_COUNTS))
+    def test_discriminators_have_compute(self, name):
+        model = get_workload(name)
+        assert model.discriminator.total_macs() > 1e7
+
+    def test_threedgan_is_the_largest_generator(self):
+        macs = {m.name: m.generator.total_macs() for m in all_workloads()}
+        assert max(macs, key=macs.get) == "3D-GAN"
