@@ -1,0 +1,96 @@
+"""Benchmark of the simulation runner's execution modes.
+
+Runs the same ablation-sized parameter sweep (all six GANs x a DRAM-bandwidth
+sweep, both accelerators) three ways and compares wall time:
+
+* **cold serial** — fresh runner, serial backend, empty cache;
+* **pooled** — fresh runner, process-pool backend, empty cache (worker
+  start-up is included, so on small grids or few cores this can be slower
+  than serial — the mode exists for large grids, the benchmark just reports);
+* **warm cache** — the serial runner again, cache already populated.
+
+The warm-cache path must be at least 5x faster than the cold serial path —
+that is the runner subsystem's reason to exist — and all three must produce
+identical sweep points (the same parity the unit tests assert, checked here
+on the benchmark workload itself).
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import ParameterSweep
+from repro.runner import ProcessPoolBackend, SerialBackend, SimulationRunner
+from repro.workloads.registry import all_workloads
+
+#: DRAM bandwidth values swept by the benchmark workload.
+BANDWIDTH_VALUES = (8.0, 16.0, 32.0, 64.0, 128.0)
+
+#: Required advantage of the warm-cache sweep over the cold serial sweep.
+MIN_WARM_SPEEDUP = 5.0
+
+
+def run_sweep(runner: SimulationRunner, models):
+    sweep = ParameterSweep(models, runner=runner)
+    return sweep.run("dram_bandwidth_bytes_per_cycle", list(BANDWIDTH_VALUES))
+
+
+def timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_runner_execution_modes(benchmark):
+    """Compare cold-serial / pooled / warm-cache sweep wall time."""
+    models = all_workloads()
+
+    serial_runner = SimulationRunner(backend=SerialBackend())
+    cold_points, cold_seconds = benchmark.pedantic(
+        lambda: timed(lambda: run_sweep(serial_runner, models)),
+        iterations=1,
+        rounds=1,
+    )
+
+    with SimulationRunner(backend=ProcessPoolBackend()) as pooled_runner:
+        pooled_points, pooled_seconds = timed(
+            lambda: run_sweep(pooled_runner, models)
+        )
+
+    warm_points, warm_seconds = timed(lambda: run_sweep(serial_runner, models))
+
+    # All three modes must agree exactly.
+    for cold, pooled, warm in zip(cold_points, pooled_points, warm_points):
+        assert cold.speedups == pooled.speedups == warm.speedups
+        assert (
+            cold.energy_reductions == pooled.energy_reductions
+            == warm.energy_reductions
+        )
+
+    # The warm cache answered everything without simulating.
+    jobs = 2 * len(models) * len(BANDWIDTH_VALUES)
+    assert serial_runner.stats.misses == jobs
+    assert serial_runner.stats.hits == jobs
+
+    warm_speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    assert warm_speedup >= MIN_WARM_SPEEDUP, (
+        f"warm cache sweep only {warm_speedup:.1f}x faster than cold serial; "
+        f"expected >= {MIN_WARM_SPEEDUP:.0f}x"
+    )
+
+    emit(
+        format_table(
+            ["Execution mode", "Wall time (ms)", "vs cold serial"],
+            [
+                ["cold serial", 1e3 * cold_seconds, 1.0],
+                ["process pool (cold)", 1e3 * pooled_seconds,
+                 cold_seconds / pooled_seconds],
+                ["warm cache", 1e3 * warm_seconds, warm_speedup],
+            ],
+            title=f"Runner modes: {jobs}-job DRAM-bandwidth sweep (6 GANs)",
+            float_format="{:.2f}",
+        )
+    )

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Lightweight CI for the GANAX reproduction.
+#
+# Runs, from the repository root:
+#   1. the tier-1 test suite (the gate every change must keep green), with
+#      pytest's result cache disabled (-p no:cacheprovider) so runs are
+#      byte-reproducible and leave no .pytest_cache behind;
+#   2. the runner benchmark, which enforces the warm-cache >= 5x speedup
+#      contract and the serial/pooled/warm parity of the sweep results.
+#
+# Usage: scripts/ci.sh [extra pytest args for the tier-1 step]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+echo "== tier-1 tests =="
+python -m pytest -x -q -p no:cacheprovider "$@"
+
+echo "== runner benchmark (parity + warm-cache contract) =="
+python -m pytest benchmarks/bench_runner.py -q -p no:cacheprovider \
+    --benchmark-disable-gc
+
+echo "CI OK"

@@ -41,6 +41,14 @@ from .core import (
 )
 from .errors import ReproError
 from .hw import AreaModel, EnergyBreakdown, EnergyModel, EnergyTable, EventCounters
+from .runner import (
+    ProcessPoolBackend,
+    SerialBackend,
+    SimulationJob,
+    SimulationRunner,
+    get_default_runner,
+    set_default_runner,
+)
 from .nn import (
     ConvLayer,
     FeatureMapShape,
@@ -74,6 +82,12 @@ __all__ = [
     "EnergyModel",
     "EnergyTable",
     "EventCounters",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "SimulationJob",
+    "SimulationRunner",
+    "get_default_runner",
+    "set_default_runner",
     "ConvLayer",
     "FeatureMapShape",
     "GANModel",

@@ -1,23 +1,116 @@
-"""Export experiment results and simulation results to JSON / CSV.
+"""Export experiment results and simulation results to JSON / CSV, plus
+content fingerprints for the simulation cache.
 
 Downstream users typically want the regenerated figure data in a form their
 own plotting pipeline can ingest.  This module flattens the nested result
 structures produced by the simulators and the experiment harness into rows and
 writes them as CSV (stdlib ``csv``) or JSON, without adding any plotting
 dependencies to the library.
+
+It also defines the **canonical serialization** of the simulation inputs —
+:class:`~repro.config.ArchitectureConfig`, :class:`~repro.config.
+SimulationOptions` and the workload structure — and deterministic SHA-256
+fingerprints over them (:func:`config_fingerprint`, :func:`options_fingerprint`,
+:func:`workload_fingerprint`).  The runner subsystem
+(:mod:`repro.runner`) keys its content-addressed result cache on these
+fingerprints, so they must be stable across processes, field ordering and
+Python versions.
 """
 
 from __future__ import annotations
 
 import csv
+import dataclasses
+import hashlib
 import json
+from functools import lru_cache
 from pathlib import Path
-from typing import Dict, Iterable, List, Mapping, Sequence, Union
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Union
 
+from ..config import ArchitectureConfig, SimulationOptions
 from ..errors import AnalysisError
+from ..nn.network import GANModel, Network
 from .results import ComparisonResult, GanResult, NetworkResult
 
 PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# Canonical serialization and content fingerprints
+# ----------------------------------------------------------------------
+def canonical_json(data: Any) -> str:
+    """Serialize ``data`` as canonical JSON (sorted keys, no whitespace).
+
+    Two structurally equal values produce byte-identical JSON regardless of
+    insertion order, which is the property the cache fingerprints rely on.
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def fingerprint_data(data: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON serialization of ``data``."""
+    return hashlib.sha256(canonical_json(data).encode("utf-8")).hexdigest()
+
+
+@lru_cache(maxsize=1024)
+def config_fingerprint(config: ArchitectureConfig) -> str:
+    """Deterministic content hash of an :class:`ArchitectureConfig`.
+
+    Stable across field ordering of the source mapping (the canonical
+    serialization sorts keys) and across processes; changes whenever any
+    configuration field — in particular every swept field reachable through
+    ``with_updates`` — changes.  Memoized: configs are frozen dataclasses, so
+    equal configs share one computed hash.
+    """
+    return fingerprint_data(config.to_mapping())
+
+
+@lru_cache(maxsize=1024)
+def options_fingerprint(options: SimulationOptions) -> str:
+    """Deterministic content hash of a :class:`SimulationOptions` (memoized)."""
+    return fingerprint_data(options.to_mapping())
+
+
+def _network_structure(network: Network) -> Dict[str, Any]:
+    return {
+        "name": network.name,
+        "input_shape": {
+            "channels": network.input_shape.channels,
+            "spatial": list(network.input_shape.spatial),
+        },
+        "layers": [
+            {"kind": type(layer).__name__, **dataclasses.asdict(layer)}
+            for layer in network.layers
+        ],
+    }
+
+
+def workload_structure(model: GANModel) -> Dict[str, Any]:
+    """JSON-friendly structural description of a GAN workload.
+
+    Captures everything that influences a simulation result: the model name,
+    the discriminator accounting rule, and both networks' layer stacks with
+    their input shapes.
+    """
+    return {
+        "name": model.name,
+        "discriminator_conv_only": model.discriminator_conv_only,
+        "generator": _network_structure(model.generator),
+        "discriminator": _network_structure(model.discriminator),
+    }
+
+
+@lru_cache(maxsize=256)
+def workload_fingerprint(model: GANModel) -> str:
+    """Deterministic content hash of a GAN workload's structure.
+
+    Two models with the same layers and shapes fingerprint identically even
+    if they are distinct Python objects, so cached results survive model
+    rebuilds (and registry cache clears) across processes.  Memoized per
+    model object (hashing a whole layer stack costs ~0.5 ms, which would
+    otherwise dominate warm-cache sweeps).
+    """
+    return fingerprint_data(workload_structure(model))
 
 
 # ----------------------------------------------------------------------

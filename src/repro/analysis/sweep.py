@@ -6,18 +6,24 @@ array shape, zero-gating energy, MIMD dispatch overhead) and dataflow choices
 how the headline metrics move.  :class:`ParameterSweep` runs a comparison for
 every parameter value and collects the per-model speedup / energy-reduction
 series in a structure the report renderer understands.
+
+All simulation work routes through a :class:`~repro.runner.SimulationRunner`:
+a sweep submits its entire (config x model x accelerator) grid as **one
+batch**, so identical jobs deduplicate, cached results are reused across
+sweeps and experiments, and a parallel backend fans out over the whole grid.
+The module-level :func:`compare_model` / :func:`compare_models` helpers use
+the process-wide default runner unless one is passed explicitly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
-from ..baseline.simulator import EyerissSimulator
 from ..config import ArchitectureConfig, SimulationOptions
-from ..core.simulator import GanaxSimulator
 from ..errors import AnalysisError
 from ..nn.network import GANModel
+from ..runner import SimulationRunner, get_default_runner
 from .metrics import geometric_mean
 from .results import ComparisonResult
 
@@ -39,32 +45,49 @@ class SweepPoint:
     def geomean_energy_reduction(self) -> float:
         return geometric_mean(list(self.energy_reductions.values()))
 
+    @classmethod
+    def from_comparisons(
+        cls,
+        label: str,
+        config: ArchitectureConfig,
+        comparisons: Mapping[str, ComparisonResult],
+    ) -> "SweepPoint":
+        """Build a point from one config's per-model comparison results."""
+        return cls(
+            label=label,
+            config=config,
+            speedups={
+                name: c.generator_speedup for name, c in comparisons.items()
+            },
+            energy_reductions={
+                name: c.generator_energy_reduction
+                for name, c in comparisons.items()
+            },
+        )
+
 
 def compare_model(
     model: GANModel,
     config: Optional[ArchitectureConfig] = None,
     options: Optional[SimulationOptions] = None,
+    runner: Optional[SimulationRunner] = None,
 ) -> ComparisonResult:
     """Run one GAN on both accelerators with a shared configuration."""
-    config = config or ArchitectureConfig.paper_default()
-    eyeriss = EyerissSimulator(config=config, options=options)
-    ganax = GanaxSimulator(config=config, options=options)
-    return ComparisonResult(
-        model_name=model.name,
-        eyeriss=eyeriss.simulate_gan(model),
-        ganax=ganax.simulate_gan(model),
-    )
+    runner = runner or get_default_runner()
+    return runner.compare_model(model, config, options)
 
 
 def compare_models(
     models: Sequence[GANModel],
     config: Optional[ArchitectureConfig] = None,
     options: Optional[SimulationOptions] = None,
+    runner: Optional[SimulationRunner] = None,
 ) -> Dict[str, ComparisonResult]:
     """Run every GAN on both accelerators; returns name -> comparison."""
     if not models:
         raise AnalysisError("no models provided")
-    return {model.name: compare_model(model, config, options) for model in models}
+    runner = runner or get_default_runner()
+    return runner.compare_models(models, config, options)
 
 
 class ParameterSweep:
@@ -75,12 +98,14 @@ class ParameterSweep:
         models: Sequence[GANModel],
         base_config: Optional[ArchitectureConfig] = None,
         options: Optional[SimulationOptions] = None,
+        runner: Optional[SimulationRunner] = None,
     ) -> None:
         if not models:
             raise AnalysisError("a sweep needs at least one model")
         self._models = list(models)
         self._base_config = base_config or ArchitectureConfig.paper_default()
         self._options = options
+        self._runner = runner
 
     def run(
         self,
@@ -91,24 +116,17 @@ class ParameterSweep:
         """Run the sweep over ``values`` of the named configuration field."""
         if not values:
             raise AnalysisError("a sweep needs at least one parameter value")
-        points: List[SweepPoint] = []
-        for value in values:
-            config = self._base_config.with_updates(**{parameter: value})
-            comparisons = compare_models(self._models, config, self._options)
-            points.append(
-                SweepPoint(
-                    label=label_format.format(parameter=parameter, value=value),
-                    config=config,
-                    speedups={
-                        name: c.generator_speedup for name, c in comparisons.items()
-                    },
-                    energy_reductions={
-                        name: c.generator_energy_reduction
-                        for name, c in comparisons.items()
-                    },
-                )
+        labelled_configs = {
+            label_format.format(parameter=parameter, value=value):
+                self._base_config.with_updates(**{parameter: value})
+            for value in values
+        }
+        if len(labelled_configs) != len(values):
+            raise AnalysisError(
+                f"sweep over '{parameter}' produced duplicate labels; "
+                "use a label_format that distinguishes the values"
             )
-        return points
+        return self._build_points(labelled_configs)
 
     def run_configs(
         self, labelled_configs: Mapping[str, ArchitectureConfig]
@@ -116,20 +134,17 @@ class ParameterSweep:
         """Run the sweep over explicit, pre-built configurations."""
         if not labelled_configs:
             raise AnalysisError("a sweep needs at least one configuration")
-        points: List[SweepPoint] = []
-        for label, config in labelled_configs.items():
-            comparisons = compare_models(self._models, config, self._options)
-            points.append(
-                SweepPoint(
-                    label=label,
-                    config=config,
-                    speedups={
-                        name: c.generator_speedup for name, c in comparisons.items()
-                    },
-                    energy_reductions={
-                        name: c.generator_energy_reduction
-                        for name, c in comparisons.items()
-                    },
-                )
-            )
-        return points
+        return self._build_points(labelled_configs)
+
+    def _build_points(
+        self, labelled_configs: Mapping[str, ArchitectureConfig]
+    ) -> List[SweepPoint]:
+        """Submit the whole grid as one batch and assemble sweep points."""
+        runner = self._runner or get_default_runner()
+        grid = runner.compare_models_over_configs(
+            self._models, labelled_configs, self._options
+        )
+        return [
+            SweepPoint.from_comparisons(label, config, grid[label])
+            for label, config in labelled_configs.items()
+        ]

@@ -6,6 +6,13 @@ Installed as ``repro-experiments`` (see ``pyproject.toml``).  Examples::
     repro-experiments figure8             # regenerate Figure 8
     repro-experiments all                 # regenerate everything
     repro-experiments figure8 --json out.json
+    repro-experiments all --parallel --cache-stats
+    repro-experiments all --cache-dir .sim-cache   # warm-start reruns
+
+Every simulation runs through one shared
+:class:`~repro.runner.SimulationRunner`, so the whole invocation shares a
+content-addressed result cache; ``--parallel`` swaps the serial backend for a
+process pool and ``--cache-dir`` persists results across invocations.
 """
 
 from __future__ import annotations
@@ -17,6 +24,12 @@ from typing import List, Optional, Sequence
 
 from .experiments.base import ExperimentContext
 from .experiments.registry import experiment_ids, run_all, run_experiment
+from .runner import (
+    DiskResultCache,
+    ProcessPoolBackend,
+    SerialBackend,
+    SimulationRunner,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -42,7 +55,50 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress the rendered report (useful with --json)",
     )
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="execute simulations on a process pool instead of serially",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        default=None,
+        help="worker processes (implies --parallel; default: one per CPU)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="persist simulation results in a content-addressed disk cache",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable result caching (every job re-simulates)",
+    )
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print cache hit/miss accounting after the run",
+    )
     return parser
+
+
+def build_runner(args: argparse.Namespace) -> SimulationRunner:
+    """Construct the runner the CLI's experiments submit through."""
+    if args.workers is not None and args.workers <= 0:
+        raise ValueError("--workers must be a positive integer")
+    backend = (
+        ProcessPoolBackend(max_workers=args.workers)
+        if args.parallel or args.workers is not None
+        else SerialBackend()
+    )
+    if args.no_cache:
+        return SimulationRunner(backend=backend, use_cache=False)
+    cache = DiskResultCache(args.cache_dir) if args.cache_dir else None
+    return SimulationRunner(backend=backend, cache=cache)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -55,34 +111,51 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(experiment_id)
         return 0
 
-    context = ExperimentContext()
-    if args.experiment == "all":
-        results = run_all(context)
-    else:
-        try:
-            results = [run_experiment(args.experiment, context)]
-        except Exception as exc:  # surfaced as a clean CLI error
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
+    try:
+        runner = build_runner(args)
+    except Exception as exc:  # bad --workers / unusable --cache-dir
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    context = ExperimentContext(runner=runner)
+    try:
+        if args.experiment == "all":
+            results = run_all(context)
+        else:
+            try:
+                results = [run_experiment(args.experiment, context)]
+            except Exception as exc:  # surfaced as a clean CLI error
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
 
-    if not args.quiet:
-        for result in results:
-            print(result.report)
-            print()
-
-    if args.json:
-        payload = {
-            result.experiment_id: {
-                "title": result.title,
-                "data": result.data,
-                "paper_reference": result.paper_reference,
-            }
-            for result in results
-        }
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
         if not args.quiet:
-            print(f"wrote JSON results to {args.json}")
+            for result in results:
+                print(result.report)
+                print()
+
+        if args.json:
+            payload = {
+                result.experiment_id: {
+                    "title": result.title,
+                    "data": result.data,
+                    "paper_reference": result.paper_reference,
+                }
+                for result in results
+            }
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+            if not args.quiet:
+                print(f"wrote JSON results to {args.json}")
+
+        if args.cache_stats:
+            stats = runner.stats
+            print(
+                "cache: "
+                f"{stats.hits} hits, {stats.misses} misses, "
+                f"{stats.deduplicated} deduplicated "
+                f"(hit rate {100 * stats.hit_rate:.1f}%)"
+            )
+    finally:
+        runner.close()
     return 0
 
 

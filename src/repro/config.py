@@ -12,8 +12,8 @@ paper's configuration; tests and ablation benchmarks construct variants.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Any, Mapping
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Mapping
 
 from .errors import ConfigurationError
 
@@ -22,6 +22,24 @@ DEFAULT_FREQUENCY_HZ: float = 500e6
 
 #: Data width of activations, weights and partial sums (bits).
 DEFAULT_DATA_BITS: int = 16
+
+
+def _canonical_value(value: Any) -> Any:
+    """Normalize a field value for canonical serialization.
+
+    Python compares ``64 == 64.0`` as equal, so two equal configs may hold
+    the same number as int in one and float in the other (e.g. a sweep over
+    ``[16, 64]`` vs the float default ``64.0``).  Canonical JSON would
+    serialize them differently and break the fingerprint contract that equal
+    configs hash equal; collapsing integral floats to int restores it.
+    Bools are left untouched (bool is an int subclass but serializes as
+    true/false).
+    """
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
 
 
 @dataclass(frozen=True)
@@ -160,6 +178,16 @@ class ArchitectureConfig:
         """Return a copy of this configuration with ``changes`` applied."""
         return replace(self, **changes)
 
+    def to_mapping(self) -> Dict[str, Any]:
+        """All configuration fields as a plain dict (inverse of ``from_mapping``).
+
+        The mapping contains only declared dataclass fields with numerically
+        normalized values (integral floats collapse to int), so it is the
+        canonical serialization that :func:`repro.analysis.serialization.
+        config_fingerprint` hashes: equal configs always map equal.
+        """
+        return {f.name: _canonical_value(getattr(self, f.name)) for f in fields(self)}
+
     @classmethod
     def paper_default(cls) -> "ArchitectureConfig":
         """The configuration evaluated in the paper (16x16 PEs @ 500 MHz)."""
@@ -202,6 +230,27 @@ class SimulationOptions:
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
             raise ConfigurationError("batch_size must be positive")
+
+    def with_updates(self, **changes: Any) -> "SimulationOptions":
+        """Return a copy of these options with ``changes`` applied."""
+        return replace(self, **changes)
+
+    def to_mapping(self) -> Dict[str, Any]:
+        """All option fields as a plain dict (inverse of ``from_mapping``).
+
+        Values are numerically normalized like
+        :meth:`ArchitectureConfig.to_mapping`, so equal options map equal.
+        """
+        return {f.name: _canonical_value(getattr(self, f.name)) for f in fields(self)}
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "SimulationOptions":
+        """Build options from a plain mapping (e.g. parsed JSON)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(mapping) - known
+        if unknown:
+            raise ConfigurationError(f"unknown option keys: {sorted(unknown)}")
+        return cls(**dict(mapping))
 
 
 DEFAULT_CONFIG = ArchitectureConfig.paper_default()

@@ -25,9 +25,8 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional
 
-from ..analysis.metrics import geometric_mean
 from ..analysis.report import format_table
-from ..analysis.sweep import ParameterSweep, compare_models
+from ..analysis.sweep import ParameterSweep
 from ..config import ArchitectureConfig
 from .base import ExperimentContext, ExperimentResult, ensure_context
 
@@ -48,7 +47,9 @@ def compute_dispatch_ablation(
 ) -> Dict[str, Dict[str, float]]:
     """Geomean speedups as the MIMD dispatch overhead grows."""
     context = ensure_context(context)
-    sweep = ParameterSweep(context.models, context.config, context.options)
+    sweep = ParameterSweep(
+        context.models, context.config, context.options, runner=context.runner
+    )
     points = sweep.run("mimd_dispatch_overhead_cycles", list(DISPATCH_OVERHEAD_SWEEP))
     return {
         point.label: {
@@ -64,7 +65,9 @@ def compute_bandwidth_ablation(
 ) -> Dict[str, Dict[str, float]]:
     """Geomean speedups as the DRAM bandwidth shrinks (roofline effect)."""
     context = ensure_context(context)
-    sweep = ParameterSweep(context.models, context.config, context.options)
+    sweep = ParameterSweep(
+        context.models, context.config, context.options, runner=context.runner
+    )
     points = sweep.run("dram_bandwidth_bytes_per_cycle", list(BANDWIDTH_SWEEP))
     return {
         point.label: {
@@ -85,14 +88,17 @@ def compute_utilization_ablation(
     compute nodes remain in the PE sets.
     """
     context = ensure_context(context)
-    results: Dict[str, float] = {}
-    for cap in (0.25, 0.5, 0.75, 0.92, 1.0):
-        config = context.config.with_updates(ganax_target_utilization=cap)
-        comparisons = compare_models(context.models, config, context.options)
-        results[f"utilization_cap={cap:.2f}"] = geometric_mean(
-            [c.generator_speedup for c in comparisons.values()]
-        )
-    return results
+    sweep = ParameterSweep(
+        context.models, context.config, context.options, runner=context.runner
+    )
+    points = sweep.run_configs(
+        {
+            f"utilization_cap={cap:.2f}":
+                context.config.with_updates(ganax_target_utilization=cap)
+            for cap in (0.25, 0.5, 0.75, 0.92, 1.0)
+        }
+    )
+    return {point.label: point.geomean_speedup for point in points}
 
 
 def run(context: Optional[ExperimentContext] = None) -> ExperimentResult:

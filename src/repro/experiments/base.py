@@ -13,11 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Sequence
 
-from ..analysis.sweep import compare_models
 from ..analysis.results import ComparisonResult
 from ..config import ArchitectureConfig, SimulationOptions
 from ..errors import ExperimentError
 from ..nn.network import GANModel
+from ..runner import SimulationRunner, get_default_runner
 from ..workloads.registry import all_workloads
 
 
@@ -60,6 +60,13 @@ class ExperimentContext:
     takes a couple of hundred milliseconds; experiments that need the same
     comparisons share them through a context so the full-suite runner and the
     benchmarks do the work once.
+
+    Every simulation an experiment triggers goes through the context's
+    :class:`~repro.runner.SimulationRunner` (the process-wide default one
+    unless an explicit runner is passed), so the whole experiment suite —
+    headline comparisons, figures, tables and ablation sweeps — shares one
+    content-addressed result cache and, when the runner is configured with a
+    :class:`~repro.runner.ProcessPoolBackend`, one parallel pool.
     """
 
     def __init__(
@@ -67,10 +74,12 @@ class ExperimentContext:
         config: Optional[ArchitectureConfig] = None,
         options: Optional[SimulationOptions] = None,
         models: Optional[Sequence[GANModel]] = None,
+        runner: Optional[SimulationRunner] = None,
     ) -> None:
         self._config = config or ArchitectureConfig.paper_default()
         self._options = options or SimulationOptions()
         self._models = list(models) if models is not None else None
+        self._runner = runner
         self._comparisons: Optional[Dict[str, ComparisonResult]] = None
 
     @property
@@ -82,6 +91,13 @@ class ExperimentContext:
         return self._options
 
     @property
+    def runner(self) -> SimulationRunner:
+        """The runner every experiment in this context submits through."""
+        if self._runner is None:
+            self._runner = get_default_runner()
+        return self._runner
+
+    @property
     def models(self) -> Sequence[GANModel]:
         if self._models is None:
             self._models = all_workloads()
@@ -91,7 +107,9 @@ class ExperimentContext:
     def comparisons(self) -> Dict[str, ComparisonResult]:
         """GANAX-vs-EYERISS comparison per model, computed once."""
         if self._comparisons is None:
-            self._comparisons = compare_models(self.models, self._config, self._options)
+            self._comparisons = self.runner.compare_models(
+                self.models, self._config, self._options
+            )
         return self._comparisons
 
     def model(self, name: str) -> GANModel:

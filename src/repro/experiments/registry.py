@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ExperimentError
+from ..runner import SimulationRunner
 from . import (
     ablation,
     figure1,
@@ -62,7 +63,15 @@ def run_experiment(
     return get_experiment(experiment_id)(context)
 
 
-def run_all(context: Optional[ExperimentContext] = None) -> List[ExperimentResult]:
-    """Run every experiment with a shared context (built once)."""
-    context = context or ExperimentContext()
-    return [runner(context) for _title, runner in EXPERIMENTS.values()]
+def run_all(
+    context: Optional[ExperimentContext] = None,
+    runner: Optional[SimulationRunner] = None,
+) -> List[ExperimentResult]:
+    """Run every experiment with a shared context (built once).
+
+    When ``runner`` is given (and no explicit context), every experiment
+    submits its simulations through it, sharing one result cache and — for a
+    pooled backend — one worker pool across the whole evaluation section.
+    """
+    context = context or ExperimentContext(runner=runner)
+    return [run_fn(context) for _title, run_fn in EXPERIMENTS.values()]

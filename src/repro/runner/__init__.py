@@ -1,0 +1,25 @@
+"""Shared simulation execution layer: jobs, backends, caching, scheduling.
+
+See ``README.md`` in this directory for the architecture and usage guide.
+"""
+
+from .backends import ExecutionBackend, ProcessPoolBackend, SerialBackend
+from .cache import CacheStats, DiskResultCache, InMemoryResultCache, ResultCache
+from .job import ACCELERATORS, SimulationJob, execute_job
+from .runner import SimulationRunner, get_default_runner, set_default_runner
+
+__all__ = [
+    "ACCELERATORS",
+    "CacheStats",
+    "DiskResultCache",
+    "ExecutionBackend",
+    "InMemoryResultCache",
+    "ProcessPoolBackend",
+    "ResultCache",
+    "SerialBackend",
+    "SimulationJob",
+    "SimulationRunner",
+    "execute_job",
+    "get_default_runner",
+    "set_default_runner",
+]

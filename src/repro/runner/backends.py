@@ -1,0 +1,92 @@
+"""Pluggable execution backends for the simulation runner.
+
+A backend turns a batch of :class:`~repro.runner.job.SimulationJob` objects
+into :class:`~repro.analysis.results.GanResult` objects, preserving order.
+The runner guarantees the batch it dispatches is already deduplicated and
+cache-filtered, so a backend only ever sees work that must actually run.
+
+* :class:`SerialBackend` — in-process loop; the reference implementation all
+  other backends must match bit-for-bit (enforced by the parity tests in
+  ``tests/test_runner.py``).
+* :class:`ProcessPoolBackend` — ``concurrent.futures.ProcessPoolExecutor``
+  fan-out.  Jobs and results are plain picklable dataclasses, and the
+  analytical models are deterministic, so parallel results are byte-identical
+  to serial ones.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence
+
+from ..analysis.results import GanResult
+from .job import SimulationJob, execute_job
+
+
+class ExecutionBackend:
+    """Interface of a runner execution backend."""
+
+    #: Short identifier used in reports and benchmarks.
+    name: str = "abstract"
+
+    def run_jobs(self, jobs: Sequence[SimulationJob]) -> List[GanResult]:
+        """Execute every job, returning results in input order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources (pools); idempotent."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class SerialBackend(ExecutionBackend):
+    """Execute jobs one after another in the calling process."""
+
+    name = "serial"
+
+    def run_jobs(self, jobs: Sequence[SimulationJob]) -> List[GanResult]:
+        return [execute_job(job) for job in jobs]
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Execute jobs on a ``ProcessPoolExecutor``.
+
+    The pool is created lazily on the first batch and reused across batches,
+    so repeated sweep submissions amortise the worker start-up cost.  Call
+    :meth:`close` (or use the backend as a context manager) to shut the
+    workers down.
+    """
+
+    name = "process-pool"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self._max_workers = max_workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    @property
+    def max_workers(self) -> Optional[int]:
+        return self._max_workers
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self._max_workers)
+        return self._pool
+
+    def run_jobs(self, jobs: Sequence[SimulationJob]) -> List[GanResult]:
+        if not jobs:
+            return []
+        pool = self._ensure_pool()
+        # chunk to bound per-task IPC overhead on large sweeps
+        workers = self._max_workers or os.cpu_count() or 1
+        chunksize = max(1, len(jobs) // (4 * workers))
+        return list(pool.map(execute_job, jobs, chunksize=chunksize))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None

@@ -1,0 +1,189 @@
+"""Content-addressed result caches for the simulation runner.
+
+Cache keys are the :attr:`~repro.runner.job.SimulationJob.cache_key`
+fingerprints — SHA-256 hashes over the canonical serialization of every
+simulation input — so a cache entry is valid for *any* job with the same
+content, regardless of which sweep, experiment or process produced it.
+
+Two implementations are provided:
+
+* :class:`InMemoryResultCache` — a plain dict, the default for a runner.
+* :class:`DiskResultCache` — pickled results in a content-addressed directory
+  layout (``<root>/<key[:2]>/<key>.pkl``), which lets warm results survive
+  process restarts and be shared between concurrent runs.
+
+Hit/miss/store accounting lives in :class:`CacheStats`; the
+:class:`~repro.runner.runner.SimulationRunner` owns one stats object and
+updates it on every lookup so tests and the CLI can audit cache behaviour.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..analysis.results import GanResult
+from ..errors import AnalysisError
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class CacheStats:
+    """Counters describing how a runner used its cache.
+
+    Attributes
+    ----------
+    hits:
+        Jobs answered directly from the cache.
+    misses:
+        Jobs that had to be executed by a backend.
+    stores:
+        Results written into the cache (== misses unless storing failed).
+    deduplicated:
+        Jobs that were dropped before dispatch because an identical job
+        (same cache key) was already in the same batch.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    deduplicated: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when unused)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "deduplicated": self.deduplicated,
+            "hit_rate": self.hit_rate,
+        }
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.stores = self.deduplicated = 0
+
+
+class ResultCache:
+    """Interface of a content-addressed result cache."""
+
+    def get(self, key: str) -> Optional[GanResult]:
+        """The cached result for ``key``, or None on a miss."""
+        raise NotImplementedError
+
+    def put(self, key: str, result: GanResult) -> None:
+        """Store ``result`` under ``key`` (overwrites silently)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+
+class InMemoryResultCache(ResultCache):
+    """Dict-backed cache; the default for a :class:`SimulationRunner`."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, GanResult] = {}
+
+    def get(self, key: str) -> Optional[GanResult]:
+        return self._entries.get(key)
+
+    def put(self, key: str, result: GanResult) -> None:
+        self._entries[key] = result
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class DiskResultCache(ResultCache):
+    """Pickle-on-disk cache with a content-addressed directory layout.
+
+    Entries live at ``<root>/<key[:2]>/<key>.pkl`` (the two-character shard
+    keeps directories small for large sweeps).  A small in-memory overlay
+    avoids re-reading entries that were already fetched or stored in this
+    process.
+    """
+
+    def __init__(self, root: PathLike) -> None:
+        self._root = Path(root)
+        if self._root.exists() and not self._root.is_dir():
+            raise AnalysisError(
+                f"cache root '{self._root}' exists and is not a directory"
+            )
+        self._root.mkdir(parents=True, exist_ok=True)
+        self._overlay: Dict[str, GanResult] = {}
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    def _path_for(self, key: str) -> Path:
+        return self._root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[GanResult]:
+        if key in self._overlay:
+            return self._overlay[key]
+        path = self._path_for(key)
+        if not path.exists():
+            return None
+        try:
+            with path.open("rb") as handle:
+                result = pickle.load(handle)
+        except Exception:
+            # A truncated/corrupt entry (e.g. torn write from a crashed run)
+            # is a miss, not a fatal error; drop it so it gets rewritten.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self._overlay[key] = result
+        return result
+
+    def put(self, key: str, result: GanResult) -> None:
+        path = self._path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # unique temp file per writer: concurrent runs storing the same key
+        # never interleave bytes, and the rename publishes atomically
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key[:16]}.", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self._overlay[key] = result
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._root.glob("*/*.pkl"))
+
+    def clear(self) -> None:
+        self._overlay.clear()
+        for path in self._root.glob("*/*.pkl"):
+            path.unlink()

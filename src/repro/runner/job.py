@@ -1,0 +1,116 @@
+"""The unit of work of the simulation runner: one (model, accelerator) run.
+
+A :class:`SimulationJob` fully describes one simulator invocation — which GAN
+model, which accelerator, which :class:`~repro.config.ArchitectureConfig` and
+:class:`~repro.config.SimulationOptions` — and derives a deterministic
+content-hash :attr:`~SimulationJob.cache_key` from the canonical serialization
+of those inputs.  Jobs with equal cache keys are guaranteed to produce equal
+:class:`~repro.analysis.results.GanResult` values, which is what lets the
+runner deduplicate batches and share results through a content-addressed
+cache across sweeps, experiments and processes.
+
+:func:`execute_job` is the single entry point every backend uses to turn a
+job into a result; it lives at module level so the process-pool backend can
+pickle it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Optional, Tuple
+
+from ..analysis.results import GanResult
+from ..analysis.serialization import (
+    config_fingerprint,
+    fingerprint_data,
+    options_fingerprint,
+    workload_fingerprint,
+)
+from ..baseline.simulator import EyerissSimulator
+from ..config import ArchitectureConfig, SimulationOptions
+from ..core.simulator import GanaxSimulator
+from ..errors import AnalysisError
+from ..nn.network import GANModel
+
+#: Accelerator name -> simulator class, the runner's dispatch table.
+SIMULATORS = {
+    "eyeriss": EyerissSimulator,
+    "ganax": GanaxSimulator,
+}
+
+#: Accelerator identifiers accepted by :class:`SimulationJob`.
+ACCELERATORS: Tuple[str, ...] = tuple(SIMULATORS)
+
+
+@dataclass(frozen=True)
+class SimulationJob:
+    """One simulator invocation: a GAN model on one accelerator.
+
+    Attributes
+    ----------
+    model:
+        The workload to simulate.  The model travels with the job (it is
+        picklable), so jobs over ad-hoc models — not just registry
+        workloads — run on every backend.
+    accelerator:
+        ``"eyeriss"`` or ``"ganax"``.
+    config:
+        Architecture configuration shared by both simulators.
+    options:
+        Whole-model simulation options.
+    """
+
+    model: GANModel
+    accelerator: str
+    config: ArchitectureConfig
+    options: SimulationOptions
+
+    def __post_init__(self) -> None:
+        if self.accelerator not in SIMULATORS:
+            raise AnalysisError(
+                f"unknown accelerator '{self.accelerator}'; "
+                f"expected one of: {', '.join(ACCELERATORS)}"
+            )
+
+    @property
+    def model_name(self) -> str:
+        return self.model.name
+
+    @cached_property
+    def cache_key(self) -> str:
+        """Deterministic content hash identifying this job's result.
+
+        Combines the accelerator name with the fingerprints of the workload
+        structure, the architecture configuration and the simulation options,
+        so any change to any simulation input changes the key.
+        """
+        return fingerprint_data(
+            {
+                "accelerator": self.accelerator,
+                "workload": workload_fingerprint(self.model),
+                "config": config_fingerprint(self.config),
+                "options": options_fingerprint(self.options),
+            }
+        )
+
+    @classmethod
+    def comparison_pair(
+        cls,
+        model: GANModel,
+        config: Optional[ArchitectureConfig] = None,
+        options: Optional[SimulationOptions] = None,
+    ) -> Tuple["SimulationJob", "SimulationJob"]:
+        """The (eyeriss, ganax) job pair behind one ComparisonResult."""
+        config = config or ArchitectureConfig.paper_default()
+        options = options or SimulationOptions()
+        return (
+            cls(model=model, accelerator="eyeriss", config=config, options=options),
+            cls(model=model, accelerator="ganax", config=config, options=options),
+        )
+
+
+def execute_job(job: SimulationJob) -> GanResult:
+    """Run one job to completion (used by every backend, picklable)."""
+    simulator = SIMULATORS[job.accelerator](config=job.config, options=job.options)
+    return simulator.simulate_gan(job.model)

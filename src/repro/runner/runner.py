@@ -1,0 +1,238 @@
+"""The simulation runner: batched scheduling, deduplication and caching.
+
+:class:`SimulationRunner` is the single execution seam every sweep, experiment
+and CLI invocation submits through.  For each batch of
+:class:`~repro.runner.job.SimulationJob` objects it
+
+1. **deduplicates** jobs by content hash, so identical (model, accelerator,
+   config, options) combinations — common across experiments that share the
+   paper-default configuration — execute at most once per batch,
+2. answers what it can from the **content-addressed cache**, and
+3. dispatches only the remaining unique misses to the configured
+   :class:`~repro.runner.backends.ExecutionBackend` (serial or process pool)
+   in one batch, so a parallel backend sees the widest possible fan-out.
+
+The convenience entry points (:meth:`compare_model`, :meth:`compare_models`,
+:meth:`compare_models_over_configs`) assemble
+:class:`~repro.analysis.results.ComparisonResult` values from job results and
+are what :mod:`repro.analysis.sweep` and the experiment harness call.
+
+A process-wide default runner (one serial backend + one shared in-memory
+cache) backs the module-level ``compare_model``/``compare_models`` helpers so
+casual library use benefits from caching without any setup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..analysis.results import ComparisonResult, GanResult
+from ..config import ArchitectureConfig, SimulationOptions
+from ..errors import AnalysisError
+from ..nn.network import GANModel
+from .backends import ExecutionBackend, SerialBackend
+from .cache import CacheStats, InMemoryResultCache, ResultCache
+from .job import SimulationJob
+
+
+class SimulationRunner:
+    """Execute simulation jobs through a backend with content-hash caching.
+
+    Parameters
+    ----------
+    backend:
+        Execution backend; defaults to a fresh :class:`SerialBackend`.
+    cache:
+        Result cache; defaults to a fresh :class:`InMemoryResultCache`.
+        Pass ``None`` explicitly via ``use_cache=False`` to disable caching.
+    use_cache:
+        When False the runner never consults or fills a cache (every job in
+        a batch still deduplicates against identical batch-mates).
+    """
+
+    def __init__(
+        self,
+        backend: Optional[ExecutionBackend] = None,
+        cache: Optional[ResultCache] = None,
+        use_cache: bool = True,
+    ) -> None:
+        self._backend = backend if backend is not None else SerialBackend()
+        # `is not None`, not truthiness: an empty cache has len() == 0
+        self._cache: Optional[ResultCache] = (
+            (cache if cache is not None else InMemoryResultCache())
+            if use_cache
+            else None
+        )
+        self._stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> ExecutionBackend:
+        return self._backend
+
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        return self._cache
+
+    @property
+    def stats(self) -> CacheStats:
+        """Cache accounting for every batch this runner has executed."""
+        return self._stats
+
+    def close(self) -> None:
+        """Shut down the backend (idempotent)."""
+        self._backend.close()
+
+    def __enter__(self) -> "SimulationRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Core batched scheduler
+    # ------------------------------------------------------------------
+    def run_jobs(self, jobs: Sequence[SimulationJob]) -> List[GanResult]:
+        """Run a batch of jobs, returning results in submission order.
+
+        Identical jobs (equal ``cache_key``) are executed at most once; the
+        duplicate submissions share the single result object.
+        """
+        jobs = list(jobs)
+        resolved: Dict[str, GanResult] = {}
+        pending: List[SimulationJob] = []
+        pending_keys: set = set()
+        for job in jobs:
+            key = job.cache_key
+            if key in resolved or key in pending_keys:
+                self._stats.deduplicated += 1
+                continue
+            if self._cache is not None:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._stats.hits += 1
+                    resolved[key] = cached
+                    continue
+            self._stats.misses += 1
+            pending.append(job)
+            pending_keys.add(key)
+
+        if pending:
+            results = self._backend.run_jobs(pending)
+            if len(results) != len(pending):
+                raise AnalysisError(
+                    f"backend '{self._backend.name}' returned {len(results)} "
+                    f"results for {len(pending)} jobs"
+                )
+            for job, result in zip(pending, results):
+                resolved[job.cache_key] = result
+                if self._cache is not None:
+                    self._cache.put(job.cache_key, result)
+                    self._stats.stores += 1
+
+        return [resolved[job.cache_key] for job in jobs]
+
+    def run_job(self, job: SimulationJob) -> GanResult:
+        """Run a single job (through the cache)."""
+        return self.run_jobs([job])[0]
+
+    # ------------------------------------------------------------------
+    # Comparison-level entry points
+    # ------------------------------------------------------------------
+    def compare_model(
+        self,
+        model: GANModel,
+        config: Optional[ArchitectureConfig] = None,
+        options: Optional[SimulationOptions] = None,
+    ) -> ComparisonResult:
+        """Run one GAN on both accelerators with a shared configuration."""
+        return self.compare_models([model], config, options)[model.name]
+
+    def compare_models(
+        self,
+        models: Sequence[GANModel],
+        config: Optional[ArchitectureConfig] = None,
+        options: Optional[SimulationOptions] = None,
+    ) -> Dict[str, ComparisonResult]:
+        """Run every GAN on both accelerators; returns name -> comparison.
+
+        All ``2 * len(models)`` jobs dispatch as one batch, so a parallel
+        backend overlaps models and accelerators.
+        """
+        if not models:
+            raise AnalysisError("no models provided")
+        grid = self.compare_models_over_configs(
+            models, {"default": config or ArchitectureConfig.paper_default()}, options
+        )
+        return grid["default"]
+
+    def compare_models_over_configs(
+        self,
+        models: Sequence[GANModel],
+        labelled_configs: Mapping[str, ArchitectureConfig],
+        options: Optional[SimulationOptions] = None,
+    ) -> Dict[str, Dict[str, ComparisonResult]]:
+        """Run a (config x model) comparison grid as one deduplicated batch.
+
+        This is the sweep fast path: every point of a parameter sweep joins a
+        single submission, so the backend parallelises across the whole grid
+        and configs that collapse to the same content hash run once.
+
+        Returns ``{config_label: {model_name: ComparisonResult}}`` preserving
+        the iteration order of ``labelled_configs`` and ``models``.
+        """
+        if not models:
+            raise AnalysisError("no models provided")
+        if not labelled_configs:
+            raise AnalysisError("no configurations provided")
+        jobs: List[SimulationJob] = []
+        for config in labelled_configs.values():
+            for model in models:
+                jobs.extend(SimulationJob.comparison_pair(model, config, options))
+        results = self.run_jobs(jobs)
+        grid: Dict[str, Dict[str, ComparisonResult]] = {}
+        cursor = iter(results)
+        for label in labelled_configs:
+            comparisons: Dict[str, ComparisonResult] = {}
+            for model in models:
+                eyeriss, ganax = next(cursor), next(cursor)
+                comparisons[model.name] = ComparisonResult(
+                    model_name=model.name, eyeriss=eyeriss, ganax=ganax
+                )
+            grid[label] = comparisons
+        return grid
+
+
+# ----------------------------------------------------------------------
+# Process-wide default runner
+# ----------------------------------------------------------------------
+_default_runner: Optional[SimulationRunner] = None
+
+
+def get_default_runner() -> SimulationRunner:
+    """The process-wide runner (serial backend + shared in-memory cache).
+
+    Created lazily on first use; the module-level ``compare_model`` /
+    ``compare_models`` helpers in :mod:`repro.analysis.sweep` and any
+    :class:`~repro.experiments.base.ExperimentContext` built without an
+    explicit runner all share it, so repeated paper-default simulations are
+    computed once per process.
+    """
+    global _default_runner
+    if _default_runner is None:
+        _default_runner = SimulationRunner()
+    return _default_runner
+
+
+def set_default_runner(runner: Optional[SimulationRunner]) -> Optional[SimulationRunner]:
+    """Replace the process-wide runner; returns the previous one (if any).
+
+    Pass None to reset; the next :func:`get_default_runner` call creates a
+    fresh serial runner.
+    """
+    global _default_runner
+    previous = _default_runner
+    _default_runner = runner
+    return previous

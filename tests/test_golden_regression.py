@@ -1,0 +1,74 @@
+"""Golden regression: the headline numbers of the paper reproduction.
+
+These values were captured from the seed implementation on
+``ArchitectureConfig.paper_default()`` and pin the exact per-model generator
+speedups and energy reductions for all six evaluated GAN workloads, plus
+their geomeans (the paper's abstract-level claims).  Runner, cache or sweep
+refactors must not move these numbers at all — the tolerance only absorbs
+floating-point noise from a different summation order, not model drift.
+
+If a deliberate model change moves them, recapture the values in the same
+commit and say so in the commit message.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import geometric_mean
+from repro.config import ArchitectureConfig
+from repro.runner import SimulationRunner
+from repro.workloads.registry import all_workloads, workload_names
+
+#: model -> (generator speedup, generator energy reduction) on paper defaults,
+#: captured from the seed (git 056798f).
+GOLDEN = {
+    "3D-GAN": (8.294872609932957, 4.6774771943603755),
+    "ArtGAN": (3.939804766358853, 2.430527162956952),
+    "DCGAN": (4.55573990462587, 2.4957907010860487),
+    "DiscoGAN": (3.160956537367584, 1.975331062100266),
+    "GP-GAN": (3.940532910783142, 2.3379412950065754),
+    "MAGAN": (2.5665611960038337, 2.018641698631775),
+}
+
+GOLDEN_GEOMEAN_SPEEDUP = 4.101361734069381
+GOLDEN_GEOMEAN_ENERGY_REDUCTION = 2.5336240675564055
+
+RELATIVE_TOLERANCE = 1e-12
+
+
+@pytest.fixture(scope="module")
+def comparisons():
+    runner = SimulationRunner()
+    return runner.compare_models(all_workloads(), ArchitectureConfig.paper_default())
+
+
+def test_golden_covers_all_registered_workloads():
+    assert set(GOLDEN) == set(workload_names())
+
+
+@pytest.mark.parametrize("model_name", sorted(GOLDEN))
+def test_generator_speedup_pinned(comparisons, model_name):
+    expected_speedup, _ = GOLDEN[model_name]
+    assert comparisons[model_name].generator_speedup == pytest.approx(
+        expected_speedup, rel=RELATIVE_TOLERANCE
+    )
+
+
+@pytest.mark.parametrize("model_name", sorted(GOLDEN))
+def test_generator_energy_reduction_pinned(comparisons, model_name):
+    _, expected_reduction = GOLDEN[model_name]
+    assert comparisons[model_name].generator_energy_reduction == pytest.approx(
+        expected_reduction, rel=RELATIVE_TOLERANCE
+    )
+
+
+def test_geomean_headline_numbers_pinned(comparisons):
+    speedups = [c.generator_speedup for c in comparisons.values()]
+    reductions = [c.generator_energy_reduction for c in comparisons.values()]
+    assert geometric_mean(speedups) == pytest.approx(
+        GOLDEN_GEOMEAN_SPEEDUP, rel=RELATIVE_TOLERANCE
+    )
+    assert geometric_mean(reductions) == pytest.approx(
+        GOLDEN_GEOMEAN_ENERGY_REDUCTION, rel=RELATIVE_TOLERANCE
+    )

@@ -6,6 +6,13 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.analysis.serialization import (
+    config_fingerprint,
+    fingerprint_data,
+    options_fingerprint,
+    workload_fingerprint,
+)
+from repro.config import ArchitectureConfig, SimulationOptions
 from repro.core.index_generator import GeneratorConfig, StridedIndexGenerator
 from repro.hw.counters import EventCounters
 from repro.hw.energy import EnergyModel
@@ -205,6 +212,125 @@ class TestIndexGeneratorProperties:
         generator.start()
         for address in generator.drain():
             assert offset <= address < offset + end
+
+
+# ----------------------------------------------------------------------
+# Configuration fingerprint invariants (simulation cache keys)
+# ----------------------------------------------------------------------
+#: Fields a sweep plausibly varies, with value strategies that keep the
+#: configuration valid under ArchitectureConfig's __post_init__ checks.
+_SWEEPABLE_FIELDS = {
+    "num_pvs": st.integers(min_value=1, max_value=64),
+    "pes_per_pv": st.integers(min_value=1, max_value=64),
+    "frequency_hz": st.sampled_from([100e6, 250e6, 500e6, 1e9]),
+    "data_bits": st.sampled_from([8, 16, 32]),
+    "dram_bandwidth_bytes_per_cycle": st.sampled_from([8.0, 16.0, 32.0, 64.0, 128.0]),
+    "mimd_dispatch_overhead_cycles": st.integers(min_value=0, max_value=64),
+    "zero_gating_energy_fraction": st.sampled_from([0.0, 0.1, 0.25, 0.5, 1.0]),
+    "ganax_target_utilization": st.sampled_from([0.25, 0.5, 0.75, 0.92, 1.0]),
+}
+
+arch_configs = st.fixed_dictionaries(
+    {},
+    optional=_SWEEPABLE_FIELDS,
+).map(lambda updates: ArchitectureConfig.paper_default().with_updates(**updates))
+
+sim_options = st.builds(
+    SimulationOptions,
+    batch_size=st.integers(min_value=1, max_value=16),
+    include_discriminator=st.booleans(),
+    magan_discriminator_conv_only=st.booleans(),
+)
+
+
+class TestFingerprintProperties:
+    @given(arch_configs, st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_fingerprint_stable_across_field_ordering(self, config, rnd):
+        """Reordering the serialized fields must not change the fingerprint."""
+        items = list(config.to_mapping().items())
+        rnd.shuffle(items)
+        shuffled = ArchitectureConfig.from_mapping(dict(items))
+        assert config_fingerprint(shuffled) == config_fingerprint(config)
+
+    @given(arch_configs, st.sampled_from(sorted(_SWEEPABLE_FIELDS)))
+    @settings(max_examples=60, deadline=None)
+    def test_fingerprint_changes_when_any_swept_field_changes(self, config, field_name):
+        """with_updates on any sweepable field must produce a new fingerprint."""
+        current = getattr(config, field_name)
+        # pick a valid value different from the current one
+        candidates = [
+            value
+            for value in (1, 2, 8, 16, 0.5, 0.75, 500e6, 64.0)
+            if value != current
+        ]
+        for candidate in candidates:
+            try:
+                changed = config.with_updates(**{field_name: candidate})
+            except Exception:
+                continue
+            assert config_fingerprint(changed) != config_fingerprint(config)
+            return
+        pytest.skip("no alternative valid value found for this field")
+
+    @given(arch_configs)
+    @settings(max_examples=60, deadline=None)
+    def test_fingerprint_roundtrips_through_serialization(self, config):
+        """to_mapping -> from_mapping reproduces the config and its fingerprint."""
+        rebuilt = ArchitectureConfig.from_mapping(config.to_mapping())
+        assert rebuilt == config
+        assert config_fingerprint(rebuilt) == config_fingerprint(config)
+
+    @given(sim_options)
+    @settings(max_examples=60, deadline=None)
+    def test_options_fingerprint_roundtrips_and_discriminates(self, options):
+        rebuilt = SimulationOptions.from_mapping(options.to_mapping())
+        assert rebuilt == options
+        assert options_fingerprint(rebuilt) == options_fingerprint(options)
+        bumped = options.with_updates(batch_size=options.batch_size + 1)
+        assert options_fingerprint(bumped) != options_fingerprint(options)
+
+    @given(arch_configs, arch_configs)
+    @settings(max_examples=60, deadline=None)
+    def test_equal_configs_iff_equal_fingerprints(self, left, right):
+        """The fingerprint is a faithful content hash over the config space."""
+        assert (left == right) == (
+            config_fingerprint(left) == config_fingerprint(right)
+        )
+
+    def test_int_and_float_spellings_of_equal_configs_hash_equal(self):
+        """64 == 64.0, so both spellings must produce one cache key."""
+        base = ArchitectureConfig.paper_default()
+        as_int = base.with_updates(dram_bandwidth_bytes_per_cycle=64)
+        as_float = base.with_updates(dram_bandwidth_bytes_per_cycle=64.0)
+        assert as_int == as_float == base
+        assert (
+            config_fingerprint(as_int)
+            == config_fingerprint(as_float)
+            == config_fingerprint(base)
+        )
+        assert config_fingerprint(
+            base.with_updates(frequency_hz=int(base.frequency_hz))
+        ) == config_fingerprint(base)
+
+    def test_workload_fingerprint_ignores_object_identity(self):
+        from repro.workloads.dcgan import build_dcgan
+
+        assert workload_fingerprint(build_dcgan()) == workload_fingerprint(
+            build_dcgan()
+        )
+
+    def test_workload_fingerprints_distinguish_models(self):
+        from repro.workloads.registry import all_workloads
+
+        fingerprints = {workload_fingerprint(m) for m in all_workloads()}
+        assert len(fingerprints) == 6
+
+    @given(st.dictionaries(st.text(max_size=8), st.integers(), max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_fingerprint_data_insensitive_to_insertion_order(self, mapping):
+        reversed_mapping = dict(reversed(list(mapping.items())))
+        assert fingerprint_data(reversed_mapping) == fingerprint_data(mapping)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,332 @@
+"""Tests for the simulation runner: backends, caching, scheduling, parity.
+
+The central guarantee of :mod:`repro.runner` is that the execution strategy is
+invisible in the results: serial, process-pool and cache-served runs of the
+same jobs produce identical values.  The parity tests assert this at three
+levels — dataclass equality, the exact floats the paper figures consume, and
+byte-identical canonical JSON of the flattened per-layer rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.serialization import canonical_json, gan_result_rows
+from repro.analysis.sweep import ParameterSweep, compare_model, compare_models
+from repro.config import ArchitectureConfig, SimulationOptions
+from repro.errors import AnalysisError
+from repro.runner import (
+    CacheStats,
+    DiskResultCache,
+    InMemoryResultCache,
+    ProcessPoolBackend,
+    SerialBackend,
+    SimulationJob,
+    SimulationRunner,
+    execute_job,
+    get_default_runner,
+    set_default_runner,
+)
+from repro.workloads.registry import all_workloads, get_workload
+
+
+@pytest.fixture(scope="module")
+def models():
+    return all_workloads()
+
+
+@pytest.fixture(scope="module")
+def pool_backend():
+    """One process pool shared by every parallel test in this module."""
+    backend = ProcessPoolBackend(max_workers=2)
+    yield backend
+    backend.close()
+
+
+def result_bytes(comparison) -> bytes:
+    """Canonical byte serialization of a comparison's full layer-level data."""
+    rows = gan_result_rows(comparison.eyeriss) + gan_result_rows(comparison.ganax)
+    return canonical_json(rows).encode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# Jobs
+# ----------------------------------------------------------------------
+class TestSimulationJob:
+    def test_rejects_unknown_accelerator(self, dcgan_model, paper_config, options):
+        with pytest.raises(AnalysisError):
+            SimulationJob(
+                model=dcgan_model,
+                accelerator="tpu",
+                config=paper_config,
+                options=options,
+            )
+
+    def test_cache_key_is_deterministic(self, dcgan_model, paper_config, options):
+        job_a = SimulationJob(dcgan_model, "ganax", paper_config, options)
+        job_b = SimulationJob(dcgan_model, "ganax", paper_config, options)
+        assert job_a.cache_key == job_b.cache_key
+
+    def test_cache_key_distinguishes_every_input(self, dcgan_model, magan_model):
+        config = ArchitectureConfig.paper_default()
+        options = SimulationOptions()
+        base = SimulationJob(dcgan_model, "ganax", config, options)
+        assert (
+            SimulationJob(dcgan_model, "eyeriss", config, options).cache_key
+            != base.cache_key
+        )
+        assert (
+            SimulationJob(magan_model, "ganax", config, options).cache_key
+            != base.cache_key
+        )
+        assert (
+            SimulationJob(
+                dcgan_model, "ganax", config.with_updates(num_pvs=8), options
+            ).cache_key
+            != base.cache_key
+        )
+        assert (
+            SimulationJob(
+                dcgan_model, "ganax", config, options.with_updates(batch_size=2)
+            ).cache_key
+            != base.cache_key
+        )
+
+    def test_comparison_pair_covers_both_accelerators(self, dcgan_model):
+        eyeriss, ganax = SimulationJob.comparison_pair(dcgan_model)
+        assert (eyeriss.accelerator, ganax.accelerator) == ("eyeriss", "ganax")
+        assert eyeriss.config == ganax.config
+
+    def test_execute_job_matches_direct_simulation(self, dcgan_model):
+        eyeriss_job, ganax_job = SimulationJob.comparison_pair(dcgan_model)
+        comparison = compare_model(dcgan_model, runner=SimulationRunner())
+        assert execute_job(eyeriss_job) == comparison.eyeriss
+        assert execute_job(ganax_job) == comparison.ganax
+
+
+# ----------------------------------------------------------------------
+# Serial vs parallel parity
+# ----------------------------------------------------------------------
+class TestBackendParity:
+    def test_compare_models_serial_parallel_identical(self, models, pool_backend):
+        serial = SimulationRunner(backend=SerialBackend()).compare_models(models)
+        parallel = SimulationRunner(backend=pool_backend).compare_models(models)
+        assert serial.keys() == parallel.keys()
+        for name in serial:
+            assert serial[name] == parallel[name]
+            assert serial[name].generator_speedup == parallel[name].generator_speedup
+            assert (
+                serial[name].generator_energy_reduction
+                == parallel[name].generator_energy_reduction
+            )
+            assert result_bytes(serial[name]) == result_bytes(parallel[name])
+
+    def test_parameter_sweep_serial_parallel_identical(self, models, pool_backend):
+        values = (16.0, 64.0)
+
+        def sweep_with(backend):
+            sweep = ParameterSweep(
+                models[:3], runner=SimulationRunner(backend=backend)
+            )
+            return sweep.run("dram_bandwidth_bytes_per_cycle", values)
+
+        serial_points = sweep_with(SerialBackend())
+        parallel_points = sweep_with(pool_backend)
+        assert len(serial_points) == len(parallel_points) == len(values)
+        for s, p in zip(serial_points, parallel_points):
+            assert s.label == p.label
+            assert s.config == p.config
+            assert s.speedups == p.speedups
+            assert s.energy_reductions == p.energy_reductions
+            assert s.geomean_speedup == p.geomean_speedup
+            assert s.geomean_energy_reduction == p.geomean_energy_reduction
+
+    def test_cached_results_identical_to_fresh_ones(self, models):
+        runner = SimulationRunner()
+        cold = runner.compare_models(models[:2])
+        warm = runner.compare_models(models[:2])
+        for name in cold:
+            assert cold[name] == warm[name]
+            assert result_bytes(cold[name]) == result_bytes(warm[name])
+
+
+# ----------------------------------------------------------------------
+# Cache accounting
+# ----------------------------------------------------------------------
+class TestCacheAccounting:
+    def test_cold_batch_counts_all_misses(self, models):
+        runner = SimulationRunner()
+        runner.compare_models(models)
+        assert runner.stats.misses == 2 * len(models)
+        assert runner.stats.stores == 2 * len(models)
+        assert runner.stats.hits == 0
+        assert runner.stats.hit_rate == 0.0
+        assert len(runner.cache) == 2 * len(models)
+
+    def test_repeat_batch_is_all_hits(self, models):
+        runner = SimulationRunner()
+        runner.compare_models(models)
+        runner.compare_models(models)
+        assert runner.stats.hits == 2 * len(models)
+        assert runner.stats.misses == 2 * len(models)
+        assert runner.stats.hit_rate == 0.5
+
+    def test_duplicate_jobs_in_one_batch_deduplicate(self, dcgan_model):
+        runner = SimulationRunner()
+        jobs = list(SimulationJob.comparison_pair(dcgan_model)) * 3
+        results = runner.run_jobs(jobs)
+        assert len(results) == 6
+        assert runner.stats.misses == 2
+        assert runner.stats.deduplicated == 4
+        # duplicates share the single executed result object
+        assert results[0] is results[2] is results[4]
+        assert results[1] is results[3] is results[5]
+
+    def test_equivalent_configs_share_cache_entries(self, dcgan_model):
+        # ganax_target_utilization defaults to 0.92, so this "update" is a
+        # content no-op and must hit the cache, not re-simulate.
+        runner = SimulationRunner()
+        runner.compare_model(dcgan_model)
+        runner.compare_model(
+            dcgan_model,
+            ArchitectureConfig.paper_default().with_updates(
+                ganax_target_utilization=0.92
+            ),
+        )
+        assert runner.stats.misses == 2
+        assert runner.stats.hits == 2
+
+    def test_uncached_runner_recomputes(self, dcgan_model):
+        runner = SimulationRunner(use_cache=False)
+        assert runner.cache is None
+        first = runner.compare_model(dcgan_model)
+        second = runner.compare_model(dcgan_model)
+        assert runner.stats.misses == 4
+        assert runner.stats.hits == 0
+        assert first == second
+
+    def test_stats_reset(self):
+        stats = CacheStats(hits=3, misses=1, stores=1, deduplicated=2)
+        assert stats.lookups == 4
+        assert stats.hit_rate == 0.75
+        stats.reset()
+        assert stats.as_dict() == {
+            "hits": 0, "misses": 0, "stores": 0, "deduplicated": 0, "hit_rate": 0.0,
+        }
+
+
+# ----------------------------------------------------------------------
+# Caches
+# ----------------------------------------------------------------------
+class TestCaches:
+    def test_in_memory_roundtrip(self, dcgan_model):
+        cache = InMemoryResultCache()
+        job = SimulationJob.comparison_pair(dcgan_model)[1]
+        result = execute_job(job)
+        assert cache.get(job.cache_key) is None
+        cache.put(job.cache_key, result)
+        assert cache.get(job.cache_key) == result
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_disk_cache_survives_new_instances(self, tmp_path, dcgan_model):
+        job = SimulationJob.comparison_pair(dcgan_model)[1]
+        result = execute_job(job)
+        DiskResultCache(tmp_path / "cache").put(job.cache_key, result)
+        reopened = DiskResultCache(tmp_path / "cache")
+        assert len(reopened) == 1
+        assert reopened.get(job.cache_key) == result
+
+    def test_disk_cache_warm_runner_hits(self, tmp_path, dcgan_model):
+        cold = SimulationRunner(cache=DiskResultCache(tmp_path / "cache"))
+        first = cold.compare_model(dcgan_model)
+        assert cold.stats.misses == 2
+        warm = SimulationRunner(cache=DiskResultCache(tmp_path / "cache"))
+        second = warm.compare_model(dcgan_model)
+        assert warm.stats.hits == 2
+        assert warm.stats.misses == 0
+        assert first == second
+
+    def test_disk_cache_treats_corrupt_entry_as_miss(self, tmp_path, dcgan_model):
+        cache = DiskResultCache(tmp_path / "cache")
+        job = SimulationJob.comparison_pair(dcgan_model)[0]
+        cache.put(job.cache_key, execute_job(job))
+        entry = cache._path_for(job.cache_key)
+        entry.write_bytes(b"torn write from a crashed run")
+        fresh = DiskResultCache(tmp_path / "cache")
+        assert fresh.get(job.cache_key) is None  # miss, not a crash
+        assert not entry.exists()  # corrupt entry dropped for rewrite
+
+    def test_disk_cache_rejects_non_directory_root(self, tmp_path):
+        not_a_dir = tmp_path / "occupied"
+        not_a_dir.write_text("file, not a directory")
+        with pytest.raises(AnalysisError):
+            DiskResultCache(not_a_dir)
+
+    def test_disk_cache_clear(self, tmp_path, dcgan_model):
+        cache = DiskResultCache(tmp_path / "cache")
+        job = SimulationJob.comparison_pair(dcgan_model)[0]
+        cache.put(job.cache_key, execute_job(job))
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(job.cache_key) is None
+
+
+# ----------------------------------------------------------------------
+# Runner plumbing
+# ----------------------------------------------------------------------
+class TestRunnerPlumbing:
+    def test_empty_inputs_rejected(self, dcgan_model):
+        runner = SimulationRunner()
+        with pytest.raises(AnalysisError):
+            runner.compare_models([])
+        with pytest.raises(AnalysisError):
+            runner.compare_models_over_configs([dcgan_model], {})
+
+    def test_run_jobs_empty_batch_is_noop(self):
+        runner = SimulationRunner()
+        assert runner.run_jobs([]) == []
+        assert runner.stats.lookups == 0
+
+    def test_grid_preserves_label_and_model_order(self, models):
+        runner = SimulationRunner()
+        configs = {
+            "narrow": ArchitectureConfig.paper_default().with_updates(num_pvs=8),
+            "paper": ArchitectureConfig.paper_default(),
+        }
+        grid = runner.compare_models_over_configs(models[:3], configs)
+        assert list(grid) == ["narrow", "paper"]
+        for comparisons in grid.values():
+            assert list(comparisons) == [m.name for m in models[:3]]
+
+    def test_context_manager_closes_backend(self, dcgan_model):
+        with SimulationRunner(backend=ProcessPoolBackend(max_workers=1)) as runner:
+            comparison = runner.compare_model(dcgan_model)
+        assert comparison.generator_speedup > 1.0
+        assert runner.backend._pool is None  # closed on exit
+
+    def test_default_runner_is_process_wide_and_replaceable(self):
+        previous = set_default_runner(None)
+        try:
+            first = get_default_runner()
+            assert get_default_runner() is first
+            replacement = SimulationRunner()
+            assert set_default_runner(replacement) is first
+            assert get_default_runner() is replacement
+        finally:
+            set_default_runner(previous)
+
+    def test_module_level_helpers_use_explicit_runner(self, dcgan_model):
+        runner = SimulationRunner()
+        compare_model(dcgan_model, runner=runner)
+        comparisons = compare_models([dcgan_model], runner=runner)
+        assert runner.stats.lookups == 4
+        assert runner.stats.hits == 2  # second call served from the first
+        assert set(comparisons) == {"DCGAN"}
+
+    def test_duplicate_sweep_labels_rejected(self, models):
+        sweep = ParameterSweep(models[:1], runner=SimulationRunner())
+        with pytest.raises(AnalysisError):
+            sweep.run("num_pvs", [8, 8], label_format="{parameter}")
