@@ -6,7 +6,10 @@
 #      pytest's result cache disabled (-p no:cacheprovider) so runs are
 #      byte-reproducible and leave no .pytest_cache behind;
 #   2. the runner benchmark, which enforces the warm-cache >= 5x speedup
-#      contract and the serial/pooled/warm parity of the sweep results.
+#      contract and the serial/pooled/warm parity of the sweep results;
+#   3. an accelerator-registry smoke: a Session runs one small workload
+#      through every registered accelerator and fails if the registry is
+#      thinner than expected or any registered model cannot complete it.
 #
 # Usage: scripts/ci.sh [extra pytest args for the tier-1 step]
 set -eu
@@ -22,5 +25,22 @@ python -m pytest -x -q -p no:cacheprovider "$@"
 echo "== runner benchmark (parity + warm-cache contract) =="
 python -m pytest benchmarks/bench_runner.py -q -p no:cacheprovider \
     --benchmark-disable-gc
+
+echo "== accelerator registry smoke (Session over every registered model) =="
+python - <<'PY'
+from repro import Session
+from repro.accelerators import accelerator_names
+
+names = accelerator_names()
+assert len(names) >= 4, f"registry too thin: {names}"
+session = Session(accelerators=names)
+multi = session.compare("DCGAN")["DCGAN"]
+for name in names:
+    result = multi.result(name)
+    assert result.total_cycles > 0, f"{name} produced no cycles"
+    assert result.total_energy_pj > 0, f"{name} produced no energy"
+print("session smoke OK:",
+      ", ".join(f"{n}={multi.generator_speedup(n):.2f}x" for n in names))
+PY
 
 echo "CI OK"

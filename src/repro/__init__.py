@@ -10,22 +10,48 @@ This package implements, from scratch:
   decoupled access-execute processing engines, the hierarchical uop buffers,
   a cycle-level machine, and an analytical performance/energy model,
 * the analysis and experiment harness that regenerates every table and figure
-  of the paper's evaluation section.
+  of the paper's evaluation section,
+* a pluggable accelerator registry (:mod:`repro.accelerators`) with variants
+  beyond the paper's pair — ``ganax-noskip`` (zero skipping disabled) and
+  ``ideal`` (consequential-MACs roofline) — and the :class:`Session` facade
+  for N-way comparisons across any registered set of architecture points.
 
-Quick start::
+Quick start — the paper's two-point comparison::
 
     from repro import compare_model, get_workload
 
     comparison = compare_model(get_workload("DCGAN"))
     print(comparison.generator_speedup)          # speedup over EYERISS
     print(comparison.generator_energy_reduction) # energy reduction over EYERISS
+
+N-way comparison across every registered accelerator::
+
+    from repro import Session
+    from repro.accelerators import accelerator_names
+
+    session = Session(accelerators=accelerator_names())
+    multi = session.compare("DCGAN")["DCGAN"]
+    print(multi.generator_speedups())   # per-accelerator speedup vs eyeriss
+
+Registering a custom accelerator makes it addressable everywhere a name is
+accepted (jobs, sessions, sweeps, the CLI) — see ``repro/runner/README.md``.
 """
 
+from .accelerators import (
+    AcceleratorModel,
+    AcceleratorSpec,
+    accelerator_names,
+    create_accelerator,
+    get_accelerator,
+    register_accelerator,
+)
 from .analysis import (
     ComparisonResult,
     GanResult,
     LayerResult,
+    MultiComparison,
     NetworkResult,
+    compare_accelerators,
     compare_model,
     compare_models,
 )
@@ -39,7 +65,8 @@ from .core import (
     StridedIndexGenerator,
     build_schedule,
 )
-from .errors import ReproError
+from .errors import ReproError, UnknownAcceleratorError
+from .session import Session
 from .hw import AreaModel, EnergyBreakdown, EnergyModel, EnergyTable, EventCounters
 from .runner import (
     ProcessPoolBackend,
@@ -61,10 +88,20 @@ from .workloads import all_workloads, get_workload, workload_names
 __version__ = "1.0.0"
 
 __all__ = [
+    "AcceleratorModel",
+    "AcceleratorSpec",
+    "accelerator_names",
+    "create_accelerator",
+    "get_accelerator",
+    "register_accelerator",
     "ComparisonResult",
     "GanResult",
     "LayerResult",
+    "MultiComparison",
     "NetworkResult",
+    "Session",
+    "UnknownAcceleratorError",
+    "compare_accelerators",
     "compare_model",
     "compare_models",
     "EyerissSimulator",

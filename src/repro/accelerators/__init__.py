@@ -1,0 +1,39 @@
+"""Pluggable accelerator models: protocol, registry, and built-in variants.
+
+The subsystem has three parts:
+
+* :mod:`~repro.accelerators.base` — the :class:`AcceleratorModel` protocol
+  every architecture point implements, plus :class:`GanSimulatorBase`, the
+  shared whole-GAN simulation scaffolding the built-in models derive from.
+* :mod:`~repro.accelerators.registry` — the decorator-based name registry
+  (:func:`register_accelerator`, :func:`get_accelerator`,
+  :func:`accelerator_names`) that the runner, :class:`repro.Session` and the
+  CLI resolve accelerator names through.
+* :mod:`~repro.accelerators.variants` — the built-in entries beyond the
+  paper's pair: ``ganax-noskip`` (zero skipping disabled) and ``ideal``
+  (consequential-MACs roofline).  ``eyeriss`` and ``ganax`` register from
+  their home modules.  All built-ins load lazily on first registry lookup.
+
+See ``src/repro/runner/README.md`` for a registration walkthrough.
+"""
+
+from .base import AcceleratorModel, GanSimulatorBase
+from .registry import (
+    AcceleratorSpec,
+    accelerator_names,
+    create_accelerator,
+    get_accelerator,
+    register_accelerator,
+    unregister_accelerator,
+)
+
+__all__ = [
+    "AcceleratorModel",
+    "GanSimulatorBase",
+    "AcceleratorSpec",
+    "accelerator_names",
+    "create_accelerator",
+    "get_accelerator",
+    "register_accelerator",
+    "unregister_accelerator",
+]

@@ -1,10 +1,15 @@
-"""Result containers shared by the EYERISS baseline and the GANAX simulator.
+"""Result containers shared by every registered accelerator model.
 
-Both simulators produce, per layer, a :class:`LayerResult` holding the cycle
-count, activity counters and energy breakdown; whole-network results aggregate
-them into a :class:`NetworkResult` and whole-GAN runs into a
-:class:`GanResult` with separate generator / discriminator sections, which is
-the granularity the paper's Figures 8-11 report at.
+Each accelerator model (see :mod:`repro.accelerators`) produces, per layer, a
+:class:`LayerResult` holding the cycle count, activity counters and energy
+breakdown; whole-network results aggregate them into a :class:`NetworkResult`
+and whole-GAN runs into a :class:`GanResult` with separate generator /
+discriminator sections, which is the granularity the paper's Figures 8-11
+report at.  Comparisons across accelerators come in two shapes:
+:class:`MultiComparison` holds one model's results over any set of registered
+accelerators against a declared baseline, and :class:`ComparisonResult` is the
+legacy two-way ``("eyeriss", "ganax")`` special case the paper's figures are
+phrased in.
 """
 
 from __future__ import annotations
@@ -26,7 +31,8 @@ class LayerResult:
     layer_name:
         Name of the layer within its network.
     accelerator:
-        ``"eyeriss"`` or ``"ganax"``.
+        Name of the accelerator model that produced this result — any entry
+        of the :mod:`repro.accelerators` registry.
     cycles:
         Modelled execution cycles for the layer.
     active_pe_cycles:
@@ -184,8 +190,136 @@ class GanResult:
 
 
 @dataclass(frozen=True)
+class MultiComparison:
+    """One GAN model's results across N accelerators against a baseline.
+
+    Attributes
+    ----------
+    model_name:
+        The compared GAN workload.
+    baseline:
+        Accelerator name every speedup / energy-reduction ratio is taken
+        against; must have a result in ``results``.
+    results:
+        Ordered mapping of accelerator name to that accelerator's
+        :class:`GanResult` for the model.
+    """
+
+    model_name: str
+    baseline: str
+    results: Mapping[str, GanResult]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "results", dict(self.results))
+        if not self.results:
+            raise AnalysisError(
+                f"{self.model_name}: a comparison needs at least one result"
+            )
+        if self.baseline not in self.results:
+            raise AnalysisError(
+                f"{self.model_name}: baseline '{self.baseline}' has no result; "
+                f"have: {', '.join(self.results)}"
+            )
+        for name, result in self.results.items():
+            if result.accelerator != name:
+                raise AnalysisError(
+                    f"{self.model_name}: result under key '{name}' was "
+                    f"produced by accelerator '{result.accelerator}'"
+                )
+            if result.model_name != self.model_name:
+                raise AnalysisError(
+                    f"comparison of '{self.model_name}' received a result "
+                    f"for '{result.model_name}'"
+                )
+
+    @property
+    def accelerators(self) -> Tuple[str, ...]:
+        """Compared accelerator names, in submission order."""
+        return tuple(self.results)
+
+    @property
+    def baseline_result(self) -> GanResult:
+        return self.results[self.baseline]
+
+    def result(self, accelerator: str) -> GanResult:
+        """The named accelerator's result for this model."""
+        try:
+            return self.results[accelerator]
+        except KeyError:
+            raise AnalysisError(
+                f"{self.model_name}: no result for accelerator "
+                f"'{accelerator}'; have: {', '.join(self.results)}"
+            ) from None
+
+    # -- pairwise metrics against the declared baseline ---------------------
+    def generator_speedup(self, accelerator: str) -> float:
+        """Generator speedup of ``accelerator`` over the baseline."""
+        cycles = self.result(accelerator).generator.cycles
+        if cycles == 0:
+            raise AnalysisError(
+                f"{self.model_name}: {accelerator} generator cycles are zero"
+            )
+        return self.baseline_result.generator.cycles / cycles
+
+    def generator_energy_reduction(self, accelerator: str) -> float:
+        """Generator energy reduction of ``accelerator`` over the baseline."""
+        energy = self.result(accelerator).generator.energy_pj
+        if energy == 0:
+            raise AnalysisError(
+                f"{self.model_name}: {accelerator} generator energy is zero"
+            )
+        return self.baseline_result.generator.energy_pj / energy
+
+    def generator_utilization(self, accelerator: str) -> float:
+        return self.result(accelerator).generator.pe_utilization
+
+    def generator_speedups(self) -> Dict[str, float]:
+        """Speedup over the baseline per accelerator (baseline maps to 1.0)."""
+        return {name: self.generator_speedup(name) for name in self.results}
+
+    def generator_energy_reductions(self) -> Dict[str, float]:
+        """Energy reduction over the baseline per accelerator."""
+        return {
+            name: self.generator_energy_reduction(name) for name in self.results
+        }
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """JSON-friendly per-accelerator headline metrics."""
+        return {
+            name: {
+                "speedup": self.generator_speedup(name),
+                "energy_reduction": self.generator_energy_reduction(name),
+                "pe_utilization": self.generator_utilization(name),
+                "generator_cycles": self.result(name).generator.cycles,
+                "generator_energy_pj": self.result(name).generator.energy_pj,
+            }
+            for name in self.results
+        }
+
+    def as_comparison(self) -> "ComparisonResult":
+        """The legacy two-way view; needs both ``eyeriss`` and ``ganax``."""
+        missing = {"eyeriss", "ganax"} - set(self.results)
+        if missing:
+            raise AnalysisError(
+                f"{self.model_name}: the two-way view needs results for "
+                f"eyeriss and ganax; missing: {', '.join(sorted(missing))}"
+            )
+        return ComparisonResult(
+            model_name=self.model_name,
+            eyeriss=self.results["eyeriss"],
+            ganax=self.results["ganax"],
+        )
+
+
+@dataclass(frozen=True)
 class ComparisonResult:
-    """A GANAX-vs-EYERISS comparison for one GAN model."""
+    """A GANAX-vs-EYERISS comparison for one GAN model.
+
+    This is the ``("eyeriss", "ganax")`` special case of
+    :class:`MultiComparison`, kept because the paper's figures (8-11) are all
+    phrased as this exact pair; N-way studies should use
+    :class:`repro.Session` / :class:`MultiComparison` instead.
+    """
 
     model_name: str
     eyeriss: GanResult

@@ -30,7 +30,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Sequence, Union
 from ..config import ArchitectureConfig, SimulationOptions
 from ..errors import AnalysisError
 from ..nn.network import GANModel, Network
-from .results import ComparisonResult, GanResult, NetworkResult
+from .results import ComparisonResult, GanResult, MultiComparison, NetworkResult
 
 PathLike = Union[str, Path]
 
@@ -180,6 +180,33 @@ def comparison_rows(comparisons: Mapping[str, ComparisonResult]) -> List[Dict[st
                 "ganax_generator_energy_pj": comparison.ganax.generator.energy_pj,
             }
         )
+    return rows
+
+
+def multi_comparison_rows(
+    comparisons: Mapping[str, MultiComparison]
+) -> List[Dict[str, object]]:
+    """One row per (model, accelerator) with the baseline-relative metrics."""
+    if not comparisons:
+        raise AnalysisError("no comparisons to serialise")
+    rows: List[Dict[str, object]] = []
+    for name, comparison in comparisons.items():
+        for accelerator in comparison.accelerators:
+            result = comparison.result(accelerator)
+            rows.append(
+                {
+                    "model": name,
+                    "accelerator": accelerator,
+                    "baseline": comparison.baseline,
+                    "speedup": comparison.generator_speedup(accelerator),
+                    "energy_reduction": comparison.generator_energy_reduction(
+                        accelerator
+                    ),
+                    "pe_utilization": comparison.generator_utilization(accelerator),
+                    "generator_cycles": result.generator.cycles,
+                    "generator_energy_pj": result.generator.energy_pj,
+                }
+            )
     return rows
 
 

@@ -11,8 +11,10 @@ All simulation work routes through a :class:`~repro.runner.SimulationRunner`:
 a sweep submits its entire (config x model x accelerator) grid as **one
 batch**, so identical jobs deduplicate, cached results are reused across
 sweeps and experiments, and a parallel backend fans out over the whole grid.
-The module-level :func:`compare_model` / :func:`compare_models` helpers use
-the process-wide default runner unless one is passed explicitly.
+The module-level :func:`compare_model` / :func:`compare_models` helpers (the
+legacy EYERISS-vs-GANAX pair) and :func:`compare_accelerators` (N-way over
+any registered accelerators) use the process-wide default runner unless one
+is passed explicitly.
 """
 
 from __future__ import annotations
@@ -25,7 +27,34 @@ from ..errors import AnalysisError
 from ..nn.network import GANModel
 from ..runner import SimulationRunner, get_default_runner
 from .metrics import geometric_mean
-from .results import ComparisonResult
+from .results import ComparisonResult, MultiComparison
+
+
+def build_labelled_configs(
+    parameter: str,
+    values: Sequence[Any],
+    base_config: ArchitectureConfig,
+    label_format: str = "{parameter}={value}",
+) -> Dict[str, ArchitectureConfig]:
+    """Label -> config for a sweep over one configuration field.
+
+    Shared by :meth:`ParameterSweep.run` and :meth:`repro.Session.sweep`;
+    rejects empty value lists and label formats that collapse distinct
+    values onto one label.
+    """
+    if not values:
+        raise AnalysisError("a sweep needs at least one parameter value")
+    labelled_configs = {
+        label_format.format(parameter=parameter, value=value):
+            base_config.with_updates(**{parameter: value})
+        for value in values
+    }
+    if len(labelled_configs) != len(values):
+        raise AnalysisError(
+            f"sweep over '{parameter}' produced duplicate labels; "
+            "use a label_format that distinguishes the values"
+        )
+    return labelled_configs
 
 
 @dataclass(frozen=True)
@@ -90,6 +119,27 @@ def compare_models(
     return runner.compare_models(models, config, options)
 
 
+def compare_accelerators(
+    models: Sequence[GANModel],
+    accelerators: Optional[Sequence[str]] = None,
+    baseline: Optional[str] = None,
+    config: Optional[ArchitectureConfig] = None,
+    options: Optional[SimulationOptions] = None,
+    runner: Optional[SimulationRunner] = None,
+) -> Dict[str, MultiComparison]:
+    """Run every GAN on every named registered accelerator (N-way).
+
+    The N-way counterpart of :func:`compare_models`: returns
+    ``{model_name: MultiComparison}`` against the declared ``baseline``
+    (``"eyeriss"`` when present).  :class:`repro.Session` is the stateful
+    facade over this entry point.
+    """
+    if not models:
+        raise AnalysisError("no models provided")
+    runner = runner or get_default_runner()
+    return runner.compare_accelerators(models, accelerators, baseline, config, options)
+
+
 class ParameterSweep:
     """Sweep one architectural parameter over a set of values."""
 
@@ -114,19 +164,9 @@ class ParameterSweep:
         label_format: str = "{parameter}={value}",
     ) -> List[SweepPoint]:
         """Run the sweep over ``values`` of the named configuration field."""
-        if not values:
-            raise AnalysisError("a sweep needs at least one parameter value")
-        labelled_configs = {
-            label_format.format(parameter=parameter, value=value):
-                self._base_config.with_updates(**{parameter: value})
-            for value in values
-        }
-        if len(labelled_configs) != len(values):
-            raise AnalysisError(
-                f"sweep over '{parameter}' produced duplicate labels; "
-                "use a label_format that distinguishes the values"
-            )
-        return self._build_points(labelled_configs)
+        return self._build_points(
+            build_labelled_configs(parameter, values, self._base_config, label_format)
+        )
 
     def run_configs(
         self, labelled_configs: Mapping[str, ArchitectureConfig]

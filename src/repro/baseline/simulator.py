@@ -3,100 +3,55 @@
 :class:`EyerissSimulator` runs a :class:`~repro.nn.network.Network` or a
 :class:`~repro.nn.network.GANModel` layer by layer through the analytical
 performance model (:mod:`repro.baseline.performance`) and the Table II energy
-model, producing the result containers of :mod:`repro.analysis.results`.
+model, producing the result containers of :mod:`repro.analysis.results`.  The
+network/GAN aggregation is shared with every other accelerator model through
+:class:`~repro.accelerators.base.GanSimulatorBase`, and the class registers
+itself as the ``"eyeriss"`` entry of the accelerator registry.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Tuple
 
-from ..analysis.results import GanResult, LayerResult, NetworkResult
-from ..config import ArchitectureConfig, SimulationOptions
-from ..hw.energy import EnergyModel, EnergyTable
-from ..nn.network import GANModel, LayerBinding, Network
+from ..accelerators.base import GanSimulatorBase
+from ..accelerators.registry import register_accelerator
+from ..analysis.results import LayerResult
+from ..config import SimulationOptions
+from ..nn.network import LayerBinding
 from .performance import estimate_layer
 
 #: Canonical accelerator identifier used in results.
 ACCELERATOR_NAME = "eyeriss"
 
 
-class EyerissSimulator:
+@register_accelerator(ACCELERATOR_NAME)
+class EyerissSimulator(GanSimulatorBase):
     """Analytical simulator of the EYERISS-style convolution accelerator."""
 
-    def __init__(
-        self,
-        config: Optional[ArchitectureConfig] = None,
-        energy_table: Optional[EnergyTable] = None,
-        options: Optional[SimulationOptions] = None,
-    ) -> None:
-        self._config = config or ArchitectureConfig.paper_default()
-        self._options = options or SimulationOptions()
-        self._energy_model = EnergyModel(
-            table=energy_table or EnergyTable.paper_table2(),
-            data_bits=self._config.data_bits,
-            gated_op_fraction=self._config.zero_gating_energy_fraction,
-        )
+    accelerator_name = ACCELERATOR_NAME
+    summary = (
+        "EYERISS-style row-stationary baseline: dense execution over the "
+        "zero-inserted input with zero-gated MAC energy"
+    )
 
-    @property
-    def config(self) -> ArchitectureConfig:
-        return self._config
-
-    @property
-    def energy_model(self) -> EnergyModel:
-        return self._energy_model
-
-    @property
-    def name(self) -> str:
-        return ACCELERATOR_NAME
-
-    # ------------------------------------------------------------------
-    # Layer / network / model entry points
-    # ------------------------------------------------------------------
     def simulate_layer(self, binding: LayerBinding) -> LayerResult:
         """Simulate a single bound layer."""
         estimate = estimate_layer(binding, self._config)
-        counters = estimate.counters.scaled(self._options.batch_size)
-        cycles = estimate.cycles * self._options.batch_size
-        energy = self._energy_model.energy_of(counters)
-        return LayerResult(
-            layer_name=binding.name,
-            accelerator=ACCELERATOR_NAME,
-            cycles=cycles,
-            active_pe_cycles=estimate.active_pe_cycles * self._options.batch_size,
-            busy_pe_cycles=estimate.busy_pe_cycles * self._options.batch_size,
-            total_pe_cycles=estimate.total_pe_cycles * self._options.batch_size,
-            macs_total=binding.total_macs * self._options.batch_size,
-            macs_consequential=binding.consequential_macs * self._options.batch_size,
-            counters=counters,
-            energy=energy,
-            is_transposed=binding.is_transposed,
-            is_convolutional=binding.is_convolutional,
+        return self._layer_result(
+            binding,
+            cycles=estimate.cycles,
+            active_pe_cycles=estimate.active_pe_cycles,
+            busy_pe_cycles=estimate.busy_pe_cycles,
+            total_pe_cycles=estimate.total_pe_cycles,
+            counters=estimate.counters,
         )
 
-    def simulate_network(
-        self, network: Network, bindings: Optional[Iterable[LayerBinding]] = None
-    ) -> NetworkResult:
-        """Simulate every (or a chosen subset of) layer of ``network``."""
-        selected = tuple(bindings) if bindings is not None else network.bindings
-        results = tuple(self.simulate_layer(binding) for binding in selected)
-        return NetworkResult(
-            network_name=network.name,
-            accelerator=ACCELERATOR_NAME,
-            layer_results=results,
-        )
+    def config_space(self) -> Tuple[str, ...]:
+        """The baseline model has no MIMD machinery to configure."""
+        excluded = {"mimd_dispatch_overhead_cycles", "ganax_target_utilization"}
+        return tuple(f for f in super().config_space() if f not in excluded)
 
-    def simulate_gan(self, model: GANModel) -> GanResult:
-        """Simulate a full GAN: generator plus (optionally) discriminator."""
-        generator = self.simulate_network(model.generator)
-        discriminator = None
-        if self._options.include_discriminator:
-            bindings = model.discriminator.bindings
-            if model.discriminator_conv_only and self._options.magan_discriminator_conv_only:
-                bindings = tuple(b for b in bindings if not b.is_transposed)
-            discriminator = self.simulate_network(model.discriminator, bindings)
-        return GanResult(
-            model_name=model.name,
-            accelerator=ACCELERATOR_NAME,
-            generator=generator,
-            discriminator=discriminator,
-        )
+    @classmethod
+    def canonical_options(cls, options: SimulationOptions) -> SimulationOptions:
+        """The baseline never reads the GANAX zero-skipping flag."""
+        return options.with_updates(ganax_zero_skipping=True)

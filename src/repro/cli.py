@@ -3,8 +3,11 @@
 Installed as ``repro-experiments`` (see ``pyproject.toml``).  Examples::
 
     repro-experiments list                # list available experiments
+    repro-experiments list-accelerators   # list registered accelerator models
     repro-experiments figure8             # regenerate Figure 8
     repro-experiments all                 # regenerate everything
+    repro-experiments compare             # N-way comparison, all accelerators
+    repro-experiments compare --accelerators eyeriss,ganax,ideal
     repro-experiments figure8 --json out.json
     repro-experiments all --parallel --cache-stats
     repro-experiments all --cache-dir .sim-cache   # warm-start reruns
@@ -12,7 +15,9 @@ Installed as ``repro-experiments`` (see ``pyproject.toml``).  Examples::
 Every simulation runs through one shared
 :class:`~repro.runner.SimulationRunner`, so the whole invocation shares a
 content-addressed result cache; ``--parallel`` swaps the serial backend for a
-process pool and ``--cache-dir`` persists results across invocations.
+process pool and ``--cache-dir`` persists results across invocations.  The
+``compare`` mode routes through :class:`repro.Session`, so any accelerator
+registered in :mod:`repro.accelerators` is addressable via ``--accelerators``.
 """
 
 from __future__ import annotations
@@ -20,8 +25,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
+from .accelerators.registry import accelerator_names, get_accelerator
+from .analysis.report import format_table
+from .analysis.serialization import multi_comparison_rows
+from .errors import ReproError, UnknownAcceleratorError
 from .experiments.base import ExperimentContext
 from .experiments.registry import experiment_ids, run_all, run_experiment
 from .runner import (
@@ -30,6 +39,7 @@ from .runner import (
     SerialBackend,
     SimulationRunner,
 )
+from .session import Session
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -42,7 +52,25 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         nargs="?",
         default="all",
-        help="experiment id (e.g. figure8, table3), 'all', or 'list'",
+        help=(
+            "experiment id (e.g. figure8, table3), 'all', 'list', "
+            "'list-accelerators', or 'compare' (N-way accelerator comparison)"
+        ),
+    )
+    parser.add_argument(
+        "--accelerators",
+        metavar="NAMES",
+        default=None,
+        help=(
+            "comma-separated registered accelerator names for 'compare' "
+            "(default: every registered accelerator)"
+        ),
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="NAME",
+        default=None,
+        help="baseline accelerator for 'compare' ratios (default: eyeriss)",
     )
     parser.add_argument(
         "--json",
@@ -86,6 +114,21 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def parse_accelerator_list(spec: Optional[str]) -> Optional[Tuple[str, ...]]:
+    """Parse a comma-separated ``--accelerators`` value into registry names.
+
+    Unknown (or empty) specs raise
+    :class:`~repro.errors.UnknownAcceleratorError`, whose message lists every
+    registered name.
+    """
+    if spec is None:
+        return None
+    names = tuple(token.strip() for token in spec.split(",") if token.strip())
+    if not names:
+        raise UnknownAcceleratorError(spec, accelerator_names())
+    return tuple(get_accelerator(name).name for name in names)
+
+
 def build_runner(args: argparse.Namespace) -> SimulationRunner:
     """Construct the runner the CLI's experiments submit through."""
     if args.workers is not None and args.workers <= 0:
@@ -101,14 +144,101 @@ def build_runner(args: argparse.Namespace) -> SimulationRunner:
     return SimulationRunner(backend=backend, cache=cache)
 
 
+def _print_cache_stats(runner: SimulationRunner) -> None:
+    stats = runner.stats
+    print(
+        "cache: "
+        f"{stats.hits} hits, {stats.misses} misses, "
+        f"{stats.deduplicated} deduplicated "
+        f"(hit rate {100 * stats.hit_rate:.1f}%)"
+    )
+
+
+def _run_compare(args: argparse.Namespace, runner: SimulationRunner) -> int:
+    """The ``compare`` mode: all six GANs across N registered accelerators."""
+    try:
+        accelerators = parse_accelerator_list(args.accelerators) or accelerator_names()
+        session = Session(
+            accelerators=accelerators, baseline=args.baseline, runner=runner
+        )
+        comparisons = session.compare()
+
+        if not args.quiet:
+            rows = [
+                [
+                    row["model"],
+                    row["accelerator"],
+                    row["speedup"],
+                    row["energy_reduction"],
+                    row["pe_utilization"],
+                ]
+                for row in multi_comparison_rows(comparisons)
+            ]
+            print(
+                format_table(
+                    [
+                        "Model",
+                        "Accelerator",
+                        f"Speedup vs {session.baseline}",
+                        "Energy reduction",
+                        "PE utilization",
+                    ],
+                    rows,
+                    title="N-way accelerator comparison (generator)",
+                    float_format="{:.2f}",
+                )
+            )
+
+        if args.json:
+            payload = {
+                "compare": {
+                    "baseline": session.baseline,
+                    "accelerators": list(session.accelerators),
+                    "models": {
+                        name: comparison.summary()
+                        for name, comparison in comparisons.items()
+                    },
+                }
+            }
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+            if not args.quiet:
+                print(f"wrote JSON results to {args.json}")
+
+        if args.cache_stats:
+            _print_cache_stats(runner)
+    except ReproError as exc:  # e.g. unknown --accelerators / --baseline
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        runner.close()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    if args.experiment != "compare" and (args.accelerators or args.baseline):
+        # The experiments regenerate the paper's fixed two-way figures; a
+        # silently ignored accelerator selection would report numbers for a
+        # comparison the user did not ask for.
+        print(
+            "error: --accelerators/--baseline only apply to the 'compare' mode",
+            file=sys.stderr,
+        )
+        return 2
+
     if args.experiment == "list":
         for experiment_id in experiment_ids():
             print(experiment_id)
+        return 0
+
+    if args.experiment == "list-accelerators":
+        for name in accelerator_names():
+            spec = get_accelerator(name)
+            print(f"{spec.name}  (v{spec.version})  {spec.description}")
         return 0
 
     try:
@@ -116,6 +246,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except Exception as exc:  # bad --workers / unusable --cache-dir
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if args.experiment == "compare":
+        return _run_compare(args, runner)
+
     context = ExperimentContext(runner=runner)
     try:
         if args.experiment == "all":
@@ -147,13 +281,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"wrote JSON results to {args.json}")
 
         if args.cache_stats:
-            stats = runner.stats
-            print(
-                "cache: "
-                f"{stats.hits} hits, {stats.misses} misses, "
-                f"{stats.deduplicated} deduplicated "
-                f"(hit rate {100 * stats.hit_rate:.1f}%)"
-            )
+            _print_cache_stats(runner)
     finally:
         runner.close()
     return 0

@@ -221,11 +221,19 @@ class SimulationOptions:
         The paper notes that for MAGAN's discriminator only the convolution
         layers are counted, because its discriminator is an autoencoder that
         also contains transposed-convolution layers.
+    ganax_zero_skipping:
+        Whether the GANAX model skips the inserted-zero operations of
+        transposed convolutions through its strided µindex generators (the
+        paper's design).  Disabling it models the ablated dense machine that
+        executes the zero-inserted input like the baseline while still paying
+        the MIMD µop dispatch — the ``"ganax-noskip"`` entry of
+        :mod:`repro.accelerators` forces this flag off.
     """
 
     batch_size: int = 1
     include_discriminator: bool = True
     magan_discriminator_conv_only: bool = True
+    ganax_zero_skipping: bool = True
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:

@@ -60,12 +60,45 @@ class GanaxLayerEstimate:
     mode: str  # "simd" for conventional layers, "mimd-simd" for tconv
 
 
-def estimate_layer(binding: LayerBinding, config: ArchitectureConfig) -> GanaxLayerEstimate:
-    """Estimate cycles and activity of one layer on GANAX."""
+def estimate_layer(
+    binding: LayerBinding,
+    config: ArchitectureConfig,
+    *,
+    zero_skipping: bool = True,
+) -> GanaxLayerEstimate:
+    """Estimate cycles and activity of one layer on GANAX.
+
+    ``zero_skipping=False`` models the ablated dense machine (the
+    ``"ganax-noskip"`` registry entry): transposed convolutions execute the
+    zero-inserted input with the conventional row-stationary dataflow while
+    the global controller still pays the MIMD µop dispatch overhead.
+    """
     layer = binding.layer
     if isinstance(layer, TransposedConvLayer):
+        if not zero_skipping:
+            return _estimate_dense_transposed_conv(binding, config)
         return _estimate_transposed_conv(binding, config)
     return _from_baseline(baseline_estimate(binding, config), mode="simd")
+
+
+def _dispatch_overhead(
+    schedule: DataflowSchedule, config: ArchitectureConfig
+) -> Tuple[int, int, int]:
+    """MIMD dispatch accounting shared by the skipping and dense tconv paths.
+
+    One mimd.exe (plus its access configuration, amortised by the decoupled
+    access engines) is charged per output row per pattern switch; the
+    two-level µop buffer makes the dispatch a single-cycle broadcast.
+    Returns ``(dispatch_events, dispatch_cycles, uop_fetches)`` — both
+    execution modes must model the same dispatch tax, since their difference
+    is exactly what the zero-skipping ablation isolates.
+    """
+    dispatch_events = schedule.output_rows * max(1, schedule.num_patterns)
+    dispatch_cycles = math.ceil(
+        dispatch_events * config.mimd_dispatch_overhead_cycles / max(1, config.num_pvs)
+    )
+    uop_fetches = dispatch_events * (1 + config.num_pvs)
+    return dispatch_events, dispatch_cycles, uop_fetches
 
 
 def _from_baseline(estimate: BaselineLayerEstimate, mode: str) -> GanaxLayerEstimate:
@@ -115,13 +148,8 @@ def _estimate_transposed_conv(
     accumulation_cycles = math.ceil(accumulation_hops / effective_throughput)
 
     # --- MIMD dispatch overhead ---------------------------------------------
-    # One mimd.exe (plus its access configuration, amortised by the decoupled
-    # access engines) is charged per output row per pattern switch; the
-    # two-level µop buffer makes the dispatch a single-cycle broadcast.
-    row_dim_rows = schedule.output_rows
-    dispatch_events = row_dim_rows * max(1, schedule.num_patterns)
-    dispatch_cycles = math.ceil(
-        dispatch_events * config.mimd_dispatch_overhead_cycles / max(1, config.num_pvs)
+    dispatch_events, dispatch_cycles, uop_fetches = _dispatch_overhead(
+        schedule, config
     )
 
     # --- DRAM ---------------------------------------------------------------
@@ -165,7 +193,7 @@ def _estimate_transposed_conv(
     # µop fetches: one global fetch per dispatch event plus the local-buffer
     # fetches the PVs perform; both are tiny next to data traffic but are
     # counted for completeness (they appear in the RF/µop energy bucket).
-    counters.uop_fetches = dispatch_events * (1 + config.num_pvs)
+    counters.uop_fetches = uop_fetches
 
     active_pe_cycles = consequential
     busy_pe_cycles = consequential + accumulation_hops
@@ -183,6 +211,42 @@ def _estimate_transposed_conv(
         total_pe_cycles=total_pe_cycles,
         counters=counters,
         mode="mimd-simd",
+    )
+
+
+def _estimate_dense_transposed_conv(
+    binding: LayerBinding, config: ArchitectureConfig
+) -> GanaxLayerEstimate:
+    """Transposed convolution with zero skipping disabled (``ganax-noskip``).
+
+    Without the strided µindex generators every inserted-zero slot occupies a
+    PE cycle and the materialised zero-inserted input is streamed exactly as
+    on the EYERISS baseline, so cycles, traffic and energy follow the
+    baseline estimate.  The MIMD controller still issues one µop group per
+    output row per access pattern, which is pure overhead here — the variant
+    pays the GANAX dispatch tax without harvesting any sparsity.
+    """
+    base = baseline_estimate(binding, config)
+    schedule = build_schedule(binding)
+    _events, dispatch_cycles, uop_fetches = _dispatch_overhead(schedule, config)
+    cycles = max(
+        base.compute_cycles + base.accumulation_cycles + dispatch_cycles,
+        base.dram_cycles,
+    )
+    counters = EventCounters.from_dict(base.counters.as_dict())
+    counters.uop_fetches += uop_fetches
+    return GanaxLayerEstimate(
+        layer_name=binding.name,
+        cycles=cycles,
+        compute_cycles=base.compute_cycles,
+        accumulation_cycles=base.accumulation_cycles,
+        dispatch_cycles=dispatch_cycles,
+        dram_cycles=base.dram_cycles,
+        active_pe_cycles=base.active_pe_cycles,
+        busy_pe_cycles=base.busy_pe_cycles,
+        total_pe_cycles=cycles * config.num_pes,
+        counters=counters,
+        mode="mimd-simd-dense",
     )
 
 

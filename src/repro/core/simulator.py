@@ -4,103 +4,50 @@
 but uses the GANAX analytical model (:mod:`repro.core.performance`): transposed
 convolutions run in MIMD-SIMD mode with the reorganized dataflow and zero
 skipping, every other layer runs in plain SIMD mode at baseline efficiency.
+It registers itself as the ``"ganax"`` entry of the accelerator registry;
+setting ``SimulationOptions.ganax_zero_skipping`` to False degrades the
+transposed convolutions to dense execution (the ``"ganax-noskip"`` registry
+variant packages exactly that).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
-
-from ..analysis.results import GanResult, LayerResult, NetworkResult
-from ..config import ArchitectureConfig, SimulationOptions
-from ..hw.energy import EnergyModel, EnergyTable
-from ..nn.network import GANModel, LayerBinding, Network
+from ..accelerators.base import GanSimulatorBase
+from ..accelerators.registry import register_accelerator
+from ..analysis.results import LayerResult
+from ..nn.network import LayerBinding
 from .performance import GanaxLayerEstimate, estimate_layer
 
 #: Canonical accelerator identifier used in results.
 ACCELERATOR_NAME = "ganax"
 
 
-class GanaxSimulator:
+@register_accelerator(ACCELERATOR_NAME)
+class GanaxSimulator(GanSimulatorBase):
     """Analytical simulator of the GANAX MIMD-SIMD accelerator."""
 
-    def __init__(
-        self,
-        config: Optional[ArchitectureConfig] = None,
-        energy_table: Optional[EnergyTable] = None,
-        options: Optional[SimulationOptions] = None,
-    ) -> None:
-        self._config = config or ArchitectureConfig.paper_default()
-        self._options = options or SimulationOptions()
-        self._energy_model = EnergyModel(
-            table=energy_table or EnergyTable.paper_table2(),
-            data_bits=self._config.data_bits,
-            gated_op_fraction=self._config.zero_gating_energy_fraction,
-        )
+    accelerator_name = ACCELERATOR_NAME
+    summary = (
+        "GANAX unified MIMD-SIMD accelerator: reorganized dataflow with "
+        "zero skipping on transposed convolutions"
+    )
 
-    @property
-    def config(self) -> ArchitectureConfig:
-        return self._config
-
-    @property
-    def energy_model(self) -> EnergyModel:
-        return self._energy_model
-
-    @property
-    def name(self) -> str:
-        return ACCELERATOR_NAME
-
-    # ------------------------------------------------------------------
-    # Layer / network / model entry points
-    # ------------------------------------------------------------------
     def estimate_layer(self, binding: LayerBinding) -> GanaxLayerEstimate:
         """Expose the raw analytical estimate (used by ablation benchmarks)."""
-        return estimate_layer(binding, self._config)
+        return estimate_layer(
+            binding,
+            self._config,
+            zero_skipping=self._options.ganax_zero_skipping,
+        )
 
     def simulate_layer(self, binding: LayerBinding) -> LayerResult:
         """Simulate a single bound layer."""
-        estimate = estimate_layer(binding, self._config)
-        counters = estimate.counters.scaled(self._options.batch_size)
-        cycles = estimate.cycles * self._options.batch_size
-        energy = self._energy_model.energy_of(counters)
-        return LayerResult(
-            layer_name=binding.name,
-            accelerator=ACCELERATOR_NAME,
-            cycles=cycles,
-            active_pe_cycles=estimate.active_pe_cycles * self._options.batch_size,
-            busy_pe_cycles=estimate.busy_pe_cycles * self._options.batch_size,
-            total_pe_cycles=estimate.total_pe_cycles * self._options.batch_size,
-            macs_total=binding.total_macs * self._options.batch_size,
-            macs_consequential=binding.consequential_macs * self._options.batch_size,
-            counters=counters,
-            energy=energy,
-            is_transposed=binding.is_transposed,
-            is_convolutional=binding.is_convolutional,
-        )
-
-    def simulate_network(
-        self, network: Network, bindings: Optional[Iterable[LayerBinding]] = None
-    ) -> NetworkResult:
-        """Simulate every (or a chosen subset of) layer of ``network``."""
-        selected = tuple(bindings) if bindings is not None else network.bindings
-        results = tuple(self.simulate_layer(binding) for binding in selected)
-        return NetworkResult(
-            network_name=network.name,
-            accelerator=ACCELERATOR_NAME,
-            layer_results=results,
-        )
-
-    def simulate_gan(self, model: GANModel) -> GanResult:
-        """Simulate a full GAN: generator plus (optionally) discriminator."""
-        generator = self.simulate_network(model.generator)
-        discriminator = None
-        if self._options.include_discriminator:
-            bindings = model.discriminator.bindings
-            if model.discriminator_conv_only and self._options.magan_discriminator_conv_only:
-                bindings = tuple(b for b in bindings if not b.is_transposed)
-            discriminator = self.simulate_network(model.discriminator, bindings)
-        return GanResult(
-            model_name=model.name,
-            accelerator=ACCELERATOR_NAME,
-            generator=generator,
-            discriminator=discriminator,
+        estimate = self.estimate_layer(binding)
+        return self._layer_result(
+            binding,
+            cycles=estimate.cycles,
+            active_pe_cycles=estimate.active_pe_cycles,
+            busy_pe_cycles=estimate.busy_pe_cycles,
+            total_pe_cycles=estimate.total_pe_cycles,
+            counters=estimate.counters,
         )

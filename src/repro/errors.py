@@ -72,5 +72,28 @@ class AnalysisError(ReproError):
     """Metric or report computation failed (e.g. empty result set)."""
 
 
+class UnknownAcceleratorError(AnalysisError):
+    """An accelerator name is not in the registry.
+
+    Raised by :func:`repro.accelerators.get_accelerator` and the CLI's
+    ``--accelerators`` parsing; the message lists every registered name so a
+    typo is immediately actionable.
+    """
+
+    def __init__(self, name: str, registered: "tuple[str, ...]" = ()) -> None:
+        self.name = name
+        self.registered = tuple(registered)
+        known = ", ".join(self.registered) if self.registered else "none"
+        super().__init__(
+            f"unknown accelerator '{name}'; registered accelerators: {known}"
+        )
+
+    def __reduce__(self):
+        # args holds the formatted message, not (name, registered); without
+        # this, unpickling (e.g. from a process-pool worker) re-wraps the
+        # message through __init__ and garbles it.
+        return (type(self), (self.name, self.registered))
+
+
 class ExperimentError(ReproError):
     """An experiment (figure/table reproduction) could not be executed."""

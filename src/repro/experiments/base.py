@@ -13,11 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Sequence
 
-from ..analysis.results import ComparisonResult
+from ..analysis.results import ComparisonResult, MultiComparison
 from ..config import ArchitectureConfig, SimulationOptions
 from ..errors import ExperimentError
 from ..nn.network import GANModel
 from ..runner import SimulationRunner, get_default_runner
+from ..session import Session
 from ..workloads.registry import all_workloads
 
 
@@ -75,12 +76,16 @@ class ExperimentContext:
         options: Optional[SimulationOptions] = None,
         models: Optional[Sequence[GANModel]] = None,
         runner: Optional[SimulationRunner] = None,
+        accelerators: Optional[Sequence[str]] = None,
     ) -> None:
         self._config = config or ArchitectureConfig.paper_default()
         self._options = options or SimulationOptions()
         self._models = list(models) if models is not None else None
         self._runner = runner
+        self._accelerators = tuple(accelerators) if accelerators is not None else None
+        self._session: Optional[Session] = None
         self._comparisons: Optional[Dict[str, ComparisonResult]] = None
+        self._multi_comparisons: Optional[Dict[str, MultiComparison]] = None
 
     @property
     def config(self) -> ArchitectureConfig:
@@ -104,13 +109,42 @@ class ExperimentContext:
         return self._models
 
     @property
+    def session(self) -> Session:
+        """N-way comparison facade sharing this context's config and runner.
+
+        Built over the context's ``accelerators`` (the registry-default
+        EYERISS/GANAX pair unless the context was constructed with an
+        explicit list), so experiments that want more than the paper's
+        two-point comparison route through the same runner and cache.
+        """
+        if self._session is None:
+            self._session = Session(
+                accelerators=self._accelerators,
+                config=self._config,
+                options=self._options,
+                runner=self.runner,
+            )
+        return self._session
+
+    @property
     def comparisons(self) -> Dict[str, ComparisonResult]:
-        """GANAX-vs-EYERISS comparison per model, computed once."""
+        """GANAX-vs-EYERISS comparison per model, computed once.
+
+        The legacy ``("eyeriss", "ganax")`` view the paper's figures
+        consume; N-way studies use :attr:`multi_comparisons`.
+        """
         if self._comparisons is None:
             self._comparisons = self.runner.compare_models(
                 self.models, self._config, self._options
             )
         return self._comparisons
+
+    @property
+    def multi_comparisons(self) -> Dict[str, MultiComparison]:
+        """Per-model comparison across the context's accelerators."""
+        if self._multi_comparisons is None:
+            self._multi_comparisons = self.session.compare(self.models)
+        return self._multi_comparisons
 
     def model(self, name: str) -> GANModel:
         for model in self.models:

@@ -5,11 +5,16 @@ See ``README.md`` in this directory for the architecture and usage guide.
 
 from .backends import ExecutionBackend, ProcessPoolBackend, SerialBackend
 from .cache import CacheStats, DiskResultCache, InMemoryResultCache, ResultCache
-from .job import ACCELERATORS, SimulationJob, execute_job
-from .runner import SimulationRunner, get_default_runner, set_default_runner
+from .job import COMPARISON_PAIR, SimulationJob, execute_job
+from .runner import (
+    SimulationRunner,
+    get_default_runner,
+    resolve_accelerators,
+    set_default_runner,
+)
 
 __all__ = [
-    "ACCELERATORS",
+    "COMPARISON_PAIR",
     "CacheStats",
     "DiskResultCache",
     "ExecutionBackend",
@@ -21,5 +26,6 @@ __all__ = [
     "SimulationRunner",
     "execute_job",
     "get_default_runner",
+    "resolve_accelerators",
     "set_default_runner",
 ]

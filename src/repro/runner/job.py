@@ -1,7 +1,8 @@
 """The unit of work of the simulation runner: one (model, accelerator) run.
 
 A :class:`SimulationJob` fully describes one simulator invocation — which GAN
-model, which accelerator, which :class:`~repro.config.ArchitectureConfig` and
+model, which accelerator (any name in the :mod:`repro.accelerators` registry),
+which :class:`~repro.config.ArchitectureConfig` and
 :class:`~repro.config.SimulationOptions` — and derives a deterministic
 content-hash :attr:`~SimulationJob.cache_key` from the canonical serialization
 of those inputs.  Jobs with equal cache keys are guaranteed to produce equal
@@ -11,36 +12,34 @@ cache across sweeps, experiments and processes.
 
 :func:`execute_job` is the single entry point every backend uses to turn a
 job into a result; it lives at module level so the process-pool backend can
-pickle it.
+pickle it.  The job carries only the accelerator *name* — the simulator is
+built in the executing process through the registry, so pooled workers never
+need to unpickle simulator instances.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
+from ..accelerators.registry import get_accelerator
 from ..analysis.results import GanResult
+from ..errors import AnalysisError
 from ..analysis.serialization import (
     config_fingerprint,
     fingerprint_data,
     options_fingerprint,
     workload_fingerprint,
 )
-from ..baseline.simulator import EyerissSimulator
 from ..config import ArchitectureConfig, SimulationOptions
-from ..core.simulator import GanaxSimulator
-from ..errors import AnalysisError
 from ..nn.network import GANModel
 
-#: Accelerator name -> simulator class, the runner's dispatch table.
-SIMULATORS = {
-    "eyeriss": EyerissSimulator,
-    "ganax": GanaxSimulator,
-}
-
-#: Accelerator identifiers accepted by :class:`SimulationJob`.
-ACCELERATORS: Tuple[str, ...] = tuple(SIMULATORS)
+#: The paper's two-point comparison, kept as the legacy default pair.  The
+#: open accelerator set lives in :func:`repro.accelerators.accelerator_names`
+#: (the old ``ACCELERATORS`` constant is gone: it documented "the names
+#: SimulationJob accepts", which is now the whole registry).
+COMPARISON_PAIR: Tuple[str, str] = ("eyeriss", "ganax")
 
 
 @dataclass(frozen=True)
@@ -54,9 +53,11 @@ class SimulationJob:
         picklable), so jobs over ad-hoc models — not just registry
         workloads — run on every backend.
     accelerator:
-        ``"eyeriss"`` or ``"ganax"``.
+        Any name registered in :mod:`repro.accelerators` (see
+        :func:`~repro.accelerators.accelerator_names`); normalized to the
+        registry's canonical spelling at construction.
     config:
-        Architecture configuration shared by both simulators.
+        Architecture configuration shared by all simulators.
     options:
         Whole-model simulation options.
     """
@@ -67,11 +68,9 @@ class SimulationJob:
     options: SimulationOptions
 
     def __post_init__(self) -> None:
-        if self.accelerator not in SIMULATORS:
-            raise AnalysisError(
-                f"unknown accelerator '{self.accelerator}'; "
-                f"expected one of: {', '.join(ACCELERATORS)}"
-            )
+        # Raises UnknownAcceleratorError (an AnalysisError) for unknown names.
+        spec = get_accelerator(self.accelerator)
+        object.__setattr__(self, "accelerator", spec.name)
 
     @property
     def model_name(self) -> str:
@@ -81,17 +80,39 @@ class SimulationJob:
     def cache_key(self) -> str:
         """Deterministic content hash identifying this job's result.
 
-        Combines the accelerator name with the fingerprints of the workload
-        structure, the architecture configuration and the simulation options,
-        so any change to any simulation input changes the key.
+        Combines the accelerator name *and its registered model version* with
+        the fingerprints of the workload structure, the architecture
+        configuration and the simulation options, so any change to any
+        simulation input — including a revised accelerator model that bumps
+        its version — changes the key and stale cached results are never
+        served.  Options are fingerprinted in the accelerator's *canonical*
+        form (:meth:`~repro.accelerators.AcceleratorSpec.canonical_options`),
+        so option values a model ignores or forces share one cache entry.
         """
+        spec = get_accelerator(self.accelerator)
         return fingerprint_data(
             {
-                "accelerator": self.accelerator,
+                "accelerator": {"name": spec.name, "version": spec.version},
                 "workload": workload_fingerprint(self.model),
                 "config": config_fingerprint(self.config),
-                "options": options_fingerprint(self.options),
+                "options": options_fingerprint(spec.canonical_options(self.options)),
             }
+        )
+
+    @classmethod
+    def for_accelerators(
+        cls,
+        model: GANModel,
+        accelerators: Sequence[str],
+        config: Optional[ArchitectureConfig] = None,
+        options: Optional[SimulationOptions] = None,
+    ) -> Tuple["SimulationJob", ...]:
+        """One job per accelerator name, sharing a single configuration."""
+        config = config or ArchitectureConfig.paper_default()
+        options = options or SimulationOptions()
+        return tuple(
+            cls(model=model, accelerator=name, config=config, options=options)
+            for name in accelerators
         )
 
     @classmethod
@@ -102,15 +123,26 @@ class SimulationJob:
         options: Optional[SimulationOptions] = None,
     ) -> Tuple["SimulationJob", "SimulationJob"]:
         """The (eyeriss, ganax) job pair behind one ComparisonResult."""
-        config = config or ArchitectureConfig.paper_default()
-        options = options or SimulationOptions()
-        return (
-            cls(model=model, accelerator="eyeriss", config=config, options=options),
-            cls(model=model, accelerator="ganax", config=config, options=options),
-        )
+        eyeriss, ganax = cls.for_accelerators(model, COMPARISON_PAIR, config, options)
+        return eyeriss, ganax
 
 
 def execute_job(job: SimulationJob) -> GanResult:
-    """Run one job to completion (used by every backend, picklable)."""
-    simulator = SIMULATORS[job.accelerator](config=job.config, options=job.options)
-    return simulator.simulate_gan(job.model)
+    """Run one job to completion (used by every backend, picklable).
+
+    Enforces the registry contract that a model reports its own registry
+    name in its results: a delegating factory that forwards another entry's
+    results unchanged would otherwise poison the cache under the wrong
+    identity and crash the comparison assembly much later.
+    """
+    simulator = get_accelerator(job.accelerator).create(
+        config=job.config, options=job.options
+    )
+    result = simulator.simulate_gan(job.model)
+    if result.accelerator != job.accelerator:
+        raise AnalysisError(
+            f"accelerator '{job.accelerator}' produced results labelled "
+            f"'{result.accelerator}'; a registered model must report its "
+            "registry name (set accelerator_name on the simulator class)"
+        )
+    return result

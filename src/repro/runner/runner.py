@@ -12,10 +12,14 @@ and CLI invocation submits through.  For each batch of
    :class:`~repro.runner.backends.ExecutionBackend` (serial or process pool)
    in one batch, so a parallel backend sees the widest possible fan-out.
 
-The convenience entry points (:meth:`compare_model`, :meth:`compare_models`,
-:meth:`compare_models_over_configs`) assemble
-:class:`~repro.analysis.results.ComparisonResult` values from job results and
-are what :mod:`repro.analysis.sweep` and the experiment harness call.
+The comparison entry points are registry-driven and N-way:
+:meth:`compare_accelerators` / :meth:`compare_accelerators_over_configs`
+assemble :class:`~repro.analysis.results.MultiComparison` values over any set
+of registered accelerator names, and the legacy two-way helpers
+(:meth:`compare_model`, :meth:`compare_models`,
+:meth:`compare_models_over_configs`) are their ``("eyeriss", "ganax")``
+special case, producing the :class:`~repro.analysis.results.ComparisonResult`
+values that :mod:`repro.analysis.sweep` and the experiment harness consume.
 
 A process-wide default runner (one serial backend + one shared in-memory
 cache) backs the module-level ``compare_model``/``compare_models`` helpers so
@@ -24,15 +28,48 @@ casual library use benefits from caching without any setup.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..analysis.results import ComparisonResult, GanResult
+from ..accelerators.registry import get_accelerator
+from ..analysis.results import ComparisonResult, GanResult, MultiComparison
 from ..config import ArchitectureConfig, SimulationOptions
 from ..errors import AnalysisError
 from ..nn.network import GANModel
 from .backends import ExecutionBackend, SerialBackend
 from .cache import CacheStats, InMemoryResultCache, ResultCache
-from .job import SimulationJob
+from .job import COMPARISON_PAIR, SimulationJob
+
+
+def resolve_accelerators(
+    accelerators: Optional[Sequence[str]] = None, baseline: Optional[str] = None
+) -> Tuple[Tuple[str, ...], str]:
+    """Validate and normalize an accelerator list and its baseline.
+
+    Names resolve through the registry (unknown ones raise
+    :class:`~repro.errors.UnknownAcceleratorError`), order is preserved and
+    duplicates collapse.  ``accelerators`` defaults to the paper's
+    ``("eyeriss", "ganax")`` pair; ``baseline`` defaults to ``"eyeriss"``
+    when present, else the first listed accelerator, and must be a member of
+    the list.
+    """
+    requested = tuple(accelerators) if accelerators is not None else COMPARISON_PAIR
+    names: List[str] = []
+    for name in requested:
+        canonical = get_accelerator(name).name
+        if canonical not in names:
+            names.append(canonical)
+    if not names:
+        raise AnalysisError("no accelerators provided")
+    if baseline is None:
+        resolved_baseline = "eyeriss" if "eyeriss" in names else names[0]
+    else:
+        resolved_baseline = get_accelerator(baseline).name
+        if resolved_baseline not in names:
+            raise AnalysisError(
+                f"baseline '{resolved_baseline}' is not among the compared "
+                f"accelerators: {', '.join(names)}"
+            )
+    return tuple(names), resolved_baseline
 
 
 class SimulationRunner:
@@ -139,7 +176,78 @@ class SimulationRunner:
         return self.run_jobs([job])[0]
 
     # ------------------------------------------------------------------
-    # Comparison-level entry points
+    # N-way comparison entry points (registry-driven)
+    # ------------------------------------------------------------------
+    def compare_accelerators(
+        self,
+        models: Sequence[GANModel],
+        accelerators: Optional[Sequence[str]] = None,
+        baseline: Optional[str] = None,
+        config: Optional[ArchitectureConfig] = None,
+        options: Optional[SimulationOptions] = None,
+    ) -> Dict[str, MultiComparison]:
+        """Run every GAN on every named accelerator; name -> MultiComparison.
+
+        ``accelerators`` defaults to the paper's ``("eyeriss", "ganax")``
+        pair and ``baseline`` to ``"eyeriss"`` when present (the first listed
+        accelerator otherwise).  All ``len(accelerators) * len(models)`` jobs
+        dispatch as one batch.
+        """
+        grid = self.compare_accelerators_over_configs(
+            models,
+            {"default": config or ArchitectureConfig.paper_default()},
+            accelerators,
+            baseline,
+            options,
+        )
+        return grid["default"]
+
+    def compare_accelerators_over_configs(
+        self,
+        models: Sequence[GANModel],
+        labelled_configs: Mapping[str, ArchitectureConfig],
+        accelerators: Optional[Sequence[str]] = None,
+        baseline: Optional[str] = None,
+        options: Optional[SimulationOptions] = None,
+    ) -> Dict[str, Dict[str, MultiComparison]]:
+        """Run a (config x model x accelerator) grid as one deduplicated batch.
+
+        The most general comparison entry point: every other comparison
+        method — including the legacy two-way ones — reduces to it, so all
+        simulation traffic resolves accelerator names through the registry
+        and shares one submission.  Returns
+        ``{config_label: {model_name: MultiComparison}}`` preserving the
+        iteration order of ``labelled_configs``, ``models`` and
+        ``accelerators``.
+        """
+        if not models:
+            raise AnalysisError("no models provided")
+        if not labelled_configs:
+            raise AnalysisError("no configurations provided")
+        names, resolved_baseline = resolve_accelerators(accelerators, baseline)
+        jobs: List[SimulationJob] = []
+        for config in labelled_configs.values():
+            for model in models:
+                jobs.extend(
+                    SimulationJob.for_accelerators(model, names, config, options)
+                )
+        results = self.run_jobs(jobs)
+        grid: Dict[str, Dict[str, MultiComparison]] = {}
+        cursor = iter(results)
+        for label in labelled_configs:
+            comparisons: Dict[str, MultiComparison] = {}
+            for model in models:
+                per_accelerator = {name: next(cursor) for name in names}
+                comparisons[model.name] = MultiComparison(
+                    model_name=model.name,
+                    baseline=resolved_baseline,
+                    results=per_accelerator,
+                )
+            grid[label] = comparisons
+        return grid
+
+    # ------------------------------------------------------------------
+    # Legacy two-way comparison entry points
     # ------------------------------------------------------------------
     def compare_model(
         self,
@@ -147,7 +255,7 @@ class SimulationRunner:
         config: Optional[ArchitectureConfig] = None,
         options: Optional[SimulationOptions] = None,
     ) -> ComparisonResult:
-        """Run one GAN on both accelerators with a shared configuration."""
+        """Run one GAN on the legacy (eyeriss, ganax) pair; see compare_accelerators for N-way."""
         return self.compare_models([model], config, options)[model.name]
 
     def compare_models(
@@ -156,10 +264,11 @@ class SimulationRunner:
         config: Optional[ArchitectureConfig] = None,
         options: Optional[SimulationOptions] = None,
     ) -> Dict[str, ComparisonResult]:
-        """Run every GAN on both accelerators; returns name -> comparison.
+        """Run every GAN on the legacy (eyeriss, ganax) pair; name -> comparison.
 
         All ``2 * len(models)`` jobs dispatch as one batch, so a parallel
-        backend overlaps models and accelerators.
+        backend overlaps models and accelerators.  N-way studies over other
+        registered accelerators use :meth:`compare_accelerators`.
         """
         if not models:
             raise AnalysisError("no models provided")
@@ -178,31 +287,26 @@ class SimulationRunner:
 
         This is the sweep fast path: every point of a parameter sweep joins a
         single submission, so the backend parallelises across the whole grid
-        and configs that collapse to the same content hash run once.
+        and configs that collapse to the same content hash run once.  It is
+        the ``("eyeriss", "ganax")`` special case of
+        :meth:`compare_accelerators_over_configs`.
 
         Returns ``{config_label: {model_name: ComparisonResult}}`` preserving
         the iteration order of ``labelled_configs`` and ``models``.
         """
-        if not models:
-            raise AnalysisError("no models provided")
-        if not labelled_configs:
-            raise AnalysisError("no configurations provided")
-        jobs: List[SimulationJob] = []
-        for config in labelled_configs.values():
-            for model in models:
-                jobs.extend(SimulationJob.comparison_pair(model, config, options))
-        results = self.run_jobs(jobs)
-        grid: Dict[str, Dict[str, ComparisonResult]] = {}
-        cursor = iter(results)
-        for label in labelled_configs:
-            comparisons: Dict[str, ComparisonResult] = {}
-            for model in models:
-                eyeriss, ganax = next(cursor), next(cursor)
-                comparisons[model.name] = ComparisonResult(
-                    model_name=model.name, eyeriss=eyeriss, ganax=ganax
-                )
-            grid[label] = comparisons
-        return grid
+        grid = self.compare_accelerators_over_configs(
+            models,
+            labelled_configs,
+            COMPARISON_PAIR,
+            baseline="eyeriss",
+            options=options,
+        )
+        return {
+            label: {
+                name: multi.as_comparison() for name, multi in comparisons.items()
+            }
+            for label, comparisons in grid.items()
+        }
 
 
 # ----------------------------------------------------------------------

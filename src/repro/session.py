@@ -1,0 +1,191 @@
+"""The top-level N-way comparison facade: :class:`Session`.
+
+A session pins down *which* accelerators are being compared (any entries of
+the :mod:`repro.accelerators` registry), *which baseline* the ratios are
+taken against, and *how* the simulations execute (a
+:class:`~repro.runner.SimulationRunner` with its backend and cache), and then
+answers comparison questions about any set of GAN workloads::
+
+    from repro import Session
+    from repro.accelerators import accelerator_names
+
+    session = Session(accelerators=accelerator_names())
+    comparisons = session.compare(["DCGAN", "MAGAN"])
+    print(comparisons["DCGAN"].generator_speedups())
+    # {'eyeriss': 1.0, 'ganax': 4.556, 'ganax-noskip': 0.9999..., 'ideal': 5.121}
+
+Models may be given as registry names or :class:`~repro.nn.network.GANModel`
+instances; ``compare()`` with no arguments covers all six paper workloads.
+Every simulation in a session submits through one runner batch, so a pooled
+backend fans out over the whole (model x accelerator) grid and results are
+shared through the content-addressed cache.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from .accelerators.registry import get_accelerator
+from .analysis.results import MultiComparison
+from .analysis.sweep import build_labelled_configs
+from .config import ArchitectureConfig, SimulationOptions
+from .errors import AnalysisError
+from .nn.network import GANModel
+from .runner import (
+    SimulationJob,
+    SimulationRunner,
+    get_default_runner,
+    resolve_accelerators,
+)
+from .workloads.registry import all_workloads, get_workload
+
+#: A workload, by registry name or as a built model.
+ModelLike = Union[str, GANModel]
+
+
+class Session:
+    """An N-way accelerator comparison session.
+
+    Parameters
+    ----------
+    accelerators:
+        Registered accelerator names to compare (order is preserved,
+        duplicates collapse).  Defaults to the paper's
+        ``("eyeriss", "ganax")`` pair; pass
+        :func:`~repro.accelerators.accelerator_names` to compare everything
+        registered.  Unknown names raise
+        :class:`~repro.errors.UnknownAcceleratorError`.
+    baseline:
+        The accelerator every speedup / energy-reduction ratio is taken
+        against; defaults to ``"eyeriss"`` when compared, else the first
+        listed accelerator.
+    config / options:
+        Shared :class:`ArchitectureConfig` and :class:`SimulationOptions`
+        for every run (paper defaults when omitted).
+    runner:
+        The :class:`~repro.runner.SimulationRunner` simulations submit
+        through; defaults to the process-wide cached runner.
+    """
+
+    def __init__(
+        self,
+        accelerators: Optional[Sequence[str]] = None,
+        baseline: Optional[str] = None,
+        config: Optional[ArchitectureConfig] = None,
+        options: Optional[SimulationOptions] = None,
+        runner: Optional[SimulationRunner] = None,
+    ) -> None:
+        names, resolved_baseline = resolve_accelerators(accelerators, baseline)
+        self._accelerators = names
+        self._baseline = resolved_baseline
+        self._config = config or ArchitectureConfig.paper_default()
+        self._options = options or SimulationOptions()
+        self._runner = runner
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def accelerators(self) -> tuple:
+        """Compared accelerator names, in comparison order."""
+        return self._accelerators
+
+    @property
+    def baseline(self) -> str:
+        return self._baseline
+
+    @property
+    def config(self) -> ArchitectureConfig:
+        return self._config
+
+    @property
+    def options(self) -> SimulationOptions:
+        return self._options
+
+    @property
+    def runner(self) -> SimulationRunner:
+        if self._runner is None:
+            self._runner = get_default_runner()
+        return self._runner
+
+    def describe(self) -> List[Dict[str, str]]:
+        """Registry metadata for every compared accelerator."""
+        return [get_accelerator(name).describe() for name in self._accelerators]
+
+    # ------------------------------------------------------------------
+    # Comparison entry points
+    # ------------------------------------------------------------------
+    def compare(
+        self, models: Optional[Union[ModelLike, Iterable[ModelLike]]] = None
+    ) -> Dict[str, MultiComparison]:
+        """Compare workloads across the session's accelerators.
+
+        Accepts a single model (name or instance), an iterable of them, or
+        nothing for all registered workloads.  Returns
+        ``{model_name: MultiComparison}`` in submission order; the whole
+        (model x accelerator) grid dispatches as one runner batch.
+        """
+        resolved = self._resolve_models(models)
+        return self.runner.compare_accelerators(
+            resolved,
+            self._accelerators,
+            self._baseline,
+            self._config,
+            self._options,
+        )
+
+    def compare_model(self, model: ModelLike) -> MultiComparison:
+        """Compare one workload across the session's accelerators."""
+        resolved = self._resolve_models(model)
+        return self.compare(resolved)[resolved[0].name]
+
+    def run(self, model: ModelLike, accelerator: str):
+        """One workload on one accelerator (through the cached runner)."""
+        resolved = self._resolve_models(model)[0]
+        job = SimulationJob(
+            model=resolved,
+            accelerator=accelerator,
+            config=self._config,
+            options=self._options,
+        )
+        return self.runner.run_job(job)
+
+    def sweep(
+        self,
+        parameter: str,
+        values: Sequence[Any],
+        models: Optional[Union[ModelLike, Iterable[ModelLike]]] = None,
+        label_format: str = "{parameter}={value}",
+    ) -> Dict[str, Dict[str, MultiComparison]]:
+        """Sweep one configuration field across the session's accelerators.
+
+        Returns ``{label: {model_name: MultiComparison}}`` — the N-way
+        counterpart of :class:`~repro.analysis.sweep.ParameterSweep`; the
+        whole (config x model x accelerator) grid joins one runner batch.
+        """
+        return self.runner.compare_accelerators_over_configs(
+            self._resolve_models(models),
+            build_labelled_configs(parameter, values, self._config, label_format),
+            self._accelerators,
+            self._baseline,
+            self._options,
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve_models(
+        models: Optional[Union[ModelLike, Iterable[ModelLike]]]
+    ) -> List[GANModel]:
+        if models is None:
+            return list(all_workloads())
+        if isinstance(models, (str, GANModel)):
+            models = [models]
+        resolved = [
+            get_workload(model) if isinstance(model, str) else model
+            for model in models
+        ]
+        if not resolved:
+            raise AnalysisError("no models provided")
+        return resolved

@@ -6,7 +6,9 @@ import json
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.accelerators import accelerator_names
+from repro.cli import build_parser, main, parse_accelerator_list
+from repro.errors import UnknownAcceleratorError
 from repro.experiments import experiment_ids
 
 
@@ -49,3 +51,65 @@ class TestMain:
     def test_quiet_suppresses_report(self, capsys):
         assert main(["table2", "--quiet"]) == 0
         assert capsys.readouterr().out.strip() == ""
+
+
+class TestAcceleratorOptions:
+    def test_parse_accelerator_list_resolves_names(self):
+        assert parse_accelerator_list(None) is None
+        assert parse_accelerator_list(" EYERISS , ganax ") == ("eyeriss", "ganax")
+
+    def test_parse_accelerator_list_unknown_name_message(self):
+        with pytest.raises(UnknownAcceleratorError) as excinfo:
+            parse_accelerator_list("eyeriss,tpu")
+        message = str(excinfo.value)
+        assert "unknown accelerator 'tpu'" in message
+        for name in accelerator_names():
+            assert name in message
+
+    def test_list_accelerators_prints_registry(self, capsys):
+        assert main(["list-accelerators"]) == 0
+        out = capsys.readouterr().out
+        for name in accelerator_names():
+            assert name in out.split()
+
+    def test_compare_reports_all_accelerators(self, capsys):
+        assert main(["compare"]) == 0
+        out = capsys.readouterr().out
+        for name in accelerator_names():
+            assert name in out
+
+    def test_compare_json_payload(self, tmp_path, capsys):
+        path = tmp_path / "compare.json"
+        assert (
+            main(
+                [
+                    "compare",
+                    "--accelerators",
+                    "eyeriss,ideal",
+                    "--json",
+                    str(path),
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(path.read_text())["compare"]
+        assert payload["baseline"] == "eyeriss"
+        assert payload["accelerators"] == ["eyeriss", "ideal"]
+        assert payload["models"]["DCGAN"]["ideal"]["speedup"] > 1.0
+
+    def test_compare_unknown_accelerator_is_clean_error(self, capsys):
+        assert main(["compare", "--accelerators", "tpu"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown accelerator 'tpu'" in err
+        assert "registered accelerators" in err
+
+    def test_compare_bad_baseline_is_clean_error(self, capsys):
+        assert main(["compare", "--accelerators", "ganax,ideal", "--baseline", "eyeriss"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_accelerator_flags_rejected_outside_compare(self, capsys):
+        assert main(["figure8", "--accelerators", "eyeriss,ideal"]) == 2
+        assert "'compare'" in capsys.readouterr().err
+        assert main(["all", "--baseline", "ganax"]) == 2
+        assert "'compare'" in capsys.readouterr().err

@@ -6,7 +6,9 @@ import json
 
 import pytest
 
+from repro.accelerators import accelerator_names
 from repro.errors import ExperimentError
+from repro.runner import SimulationRunner
 from repro.experiments import (
     ExperimentContext,
     experiment_ids,
@@ -21,6 +23,41 @@ from repro.experiments.paper_data import MODEL_ORDER
 def context() -> ExperimentContext:
     """One shared context so the simulators run only once for this module."""
     return ExperimentContext()
+
+
+class TestContextSession:
+    def test_session_shares_runner_config_and_options(self):
+        runner = SimulationRunner()
+        context = ExperimentContext(runner=runner, accelerators=["eyeriss", "ideal"])
+        session = context.session
+        assert session is context.session  # built once
+        assert session.runner is runner
+        assert session.config is context.config
+        assert session.options is context.options
+        assert session.accelerators == ("eyeriss", "ideal")
+
+    def test_session_defaults_to_the_paper_pair(self, context):
+        assert context.session.accelerators == ("eyeriss", "ganax")
+        assert context.session.baseline == "eyeriss"
+
+    def test_multi_comparisons_cover_context_accelerators(self):
+        runner = SimulationRunner()
+        context = ExperimentContext(
+            runner=runner, accelerators=accelerator_names()
+        )
+        multi = context.multi_comparisons
+        assert context.multi_comparisons is multi  # computed once
+        assert set(multi) == {m.name for m in context.models}
+        for comparison in multi.values():
+            assert comparison.accelerators == accelerator_names()
+            assert comparison.baseline == "eyeriss"
+
+    def test_multi_comparisons_agree_with_legacy_comparisons(self):
+        context = ExperimentContext(runner=SimulationRunner())
+        legacy = context.comparisons
+        multi = context.multi_comparisons
+        for name, comparison in legacy.items():
+            assert multi[name].as_comparison() == comparison
 
 
 class TestRegistry:

@@ -34,6 +34,29 @@ GOLDEN = {
 GOLDEN_GEOMEAN_SPEEDUP = 4.101361734069381
 GOLDEN_GEOMEAN_ENERGY_REDUCTION = 2.5336240675564055
 
+#: model -> (generator speedup, energy reduction) over EYERISS for the two
+#: registered accelerator variants, captured when they were introduced.
+#: ``ganax-noskip`` must sit just below 1x (it pays the MIMD dispatch tax
+#: without harvesting sparsity) and ``ideal`` must bound ``ganax`` from above.
+VARIANT_GOLDEN = {
+    "ganax-noskip": {
+        "3D-GAN": (0.9999998773050476, 0.9999999588418732),
+        "ArtGAN": (0.9999964479908519, 0.9999991459943699),
+        "DCGAN": (0.9999986032220316, 0.9999996522111371),
+        "DiscoGAN": (0.9999979044826888, 0.9999995557038758),
+        "GP-GAN": (0.9999977126388142, 0.9999994850515117),
+        "MAGAN": (0.9999993150978908, 0.9999998522531706),
+    },
+    "ideal": {
+        "3D-GAN": (9.378192824042289, 16.517630730754362),
+        "ArtGAN": (4.538265018265018, 11.15493289810595),
+        "DCGAN": (5.120830587501514, 12.145940940233249),
+        "DiscoGAN": (3.4395692683231545, 9.582759131761016),
+        "GP-GAN": (4.695954800317945, 12.322124297153934),
+        "MAGAN": (2.958709983593652, 8.1004193059745),
+    },
+}
+
 RELATIVE_TOLERANCE = 1e-12
 
 
@@ -41,6 +64,17 @@ RELATIVE_TOLERANCE = 1e-12
 def comparisons():
     runner = SimulationRunner()
     return runner.compare_models(all_workloads(), ArchitectureConfig.paper_default())
+
+
+@pytest.fixture(scope="module")
+def variant_comparisons():
+    runner = SimulationRunner()
+    return runner.compare_accelerators(
+        all_workloads(),
+        ("eyeriss", "ganax", "ganax-noskip", "ideal"),
+        baseline="eyeriss",
+        config=ArchitectureConfig.paper_default(),
+    )
 
 
 def test_golden_covers_all_registered_workloads():
@@ -72,3 +106,36 @@ def test_geomean_headline_numbers_pinned(comparisons):
     assert geometric_mean(reductions) == pytest.approx(
         GOLDEN_GEOMEAN_ENERGY_REDUCTION, rel=RELATIVE_TOLERANCE
     )
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANT_GOLDEN))
+@pytest.mark.parametrize("model_name", sorted(GOLDEN))
+def test_variant_numbers_pinned(variant_comparisons, variant, model_name):
+    expected_speedup, expected_reduction = VARIANT_GOLDEN[variant][model_name]
+    multi = variant_comparisons[model_name]
+    assert multi.generator_speedup(variant) == pytest.approx(
+        expected_speedup, rel=RELATIVE_TOLERANCE
+    )
+    assert multi.generator_energy_reduction(variant) == pytest.approx(
+        expected_reduction, rel=RELATIVE_TOLERANCE
+    )
+
+
+def test_variant_ordering_invariants(variant_comparisons):
+    """Physics of the design points: noskip < 1x <= ganax <= ideal."""
+    for multi in variant_comparisons.values():
+        assert multi.generator_speedup("eyeriss") == 1.0
+        assert multi.generator_speedup("ganax-noskip") < 1.0
+        assert multi.generator_speedup("ganax") > 1.0
+        assert multi.generator_speedup("ideal") > multi.generator_speedup("ganax")
+
+
+def test_multi_comparison_two_way_view_matches_legacy(comparisons, variant_comparisons):
+    """The N-way grid's eyeriss/ganax slice is the legacy comparison exactly."""
+    for name, comparison in comparisons.items():
+        two_way = variant_comparisons[name].as_comparison()
+        assert two_way.generator_speedup == comparison.generator_speedup
+        assert (
+            two_way.generator_energy_reduction
+            == comparison.generator_energy_reduction
+        )

@@ -11,10 +11,19 @@ from __future__ import annotations
 
 import pytest
 
+from repro.accelerators import (
+    GanSimulatorBase,
+    accelerator_names,
+    create_accelerator,
+    get_accelerator,
+    register_accelerator,
+    unregister_accelerator,
+)
 from repro.analysis.serialization import canonical_json, gan_result_rows
 from repro.analysis.sweep import ParameterSweep, compare_model, compare_models
 from repro.config import ArchitectureConfig, SimulationOptions
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, ConfigurationError, UnknownAcceleratorError
+from repro.session import Session
 from repro.runner import (
     CacheStats,
     DiskResultCache,
@@ -330,3 +339,267 @@ class TestRunnerPlumbing:
         sweep = ParameterSweep(models[:1], runner=SimulationRunner())
         with pytest.raises(AnalysisError):
             sweep.run("num_pvs", [8, 8], label_format="{parameter}")
+
+
+# ----------------------------------------------------------------------
+# Accelerator registry
+# ----------------------------------------------------------------------
+class TestAcceleratorRegistry:
+    def test_builtin_accelerators_registered(self):
+        names = accelerator_names()
+        assert len(names) >= 4
+        assert {"eyeriss", "ganax", "ganax-noskip", "ideal"} <= set(names)
+
+    def test_specs_carry_version_and_description(self):
+        for name in accelerator_names():
+            spec = get_accelerator(name)
+            assert spec.name == name
+            assert spec.version
+            assert spec.description
+            assert spec.describe()["name"] == name
+
+    def test_created_models_satisfy_the_protocol(self, conv_binding):
+        for name in accelerator_names():
+            model = create_accelerator(name)
+            assert model.name == name
+            assert model.describe()["version"] == get_accelerator(name).version
+            assert model.config_space()
+            result = model.simulate_layer(conv_binding)
+            assert result.accelerator == name
+            assert result.cycles > 0
+
+    def test_lookup_normalizes_name(self):
+        assert get_accelerator(" EYERISS ").name == "eyeriss"
+
+    def test_unknown_name_lists_registered_ones(self):
+        with pytest.raises(UnknownAcceleratorError) as excinfo:
+            get_accelerator("tpu")
+        message = str(excinfo.value)
+        assert "tpu" in message
+        for name in accelerator_names():
+            assert name in message
+        assert isinstance(excinfo.value, AnalysisError)  # legacy catch still works
+
+    def test_register_and_unregister_roundtrip(self, dcgan_model):
+        @register_accelerator("test-roundtrip", version="7", description="temp")
+        class RoundtripSimulator(GanSimulatorBase):
+            accelerator_name = "test-roundtrip"
+
+            def simulate_layer(self, binding):
+                return create_accelerator("ideal").simulate_layer(binding)
+
+        try:
+            assert "test-roundtrip" in accelerator_names()
+            spec = get_accelerator("test-roundtrip")
+            assert (spec.version, spec.description) == ("7", "temp")
+        finally:
+            unregister_accelerator("test-roundtrip")
+        assert "test-roundtrip" not in accelerator_names()
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_accelerator("ganax")(GanSimulatorBase)
+
+    def test_mismatched_class_name_rejected(self):
+        class Mismatched(GanSimulatorBase):
+            accelerator_name = "something-else"
+
+        with pytest.raises(ConfigurationError):
+            register_accelerator("test-mismatch")(Mismatched)
+
+    def test_factory_function_registration(self, dcgan_model):
+        from repro.accelerators.variants import IdealRooflineSimulator
+
+        class NamedRoofline(IdealRooflineSimulator):
+            accelerator_name = "test-factory"
+
+        @register_accelerator("test-factory", version="2")
+        def build(config=None, options=None):
+            return NamedRoofline(config=config, options=options)
+
+        try:
+            job = SimulationJob(
+                dcgan_model,
+                "test-factory",
+                ArchitectureConfig.paper_default(),
+                SimulationOptions(),
+            )
+            result = execute_job(job)
+            assert result.accelerator == "test-factory"
+            ideal = execute_job(
+                SimulationJob(dcgan_model, "ideal", job.config, job.options)
+            )
+            assert result.total_cycles == ideal.total_cycles
+        finally:
+            unregister_accelerator("test-factory")
+
+    def test_factory_misreporting_its_name_is_rejected(self, dcgan_model):
+        # A delegating factory that forwards another entry's results would
+        # poison the cache under the wrong identity; execute_job rejects it.
+        register_accelerator("test-mislabelled")(
+            lambda config=None, options=None: create_accelerator(
+                "ideal", config=config, options=options
+            )
+        )
+        try:
+            job = SimulationJob(
+                dcgan_model,
+                "test-mislabelled",
+                ArchitectureConfig.paper_default(),
+                SimulationOptions(),
+            )
+            with pytest.raises(AnalysisError, match="registry name"):
+                execute_job(job)
+        finally:
+            unregister_accelerator("test-mislabelled")
+
+    def test_class_version_defaults_to_model_version(self):
+        @register_accelerator("test-versioned-class")
+        class Versioned(GanSimulatorBase):
+            accelerator_name = "test-versioned-class"
+            model_version = "3"
+
+            def simulate_layer(self, binding):
+                raise NotImplementedError
+
+        try:
+            spec = get_accelerator("test-versioned-class")
+            assert spec.version == "3"
+            assert Versioned().describe()["version"] == "3"
+        finally:
+            unregister_accelerator("test-versioned-class")
+
+    def test_explicit_version_written_back_to_class(self):
+        @register_accelerator("test-explicit-version", version="9")
+        class Explicit(GanSimulatorBase):
+            accelerator_name = "test-explicit-version"
+
+            def simulate_layer(self, binding):
+                raise NotImplementedError
+
+        try:
+            assert get_accelerator("test-explicit-version").version == "9"
+            assert Explicit().describe()["version"] == "9"
+        finally:
+            unregister_accelerator("test-explicit-version")
+
+    def test_canonical_options_collapse_ignored_flags(self, dcgan_model):
+        config = ArchitectureConfig.paper_default()
+        skipping = SimulationOptions(ganax_zero_skipping=True)
+        dense = SimulationOptions(ganax_zero_skipping=False)
+
+        def key(accelerator, options):
+            return SimulationJob(dcgan_model, accelerator, config, options).cache_key
+
+        # the noskip variant forces the flag off; the baseline and roofline
+        # never read it — identical results must share one cache entry
+        for name in ("ganax-noskip", "eyeriss", "ideal"):
+            assert key(name, skipping) == key(name, dense)
+        # ganax genuinely honours the flag, so its keys must stay distinct
+        assert key("ganax", skipping) != key("ganax", dense)
+
+    def test_cache_keys_distinct_across_accelerators(self, dcgan_model):
+        config = ArchitectureConfig.paper_default()
+        options = SimulationOptions()
+        keys = {
+            SimulationJob(dcgan_model, name, config, options).cache_key
+            for name in accelerator_names()
+        }
+        assert len(keys) == len(accelerator_names())
+
+    def test_cache_key_tracks_model_version(self, dcgan_model):
+        config = ArchitectureConfig.paper_default()
+        options = SimulationOptions()
+        register_accelerator("test-versioned", version="1")(
+            lambda config=None, options=None: create_accelerator("ideal")
+        )
+        try:
+            before = SimulationJob(
+                dcgan_model, "test-versioned", config, options
+            ).cache_key
+            unregister_accelerator("test-versioned")
+            register_accelerator("test-versioned", version="2")(
+                lambda config=None, options=None: create_accelerator("ideal")
+            )
+            after = SimulationJob(
+                dcgan_model, "test-versioned", config, options
+            ).cache_key
+            assert before != after
+        finally:
+            unregister_accelerator("test-versioned")
+
+
+# ----------------------------------------------------------------------
+# Session facade
+# ----------------------------------------------------------------------
+class TestSession:
+    def test_defaults_to_the_paper_pair(self):
+        session = Session()
+        assert session.accelerators == ("eyeriss", "ganax")
+        assert session.baseline == "eyeriss"
+
+    def test_unknown_accelerator_rejected(self):
+        with pytest.raises(UnknownAcceleratorError):
+            Session(accelerators=["eyeriss", "tpu"])
+
+    def test_baseline_must_be_compared(self):
+        with pytest.raises(AnalysisError):
+            Session(accelerators=["ganax", "ideal"], baseline="eyeriss")
+
+    def test_two_way_session_matches_legacy_compare_model(self, dcgan_model):
+        runner = SimulationRunner()
+        session = Session(accelerators=["eyeriss", "ganax"], runner=runner)
+        multi = session.compare_model(dcgan_model)
+        legacy = runner.compare_model(dcgan_model)
+        assert multi.as_comparison() == legacy
+        assert multi.generator_speedup("ganax") == legacy.generator_speedup
+        assert (
+            multi.generator_energy_reduction("ganax")
+            == legacy.generator_energy_reduction
+        )
+        assert result_bytes(multi.as_comparison()) == result_bytes(legacy)
+
+    def test_all_registered_accelerators_complete(self, dcgan_model):
+        runner = SimulationRunner()
+        session = Session(accelerators=accelerator_names(), runner=runner)
+        multi = session.compare_model(dcgan_model)
+        assert multi.accelerators == accelerator_names()
+        assert multi.generator_speedup(session.baseline) == 1.0
+        for name in accelerator_names():
+            assert multi.result(name).total_cycles > 0
+        # the whole (model x accelerator) grid went through the cached runner
+        assert runner.stats.misses == len(accelerator_names())
+
+    def test_accepts_model_names_and_defaults_to_all_workloads(self, models):
+        session = Session(runner=SimulationRunner())
+        by_name = session.compare("DCGAN")
+        assert set(by_name) == {"DCGAN"}
+        everything = session.compare()
+        assert set(everything) == {m.name for m in models}
+
+    def test_run_single_job_through_cache(self, dcgan_model):
+        runner = SimulationRunner()
+        session = Session(runner=runner)
+        result = session.run(dcgan_model, "ideal")
+        assert result.accelerator == "ideal"
+        again = session.run(dcgan_model, "ideal")
+        assert again == result
+        assert runner.stats.hits == 1
+
+    def test_sweep_returns_multi_comparisons_per_label(self, dcgan_model):
+        session = Session(
+            accelerators=["eyeriss", "ganax", "ideal"], runner=SimulationRunner()
+        )
+        grid = session.sweep("num_pvs", [8, 16], models=[dcgan_model])
+        assert list(grid) == ["num_pvs=8", "num_pvs=16"]
+        for comparisons in grid.values():
+            multi = comparisons["DCGAN"]
+            assert multi.accelerators == ("eyeriss", "ganax", "ideal")
+            assert multi.generator_speedup("ideal") >= multi.generator_speedup(
+                "ganax"
+            )
+
+    def test_describe_lists_compared_specs(self):
+        session = Session(accelerators=["ganax", "ideal"])
+        described = session.describe()
+        assert [entry["name"] for entry in described] == ["ganax", "ideal"]
