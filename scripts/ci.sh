@@ -9,7 +9,10 @@
 #      contract and the serial/pooled/warm parity of the sweep results;
 #   3. an accelerator-registry smoke: a Session runs one small workload
 #      through every registered accelerator and fails if the registry is
-#      thinner than expected or any registered model cannot complete it.
+#      thinner than expected or any registered model cannot complete it;
+#   4. a DSE smoke: a deterministic exhaustive search over a tiny two-field
+#      space must produce a verifiably non-dominated Pareto frontier and a
+#      warm re-search must answer entirely from cache.
 #
 # Usage: scripts/ci.sh [extra pytest args for the tier-1 step]
 set -eu
@@ -22,9 +25,9 @@ export PYTHONPATH
 echo "== tier-1 tests =="
 python -m pytest -x -q -p no:cacheprovider "$@"
 
-echo "== runner benchmark (parity + warm-cache contract) =="
-python -m pytest benchmarks/bench_runner.py -q -p no:cacheprovider \
-    --benchmark-disable-gc
+echo "== runner + DSE benchmarks (parity + warm-cache contracts) =="
+python -m pytest benchmarks/bench_runner.py benchmarks/bench_dse.py -q \
+    -p no:cacheprovider --benchmark-disable-gc
 
 echo "== accelerator registry smoke (Session over every registered model) =="
 python - <<'PY'
@@ -41,6 +44,34 @@ for name in names:
     assert result.total_energy_pj > 0, f"{name} produced no energy"
 print("session smoke OK:",
       ", ".join(f"{n}={multi.generator_speedup(n):.2f}x" for n in names))
+PY
+
+echo "== DSE smoke (exhaustive 2-field space, deterministic) =="
+python - <<'PY'
+from repro.dse import DesignSpaceExplorer, ExhaustiveSearch, dominates
+
+explorer = DesignSpaceExplorer()
+space = explorer.space(
+    fields=("num_pvs", "pes_per_pv"),
+    overrides={"num_pvs": (8, 16), "pes_per_pv": (8, 16)},
+)
+result = explorer.explore(space=space, strategy=ExhaustiveSearch())
+assert len(result.evaluated) == 4, result.space
+frontier = result.frontier
+assert frontier.frontier, "empty Pareto frontier"
+for a in frontier.frontier:  # no frontier point dominates another
+    for b in frontier.frontier:
+        assert not dominates(a, b, frontier.objectives), (a.label, b.label)
+for p in frontier.dominated:  # every excluded point is genuinely dominated
+    assert any(dominates(f, p, frontier.objectives) for f in frontier.frontier)
+
+warm = explorer.explore(space=space, strategy=ExhaustiveSearch())
+assert warm.cache_stats.misses == 0, warm.cache_stats.as_dict()
+assert warm.frontier.summary() == frontier.summary()
+print("dse smoke OK:",
+      f"{len(frontier.frontier)}/{len(result.evaluated)} points on the "
+      f"frontier; warm re-search hit rate "
+      f"{100 * warm.cache_stats.hit_rate:.0f}%")
 PY
 
 echo "CI OK"

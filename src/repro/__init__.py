@@ -14,7 +14,11 @@ This package implements, from scratch:
 * a pluggable accelerator registry (:mod:`repro.accelerators`) with variants
   beyond the paper's pair — ``ganax-noskip`` (zero skipping disabled) and
   ``ideal`` (consequential-MACs roofline) — and the :class:`Session` facade
-  for N-way comparisons across any registered set of architecture points.
+  for N-way comparisons across any registered set of architecture points,
+* a design-space exploration engine (:mod:`repro.dse`): ``config_space()``-
+  driven search spaces, exhaustive/random/hill-climb strategies and Pareto
+  frontiers over speedup, energy and area (``Session.explore``,
+  ``repro-experiments dse``).
 
 Quick start — the paper's two-point comparison::
 
@@ -65,6 +69,14 @@ from .core import (
     StridedIndexGenerator,
     build_schedule,
 )
+from .dse import (
+    DesignPoint,
+    DesignSpace,
+    DesignSpaceExplorer,
+    ExplorationResult,
+    ParetoFrontier,
+    explore,
+)
 from .errors import ReproError, UnknownAcceleratorError
 from .session import Session
 from .hw import AreaModel, EnergyBreakdown, EnergyModel, EnergyTable, EventCounters
@@ -95,6 +107,12 @@ __all__ = [
     "get_accelerator",
     "register_accelerator",
     "ComparisonResult",
+    "DesignPoint",
+    "DesignSpace",
+    "DesignSpaceExplorer",
+    "ExplorationResult",
+    "ParetoFrontier",
+    "explore",
     "GanResult",
     "LayerResult",
     "MultiComparison",

@@ -13,11 +13,15 @@ The subsystem has three parts:
   paper's pair: ``ganax-noskip`` (zero skipping disabled) and ``ideal``
   (consequential-MACs roofline).  ``eyeriss`` and ``ganax`` register from
   their home modules.  All built-ins load lazily on first registry lookup.
+* :mod:`~repro.accelerators.design_points` — parametric pinned entries
+  (``register_ganax_design_point`` -> ``ganax@<pvs>x<pes>``) that turn a
+  :mod:`repro.dse` frontier winner into a first-class registry name.
 
 See ``src/repro/runner/README.md`` for a registration walkthrough.
 """
 
 from .base import AcceleratorModel, GanSimulatorBase
+from .design_points import register_design_point, register_ganax_design_point
 from .registry import (
     AcceleratorSpec,
     accelerator_names,
@@ -35,5 +39,7 @@ __all__ = [
     "create_accelerator",
     "get_accelerator",
     "register_accelerator",
+    "register_design_point",
+    "register_ganax_design_point",
     "unregister_accelerator",
 ]

@@ -75,6 +75,11 @@ class GanSimulatorBase:
     accelerator_name: str = ""
     model_version: str = "1"
     summary: str = ""
+    #: Whether :class:`~repro.hw.area.AreaModel` should include the
+    #: GANAX-specific units (strided µindex generators, local/global µop
+    #: buffers, address FIFOs) when costing this model's silicon.  True for
+    #: every GANAX-derived model; the EYERISS baseline overrides it.
+    ganax_area_model: bool = True
 
     def __init__(
         self,

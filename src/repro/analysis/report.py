@@ -119,6 +119,46 @@ def format_stacked_breakdown(
     return format_table(headers, rows, title=title, float_format="{:.3f}")
 
 
+def format_frontier(
+    title: str,
+    points: Sequence[Mapping[str, object]],
+    objectives: Sequence[Sequence[str]],
+) -> str:
+    """Render a design-space exploration's Pareto partition as a table.
+
+    ``points`` rows are ``{"label", "objectives": {name: value}, "on_frontier"}``
+    (already ordered — frontier first); ``objectives`` pairs each objective
+    name with its sense (``"max"``/``"min"``), which becomes the column
+    header's direction arrow.
+    """
+    if not objectives:
+        raise AnalysisError("a frontier table needs at least one objective")
+    headers = [
+        "Design point",
+        *[
+            f"{name} ({'^' if sense == 'max' else 'v'})"
+            for name, sense in objectives
+        ],
+        "Pareto",
+    ]
+    rows: List[List[object]] = []
+    for entry in points:
+        values = entry["objectives"]
+        missing = [name for name, _ in objectives if name not in values]
+        if missing:
+            raise AnalysisError(
+                f"{entry.get('label', '?')}: missing objective values {missing}"
+            )
+        rows.append(
+            [
+                entry["label"],
+                *[values[name] for name, _ in objectives],
+                "frontier" if entry.get("on_frontier") else "dominated",
+            ]
+        )
+    return format_table(headers, rows, title=title, float_format="{:.4g}")
+
+
 def format_key_values(title: str, values: Mapping[str, object]) -> str:
     """Render a flat mapping as a two-column table."""
     return format_table(["Quantity", "Value"], list(values.items()), title=title)

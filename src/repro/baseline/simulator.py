@@ -33,6 +33,7 @@ class EyerissSimulator(GanSimulatorBase):
         "EYERISS-style row-stationary baseline: dense execution over the "
         "zero-inserted input with zero-gated MAC energy"
     )
+    ganax_area_model = False  # no µindex generators / µop buffers on die
 
     def simulate_layer(self, binding: LayerBinding) -> LayerResult:
         """Simulate a single bound layer."""

@@ -11,13 +11,18 @@ Installed as ``repro-experiments`` (see ``pyproject.toml``).  Examples::
     repro-experiments figure8 --json out.json
     repro-experiments all --parallel --cache-stats
     repro-experiments all --cache-dir .sim-cache   # warm-start reruns
+    repro-experiments dse --accelerator ganax --strategy random --budget 8
+    repro-experiments cache-prune --cache-dir .sim-cache --max-bytes 10000000
+    repro-experiments list-accelerators --json -   # machine-readable registry
 
 Every simulation runs through one shared
 :class:`~repro.runner.SimulationRunner`, so the whole invocation shares a
 content-addressed result cache; ``--parallel`` swaps the serial backend for a
 process pool and ``--cache-dir`` persists results across invocations.  The
 ``compare`` mode routes through :class:`repro.Session`, so any accelerator
-registered in :mod:`repro.accelerators` is addressable via ``--accelerators``.
+registered in :mod:`repro.accelerators` is addressable via ``--accelerators``;
+the ``dse`` mode runs a :mod:`repro.dse` design-space search and reports the
+Pareto frontier.
 """
 
 from __future__ import annotations
@@ -27,9 +32,11 @@ import json
 import sys
 from typing import List, Optional, Sequence, Tuple
 
-from .accelerators.registry import accelerator_names, get_accelerator
+from .accelerators.registry import accelerator_names, create_accelerator, get_accelerator
 from .analysis.report import format_table
 from .analysis.serialization import multi_comparison_rows
+from .dse.engine import DesignSpaceExplorer
+from .dse.strategies import get_strategy
 from .errors import ReproError, UnknownAcceleratorError
 from .experiments.base import ExperimentContext
 from .experiments.registry import experiment_ids, run_all, run_experiment
@@ -54,7 +61,8 @@ def build_parser() -> argparse.ArgumentParser:
         default="all",
         help=(
             "experiment id (e.g. figure8, table3), 'all', 'list', "
-            "'list-accelerators', or 'compare' (N-way accelerator comparison)"
+            "'list-accelerators', 'compare' (N-way accelerator comparison), "
+            "'dse' (design-space exploration), or 'cache-prune'"
         ),
     )
     parser.add_argument(
@@ -70,7 +78,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline",
         metavar="NAME",
         default=None,
-        help="baseline accelerator for 'compare' ratios (default: eyeriss)",
+        help=(
+            "baseline accelerator for 'compare'/'dse' ratios "
+            "(default: eyeriss)"
+        ),
+    )
+    parser.add_argument(
+        "--accelerator",
+        metavar="NAME",
+        default=None,
+        help="accelerator whose design space 'dse' explores (default: ganax)",
+    )
+    parser.add_argument(
+        "--strategy",
+        metavar="NAME",
+        default=None,
+        help="search strategy for 'dse': exhaustive, random or hillclimb",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        metavar="N",
+        default=None,
+        help="maximum design points 'dse' evaluates",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        metavar="N",
+        default=None,
+        help="random seed for the 'dse' random/hillclimb strategies (default 0)",
+    )
+    parser.add_argument(
+        "--fields",
+        metavar="NAMES",
+        default=None,
+        help=(
+            "comma-separated ArchitectureConfig fields spanning the 'dse' "
+            "space (default: num_pvs,pes_per_pv,dram_bandwidth_bytes_per_cycle)"
+        ),
+    )
+    parser.add_argument(
+        "--max-bytes",
+        type=int,
+        metavar="N",
+        default=None,
+        help="size budget for 'cache-prune' (oldest entries evicted first)",
     )
     parser.add_argument(
         "--json",
@@ -144,14 +197,110 @@ def build_runner(args: argparse.Namespace) -> SimulationRunner:
     return SimulationRunner(backend=backend, cache=cache)
 
 
-def _print_cache_stats(runner: SimulationRunner) -> None:
+def _print_cache_stats(runner: SimulationRunner, json_destination: Optional[str]) -> None:
     stats = runner.stats
+    # with '--json -' stdout is the machine-readable payload, so the
+    # accounting line goes to stderr instead of corrupting it
+    stream = sys.stderr if json_destination == "-" else sys.stdout
     print(
         "cache: "
         f"{stats.hits} hits, {stats.misses} misses, "
         f"{stats.deduplicated} deduplicated "
-        f"(hit rate {100 * stats.hit_rate:.1f}%)"
+        f"(hit rate {100 * stats.hit_rate:.1f}%)",
+        file=stream,
     )
+
+
+def _write_json(payload: dict, destination: str, quiet: bool) -> None:
+    """Write a JSON payload to a file, or to stdout when destination is '-'."""
+    if destination == "-":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return
+    with open(destination, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    if not quiet:
+        print(f"wrote JSON results to {destination}")
+
+
+def _list_accelerators(args: argparse.Namespace) -> int:
+    """The ``list-accelerators`` mode: plain text, or machine-readable JSON."""
+    if args.json:
+        # config_space() is an instance method, so the JSON listing has to
+        # instantiate each model; the text listing stays metadata-only
+        entries = [
+            {
+                **get_accelerator(name).describe(),
+                "config_space": list(create_accelerator(name).config_space()),
+            }
+            for name in accelerator_names()
+        ]
+        _write_json({"accelerators": entries}, args.json, args.quiet)
+    else:
+        for name in accelerator_names():
+            spec = get_accelerator(name)
+            print(f"{spec.name}  (v{spec.version})  {spec.description}")
+    return 0
+
+
+def _run_cache_prune(args: argparse.Namespace) -> int:
+    """The ``cache-prune`` mode: evict oldest disk-cache entries to a budget."""
+    if not args.cache_dir:
+        print("error: cache-prune requires --cache-dir", file=sys.stderr)
+        return 2
+    if args.max_bytes is None:
+        print("error: cache-prune requires --max-bytes", file=sys.stderr)
+        return 2
+    try:
+        stats = DiskResultCache(args.cache_dir).prune(max_bytes=args.max_bytes)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not args.quiet and args.json != "-":  # '--json -' owns stdout
+        print(
+            f"pruned {stats.removed_entries} entries "
+            f"({stats.removed_bytes} bytes); "
+            f"{stats.remaining_entries} entries "
+            f"({stats.remaining_bytes} bytes) remain"
+        )
+    if args.json:
+        _write_json({"cache_prune": stats.as_dict()}, args.json, args.quiet)
+    return 0
+
+
+def _run_dse(args: argparse.Namespace, runner: SimulationRunner) -> int:
+    """The ``dse`` mode: search one accelerator's design space, report the frontier."""
+    try:
+        explorer = DesignSpaceExplorer(
+            accelerator=args.accelerator or "ganax",
+            baseline=args.baseline or "eyeriss",
+            runner=runner,
+        )
+        fields = None
+        if args.fields is not None:
+            fields = tuple(
+                token.strip() for token in args.fields.split(",") if token.strip()
+            )
+        space = explorer.space(fields=fields)
+        strategy = get_strategy(
+            args.strategy or "exhaustive",
+            seed=args.seed if args.seed is not None else 0,
+        )
+        result = explorer.explore(space=space, strategy=strategy, budget=args.budget)
+
+        # with '--json -' stdout *is* the payload; the text report would
+        # corrupt it, so it is implied-quiet in that case
+        if not args.quiet and args.json != "-":
+            print(result.report())
+        if args.json:
+            _write_json({"dse": result.summary()}, args.json, args.quiet)
+        if args.cache_stats:
+            _print_cache_stats(runner, args.json)
+    except ReproError as exc:  # unknown accelerator/strategy/field, bad budget
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        runner.close()
+    return 0
 
 
 def _run_compare(args: argparse.Namespace, runner: SimulationRunner) -> int:
@@ -163,7 +312,7 @@ def _run_compare(args: argparse.Namespace, runner: SimulationRunner) -> int:
         )
         comparisons = session.compare()
 
-        if not args.quiet:
+        if not args.quiet and args.json != "-":  # '--json -' owns stdout
             rows = [
                 [
                     row["model"],
@@ -200,13 +349,10 @@ def _run_compare(args: argparse.Namespace, runner: SimulationRunner) -> int:
                     },
                 }
             }
-            with open(args.json, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, indent=2, sort_keys=True)
-            if not args.quiet:
-                print(f"wrote JSON results to {args.json}")
+            _write_json(payload, args.json, args.quiet)
 
         if args.cache_stats:
-            _print_cache_stats(runner)
+            _print_cache_stats(runner, args.json)
     except ReproError as exc:  # e.g. unknown --accelerators / --baseline
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -220,15 +366,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
-    if args.experiment != "compare" and (args.accelerators or args.baseline):
-        # The experiments regenerate the paper's fixed two-way figures; a
-        # silently ignored accelerator selection would report numbers for a
-        # comparison the user did not ask for.
-        print(
-            "error: --accelerators/--baseline only apply to the 'compare' mode",
-            file=sys.stderr,
-        )
-        return 2
+    # Mode-specific flags are rejected elsewhere: a silently ignored selection
+    # would report numbers for a run the user did not ask for.
+    flag_gates = (
+        ("--accelerators", args.accelerators, {"compare"}),
+        ("--baseline", args.baseline, {"compare", "dse"}),
+        ("--accelerator", args.accelerator, {"dse"}),
+        ("--strategy", args.strategy, {"dse"}),
+        ("--budget", args.budget, {"dse"}),
+        ("--seed", args.seed, {"dse"}),
+        ("--fields", args.fields, {"dse"}),
+        ("--max-bytes", args.max_bytes, {"cache-prune"}),
+    )
+    for flag, value, modes in flag_gates:
+        if value is not None and args.experiment not in modes:
+            print(
+                f"error: {flag} only applies to the "
+                f"{'/'.join(sorted(repr(m) for m in modes))} mode",
+                file=sys.stderr,
+            )
+            return 2
 
     if args.experiment == "list":
         for experiment_id in experiment_ids():
@@ -236,10 +393,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if args.experiment == "list-accelerators":
-        for name in accelerator_names():
-            spec = get_accelerator(name)
-            print(f"{spec.name}  (v{spec.version})  {spec.description}")
-        return 0
+        return _list_accelerators(args)
+
+    if args.experiment == "cache-prune":
+        return _run_cache_prune(args)
 
     try:
         runner = build_runner(args)
@@ -249,6 +406,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.experiment == "compare":
         return _run_compare(args, runner)
+
+    if args.experiment == "dse":
+        return _run_dse(args, runner)
 
     context = ExperimentContext(runner=runner)
     try:
@@ -261,7 +421,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
 
-        if not args.quiet:
+        if not args.quiet and args.json != "-":  # '--json -' owns stdout
             for result in results:
                 print(result.report)
                 print()
@@ -275,13 +435,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 }
                 for result in results
             }
-            with open(args.json, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, indent=2, sort_keys=True)
-            if not args.quiet:
-                print(f"wrote JSON results to {args.json}")
+            _write_json(payload, args.json, args.quiet)
 
         if args.cache_stats:
-            _print_cache_stats(runner)
+            _print_cache_stats(runner, args.json)
     finally:
         runner.close()
     return 0

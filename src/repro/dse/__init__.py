@@ -1,0 +1,68 @@
+"""Design-space exploration over the accelerator registry.
+
+The subsystem has four parts:
+
+* :mod:`~repro.dse.space` — :class:`DesignSpace` / :class:`DesignPoint` /
+  :class:`Dimension`: a finite, constrained grid over
+  :class:`~repro.config.ArchitectureConfig` fields, materialized from an
+  accelerator's declared ``config_space()``.
+* :mod:`~repro.dse.strategies` — the :class:`SearchStrategy` protocol and the
+  built-in :class:`ExhaustiveSearch`, :class:`RandomSearch` and
+  :class:`HillClimbSearch` strategies.
+* :mod:`~repro.dse.pareto` — :class:`Objective`, :class:`EvaluatedPoint` and
+  the canonical :class:`ParetoFrontier` partition.
+* :mod:`~repro.dse.engine` — :class:`DesignSpaceExplorer` /
+  :func:`explore`, which submit every candidate evaluation as batched
+  :class:`~repro.runner.SimulationJob` objects through the shared
+  :class:`~repro.runner.SimulationRunner`.
+
+See ``src/repro/dse/README.md`` for a walkthrough, `repro.Session.explore`
+for the session-level entry point, and ``repro-experiments dse`` for the CLI.
+"""
+
+from .engine import (
+    DEFAULT_OBJECTIVES,
+    DesignSpaceExplorer,
+    ExplorationResult,
+    explore,
+)
+from .pareto import EvaluatedPoint, Objective, ParetoFrontier, dominates
+from .space import (
+    DEFAULT_DIMENSION_VALUES,
+    DEFAULT_SEARCH_FIELDS,
+    DesignPoint,
+    DesignSpace,
+    Dimension,
+)
+from .strategies import (
+    STRATEGIES,
+    ExhaustiveSearch,
+    HillClimbSearch,
+    RandomSearch,
+    SearchStrategy,
+    get_strategy,
+    scalar_score,
+)
+
+__all__ = [
+    "DEFAULT_DIMENSION_VALUES",
+    "DEFAULT_OBJECTIVES",
+    "DEFAULT_SEARCH_FIELDS",
+    "DesignPoint",
+    "DesignSpace",
+    "DesignSpaceExplorer",
+    "Dimension",
+    "EvaluatedPoint",
+    "ExhaustiveSearch",
+    "ExplorationResult",
+    "HillClimbSearch",
+    "Objective",
+    "ParetoFrontier",
+    "RandomSearch",
+    "STRATEGIES",
+    "SearchStrategy",
+    "dominates",
+    "explore",
+    "get_strategy",
+    "scalar_score",
+]

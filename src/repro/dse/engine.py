@@ -1,0 +1,386 @@
+"""The design-space exploration engine: batched evaluation + Pareto analysis.
+
+:class:`DesignSpaceExplorer` turns a candidate :class:`~repro.dse.space.
+DesignPoint` into multi-objective measurements by simulating every workload on
+the explored accelerator *and* on the baseline at that point's configuration,
+all submitted as **one batch** of :class:`~repro.runner.SimulationJob` objects
+through the shared :class:`~repro.runner.SimulationRunner` — so identical
+candidates deduplicate within a search, repeated searches replay from the
+content-addressed cache, and a pooled backend fans out across the whole
+(point x model x accelerator) grid.
+
+The default objectives span the three axes the ISSUE and the paper's
+evaluation care about:
+
+* ``speedup`` (max) — geomean generator speedup over the baseline across the
+  evaluated workloads, both simulated at the candidate configuration;
+* ``energy_pj`` (min) — total generator energy of the explored accelerator
+  across the workloads;
+* ``area_mm2`` (min) — accelerator area from :class:`~repro.hw.area.AreaModel`
+  at the candidate's PE count.
+
+:meth:`DesignSpaceExplorer.explore` runs a
+:class:`~repro.dse.strategies.SearchStrategy` over a
+:class:`~repro.dse.space.DesignSpace` and returns an
+:class:`ExplorationResult`: the evaluation trace, the
+:class:`~repro.dse.pareto.ParetoFrontier`, and the
+:class:`~repro.runner.CacheStats` delta of the search (a warm-cache re-search
+reports 100% hits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..accelerators.registry import get_accelerator
+from ..analysis.metrics import geometric_mean
+from ..analysis.report import format_frontier
+from ..analysis.results import GanResult
+from ..config import ArchitectureConfig, SimulationOptions
+from ..errors import AnalysisError
+from ..hw.area import AreaModel
+from ..nn.network import GANModel
+from ..runner import CacheStats, SimulationJob, SimulationRunner, get_default_runner
+from ..workloads.registry import all_workloads
+from .pareto import EvaluatedPoint, Objective, ParetoFrontier
+from .space import Constraint, DesignPoint, DesignSpace
+from .strategies import ExhaustiveSearch, SearchStrategy
+
+#: The stock three-objective setup: performance, energy, silicon.
+DEFAULT_OBJECTIVES: Tuple[Objective, ...] = (
+    Objective(
+        "speedup",
+        "max",
+        "geomean generator speedup over the baseline (same configuration)",
+    ),
+    Objective(
+        "energy_pj",
+        "min",
+        "total generator energy across the evaluated workloads (pJ)",
+    ),
+    Objective("area_mm2", "min", "accelerator area at the candidate PE count"),
+)
+
+
+@dataclass(frozen=True)
+class ExplorationResult:
+    """Everything one design-space search produced.
+
+    Attributes
+    ----------
+    accelerator / baseline:
+        The explored registry entry and the one speedups are taken against.
+    strategy:
+        Name of the strategy that drove the search.
+    objectives:
+        The optimization criteria, in reporting order.
+    space:
+        JSON-friendly description of the searched space
+        (:meth:`DesignSpace.describe`).
+    evaluated:
+        Every evaluated point, in evaluation order (the search trace).
+    frontier:
+        The Pareto partition over ``evaluated``.
+    cache_stats:
+        Cache accounting for exactly this search (a delta, not the runner's
+        lifetime counters): a re-search against a warm cache shows
+        ``misses == 0`` and ``hit_rate == 1.0``.
+    """
+
+    accelerator: str
+    baseline: str
+    strategy: str
+    objectives: Tuple[Objective, ...]
+    space: Dict[str, Any]
+    evaluated: Tuple[EvaluatedPoint, ...]
+    frontier: ParetoFrontier
+    cache_stats: CacheStats
+
+    def best(self, objective_name: str) -> EvaluatedPoint:
+        """The frontier point optimizing one objective."""
+        return self.frontier.best(objective_name)
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-friendly record of the whole search.
+
+        Deliberately excludes :attr:`cache_stats`: the summary describes the
+        *search outcome*, which is deterministic, while cache accounting is
+        execution metadata that differs between cold and warm runs — and the
+        CLI's ``--json`` outputs are byte-comparable across runs by contract
+        (``--cache-stats`` prints the accounting separately).
+        """
+        return {
+            "accelerator": self.accelerator,
+            "baseline": self.baseline,
+            "strategy": self.strategy,
+            "space": dict(self.space),
+            "evaluations": len(self.evaluated),
+            **self.frontier.summary(),
+        }
+
+    def report(self, title: Optional[str] = None) -> str:
+        """Rendered frontier table (see :func:`repro.analysis.report.format_frontier`)."""
+        title = title or (
+            f"Design-space exploration: {self.accelerator} vs {self.baseline} "
+            f"({self.strategy}, {len(self.evaluated)} points)"
+        )
+        rows = [
+            {
+                "label": p.label,
+                "objectives": dict(p.objectives),
+                "on_frontier": self.frontier.is_on_frontier(p),
+            }
+            for p in (*self.frontier.frontier, *self.frontier.dominated)
+        ]
+        return format_frontier(
+            title, rows, [(o.name, o.sense) for o in self.objectives]
+        )
+
+
+class DesignSpaceExplorer:
+    """Evaluate design points of one accelerator against a baseline.
+
+    Parameters
+    ----------
+    accelerator:
+        Registry name of the explored architecture (default ``"ganax"``).
+    baseline:
+        Registry name speedups are measured against (default ``"eyeriss"``);
+        simulated at every candidate configuration alongside the candidate.
+    models:
+        Workloads driving the evaluation; all six paper GANs when omitted.
+    base_config / options:
+        The configuration design points are applied onto, and the shared
+        simulation options (paper defaults when omitted).
+    objectives:
+        Optimization criteria; :data:`DEFAULT_OBJECTIVES` when omitted.
+    runner:
+        The :class:`~repro.runner.SimulationRunner` every candidate batch
+        submits through; the process-wide cached runner when omitted.
+    """
+
+    def __init__(
+        self,
+        accelerator: str = "ganax",
+        baseline: str = "eyeriss",
+        models: Optional[Sequence[GANModel]] = None,
+        base_config: Optional[ArchitectureConfig] = None,
+        options: Optional[SimulationOptions] = None,
+        objectives: Optional[Sequence[Objective]] = None,
+        runner: Optional[SimulationRunner] = None,
+    ) -> None:
+        self._accelerator = get_accelerator(accelerator).name
+        self._baseline = get_accelerator(baseline).name
+        # Which area model prices the candidate's silicon is a property of
+        # the explored architecture family, not of its relation to the
+        # baseline (exploring eyeriss against ganax must cost EYERISS area).
+        self._candidate_ganax_area = bool(
+            getattr(
+                get_accelerator(self._accelerator).create(),
+                "ganax_area_model",
+                True,
+            )
+        )
+        self._models = list(models) if models is not None else list(all_workloads())
+        if not self._models:
+            raise AnalysisError("exploration needs at least one model")
+        self._base_config = base_config or ArchitectureConfig.paper_default()
+        self._options = options or SimulationOptions()
+        self._objectives = tuple(objectives or DEFAULT_OBJECTIVES)
+        self._runner = runner
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def accelerator(self) -> str:
+        return self._accelerator
+
+    @property
+    def baseline(self) -> str:
+        return self._baseline
+
+    @property
+    def objectives(self) -> Tuple[Objective, ...]:
+        return self._objectives
+
+    @property
+    def runner(self) -> SimulationRunner:
+        if self._runner is None:
+            self._runner = get_default_runner()
+        return self._runner
+
+    # ------------------------------------------------------------------
+    # Space construction
+    # ------------------------------------------------------------------
+    def space(
+        self,
+        fields: Optional[Sequence[str]] = None,
+        overrides: Optional[Mapping[str, Sequence[Any]]] = None,
+        constraints: Sequence[Constraint] = (),
+    ) -> DesignSpace:
+        """The explored accelerator's ``config_space()``-driven design space."""
+        return DesignSpace.for_accelerator(
+            self._accelerator,
+            fields=fields,
+            overrides=overrides,
+            base_config=self._base_config,
+            constraints=constraints,
+        )
+
+    # ------------------------------------------------------------------
+    # Batched evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, points: Sequence[DesignPoint]) -> List[EvaluatedPoint]:
+        """Measure every point's objectives; one runner batch for all of them.
+
+        For each point the batch carries ``len(models)`` candidate jobs plus
+        ``len(models)`` baseline jobs at the same configuration; the runner
+        deduplicates overlapping candidates and answers repeats from cache.
+        """
+        points = list(points)
+        if not points:
+            return []
+        jobs: List[SimulationJob] = []
+        configs: List[ArchitectureConfig] = []
+        for point in points:
+            config = point.apply(self._base_config)
+            configs.append(config)
+            for model in self._models:
+                for name in (self._accelerator, self._baseline):
+                    jobs.append(
+                        SimulationJob(
+                            model=model,
+                            accelerator=name,
+                            config=config,
+                            options=self._options,
+                        )
+                    )
+        results = iter(self.runner.run_jobs(jobs))
+        evaluated: List[EvaluatedPoint] = []
+        for point, config in zip(points, configs):
+            candidate: Dict[str, GanResult] = {}
+            reference: Dict[str, GanResult] = {}
+            for model in self._models:
+                candidate[model.name] = next(results)
+                reference[model.name] = next(results)
+            evaluated.append(self._score(point, config, candidate, reference))
+        return evaluated
+
+    def _score(
+        self,
+        point: DesignPoint,
+        config: ArchitectureConfig,
+        candidate: Mapping[str, GanResult],
+        reference: Mapping[str, GanResult],
+    ) -> EvaluatedPoint:
+        """Fold one point's raw simulation results into objective values."""
+        speedups = {}
+        for name in candidate:
+            cycles = candidate[name].generator.cycles
+            if cycles == 0:
+                raise AnalysisError(
+                    f"{point.label}: {self._accelerator} generator cycles are "
+                    f"zero for {name}"
+                )
+            speedups[name] = reference[name].generator.cycles / cycles
+        energy_pj = sum(r.generator.energy_pj for r in candidate.values())
+        area = AreaModel(num_pes=config.num_pes)
+        area_mm2 = area.total_area_mm2(ganax=self._candidate_ganax_area)
+        measured = {
+            "speedup": geometric_mean(list(speedups.values())),
+            "energy_pj": energy_pj,
+            "area_mm2": area_mm2,
+        }
+        unknown = [o.name for o in self._objectives if o.name not in measured]
+        if unknown:
+            raise AnalysisError(
+                f"objectives without an evaluator: {unknown}; "
+                f"measured: {', '.join(measured)}"
+            )
+        return EvaluatedPoint(
+            point=point,
+            objectives={o.name: measured[o.name] for o in self._objectives},
+            metrics={
+                "speedups": speedups,
+                "generator_energy_pj": {
+                    name: r.generator.energy_pj for name, r in candidate.items()
+                },
+                "num_pes": config.num_pes,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Search entry point
+    # ------------------------------------------------------------------
+    def explore(
+        self,
+        space: Optional[DesignSpace] = None,
+        strategy: Optional[SearchStrategy] = None,
+        budget: Optional[int] = None,
+    ) -> ExplorationResult:
+        """Run one search: strategy picks points, the runner evaluates them.
+
+        Evaluations are memoized per point, so a strategy revisiting a point
+        (hill-climb restarts, duplicated random draws) costs nothing and the
+        trace holds each point once.
+        """
+        space = space if space is not None else self.space()
+        strategy = strategy if strategy is not None else ExhaustiveSearch()
+        before = dict(self.runner.stats.as_dict())
+        memo: Dict[DesignPoint, EvaluatedPoint] = {}
+        trace: List[EvaluatedPoint] = []
+
+        def evaluate(points: Sequence[DesignPoint]) -> List[EvaluatedPoint]:
+            # dict.fromkeys: drop repeats *within* the batch too, so the
+            # trace holds each point exactly once whatever the strategy sends
+            fresh = [p for p in dict.fromkeys(points) if p not in memo]
+            for result in self.evaluate(fresh):
+                memo[result.point] = result
+                trace.append(result)
+            return [memo[p] for p in points]
+
+        strategy.search(space, evaluate, self._objectives, budget)
+        after = self.runner.stats.as_dict()
+        delta = CacheStats(
+            hits=int(after["hits"] - before["hits"]),
+            misses=int(after["misses"] - before["misses"]),
+            stores=int(after["stores"] - before["stores"]),
+            deduplicated=int(after["deduplicated"] - before["deduplicated"]),
+        )
+        return ExplorationResult(
+            accelerator=self._accelerator,
+            baseline=self._baseline,
+            strategy=strategy.name,
+            objectives=self._objectives,
+            space=space.describe(),
+            evaluated=tuple(trace),
+            frontier=ParetoFrontier(self._objectives, trace),
+            cache_stats=delta,
+        )
+
+
+def explore(
+    accelerator: str = "ganax",
+    baseline: str = "eyeriss",
+    strategy: Optional[SearchStrategy] = None,
+    budget: Optional[int] = None,
+    space: Optional[DesignSpace] = None,
+    models: Optional[Sequence[GANModel]] = None,
+    base_config: Optional[ArchitectureConfig] = None,
+    options: Optional[SimulationOptions] = None,
+    objectives: Optional[Sequence[Objective]] = None,
+    runner: Optional[SimulationRunner] = None,
+) -> ExplorationResult:
+    """One-call exploration through a fresh :class:`DesignSpaceExplorer`."""
+    explorer = DesignSpaceExplorer(
+        accelerator=accelerator,
+        baseline=baseline,
+        models=models,
+        base_config=base_config,
+        options=options,
+        objectives=objectives,
+        runner=runner,
+    )
+    return explorer.explore(space=space, strategy=strategy, budget=budget)

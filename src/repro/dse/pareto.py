@@ -1,0 +1,232 @@
+"""Multi-objective Pareto analysis over evaluated design points.
+
+An :class:`Objective` names one metric of an evaluated design point and the
+direction that improves it (``"max"`` for speedup, ``"min"`` for energy and
+area).  A :class:`ParetoFrontier` partitions a set of
+:class:`EvaluatedPoint` values into the non-dominated frontier and the
+dominated rest under the classical ordering: ``a`` dominates ``b`` when ``a``
+is at least as good on every objective and strictly better on at least one.
+
+The frontier is a *canonical* value: construction deduplicates identical
+(point, objectives) entries and orders both partitions by a deterministic
+sort key, so the frontier computed from any permutation or multiset of the
+same evaluations compares equal — the invariant the property tests in
+``tests/test_properties.py`` pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from ..errors import AnalysisError
+from .space import DesignPoint
+
+#: Allowed objective senses.
+SENSES = ("max", "min")
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One optimization criterion: a metric name and its improving direction."""
+
+    name: str
+    sense: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise AnalysisError("an objective needs a non-empty name")
+        if self.sense not in SENSES:
+            raise AnalysisError(
+                f"objective '{self.name}' has sense '{self.sense}'; "
+                f"expected one of: {', '.join(SENSES)}"
+            )
+
+    def adjusted(self, value: float) -> float:
+        """The value on a larger-is-better scale."""
+        return value if self.sense == "max" else -value
+
+
+@dataclass(frozen=True)
+class EvaluatedPoint:
+    """A design point with its measured objective values.
+
+    Attributes
+    ----------
+    point:
+        The evaluated :class:`~repro.dse.space.DesignPoint`.
+    objectives:
+        Objective name -> measured value.  Must cover every objective the
+        frontier is built over.
+    metrics:
+        Optional JSON-friendly detail (e.g. per-model speedups) carried along
+        for reports; not part of the dominance ordering.
+    """
+
+    point: DesignPoint
+    objectives: Mapping[str, float]
+    metrics: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "objectives", dict(self.objectives))
+        object.__setattr__(self, "metrics", dict(self.metrics))
+        if not self.objectives:
+            raise AnalysisError(f"{self.point.label}: no objective values")
+
+    def __hash__(self) -> int:
+        # the generated hash would choke on the dict fields; metrics are
+        # reporting detail, so (point, objectives) identifies the evaluation
+        return hash((self.point, tuple(sorted(self.objectives.items()))))
+
+    @property
+    def label(self) -> str:
+        return self.point.label
+
+    def objective(self, name: str) -> float:
+        try:
+            return self.objectives[name]
+        except KeyError:
+            raise AnalysisError(
+                f"{self.label}: no objective '{name}'; "
+                f"have: {', '.join(self.objectives)}"
+            ) from None
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-friendly record of the point and its measurements."""
+        return {
+            "point": self.point.values,
+            "objectives": dict(self.objectives),
+            "metrics": dict(self.metrics),
+        }
+
+
+def dominates(
+    a: EvaluatedPoint, b: EvaluatedPoint, objectives: Sequence[Objective]
+) -> bool:
+    """Whether ``a`` Pareto-dominates ``b`` under ``objectives``."""
+    strictly_better = False
+    for objective in objectives:
+        va = objective.adjusted(a.objective(objective.name))
+        vb = objective.adjusted(b.objective(objective.name))
+        if va < vb:
+            return False
+        if va > vb:
+            strictly_better = True
+    return strictly_better
+
+
+class ParetoFrontier:
+    """The non-dominated subset of a set of evaluated design points."""
+
+    def __init__(
+        self,
+        objectives: Sequence[Objective],
+        points: Sequence[EvaluatedPoint],
+    ) -> None:
+        if not objectives:
+            raise AnalysisError("a frontier needs at least one objective")
+        names = [o.name for o in objectives]
+        if len(set(names)) != len(names):
+            raise AnalysisError(f"duplicate objective names: {names}")
+        self._objectives = tuple(objectives)
+        unique = self._deduplicate(points)
+        frontier: List[EvaluatedPoint] = []
+        dominated: List[EvaluatedPoint] = []
+        for candidate in unique:
+            if any(
+                dominates(other, candidate, self._objectives)
+                for other in unique
+                if other is not candidate
+            ):
+                dominated.append(candidate)
+            else:
+                frontier.append(candidate)
+        self._frontier = tuple(sorted(frontier, key=self._sort_key))
+        self._dominated = tuple(sorted(dominated, key=self._sort_key))
+
+    def _deduplicate(
+        self, points: Sequence[EvaluatedPoint]
+    ) -> List[EvaluatedPoint]:
+        """Collapse repeated (point, objective-vector) entries, keeping one."""
+        unique: Dict[Tuple[Any, ...], EvaluatedPoint] = {}
+        for point in points:
+            key = (
+                point.point.items,
+                tuple(
+                    (o.name, point.objective(o.name)) for o in self._objectives
+                ),
+            )
+            unique.setdefault(key, point)
+        return list(unique.values())
+
+    def _sort_key(self, point: EvaluatedPoint) -> Tuple[Any, ...]:
+        """Best-first on the first objective, tie-broken deterministically."""
+        return (
+            tuple(-o.adjusted(point.objective(o.name)) for o in self._objectives),
+            point.label,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def objectives(self) -> Tuple[Objective, ...]:
+        return self._objectives
+
+    @property
+    def frontier(self) -> Tuple[EvaluatedPoint, ...]:
+        """The non-dominated points, canonically ordered."""
+        return self._frontier
+
+    @property
+    def dominated(self) -> Tuple[EvaluatedPoint, ...]:
+        """The excluded points, canonically ordered."""
+        return self._dominated
+
+    def __len__(self) -> int:
+        return len(self._frontier)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ParetoFrontier):
+            return NotImplemented
+        return (
+            self._objectives == other._objectives
+            and self._frontier == other._frontier
+            and self._dominated == other._dominated
+        )
+
+    def is_on_frontier(self, point: EvaluatedPoint) -> bool:
+        return point in self._frontier
+
+    def dominates(self, a: EvaluatedPoint, b: EvaluatedPoint) -> bool:
+        """Whether ``a`` dominates ``b`` under this frontier's objectives."""
+        return dominates(a, b, self._objectives)
+
+    def best(self, objective_name: str) -> EvaluatedPoint:
+        """The frontier point optimizing one single objective."""
+        if not self._frontier:
+            raise AnalysisError("the frontier is empty")
+        objective = next(
+            (o for o in self._objectives if o.name == objective_name), None
+        )
+        if objective is None:
+            raise AnalysisError(
+                f"no objective '{objective_name}'; "
+                f"have: {', '.join(o.name for o in self._objectives)}"
+            )
+        return max(
+            self._frontier,
+            key=lambda p: (objective.adjusted(p.objective(objective.name)), p.label),
+        )
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-friendly frontier/dominated partition with objective senses."""
+        return {
+            "objectives": [
+                {"name": o.name, "sense": o.sense, "description": o.description}
+                for o in self._objectives
+            ],
+            "frontier": [p.summary() for p in self._frontier],
+            "dominated": [p.summary() for p in self._dominated],
+        }

@@ -1,0 +1,361 @@
+"""Searchable design spaces over :class:`~repro.config.ArchitectureConfig`.
+
+A :class:`DesignSpace` is a finite grid over a chosen subset of architecture
+configuration fields: one :class:`Dimension` per field with an explicit tuple
+of candidate values, plus optional feasibility constraints.  The canonical way
+to build one is :meth:`DesignSpace.for_accelerator`, which materializes the
+space from an accelerator's declared ``config_space()`` — the registry
+contract that every :class:`~repro.accelerators.base.AcceleratorModel` names
+the configuration fields its estimates react to — intersected with the
+built-in per-field value ranges in :data:`DEFAULT_DIMENSION_VALUES` (or the
+caller's overrides).
+
+A point of the space is a :class:`DesignPoint`: an immutable, hashable
+assignment of one value per dimension that can be applied onto any base
+configuration.  Points whose configuration would be invalid (the
+``ArchitectureConfig`` constructor rejects it) or that fail a user constraint
+are *infeasible* and never leave the space's enumeration/sampling methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields as dataclass_fields
+from random import Random
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..config import ArchitectureConfig, _canonical_value
+from ..errors import ConfigurationError
+
+#: Feasibility predicate over a ``{field: value}`` assignment.
+Constraint = Callable[[Mapping[str, Any]], bool]
+
+#: Built-in candidate values for the configuration fields a design-space
+#: search commonly explores.  ``DesignSpace.for_accelerator`` uses these for
+#: every requested field the caller does not override; fields without a
+#: default range must be given explicit values.
+DEFAULT_DIMENSION_VALUES: Dict[str, Tuple[Any, ...]] = {
+    "num_pvs": (4, 8, 16, 32),
+    "pes_per_pv": (4, 8, 16, 32),
+    "frequency_hz": (250e6, 500e6, 1e9),
+    "dram_bandwidth_bytes_per_cycle": (16.0, 32.0, 64.0, 128.0),
+    "mimd_dispatch_overhead_cycles": (0, 1, 2, 4),
+    "zero_gating_energy_fraction": (0.05, 0.1, 0.2),
+    "ganax_target_utilization": (0.85, 0.92, 1.0),
+}
+
+#: Fields swept when the caller names none: the PE-array geometry and the
+#: off-chip bandwidth, the three axes the paper's own ablations move.
+DEFAULT_SEARCH_FIELDS: Tuple[str, ...] = (
+    "num_pvs",
+    "pes_per_pv",
+    "dram_bandwidth_bytes_per_cycle",
+)
+
+_CONFIG_FIELD_NAMES = frozenset(f.name for f in dataclass_fields(ArchitectureConfig))
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One axis of a design space: a configuration field and its candidates.
+
+    Values keep their given order (it defines the enumeration order and the
+    neighbourhood structure of hill climbing) with duplicates collapsed.
+    """
+
+    name: str
+    values: Tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if self.name not in _CONFIG_FIELD_NAMES:
+            raise ConfigurationError(
+                f"'{self.name}' is not an ArchitectureConfig field; "
+                f"known fields: {', '.join(sorted(_CONFIG_FIELD_NAMES))}"
+            )
+        seen: List[Any] = []
+        for value in self.values:
+            canonical = _canonical_value(value)
+            if canonical not in seen:
+                seen.append(canonical)
+        if not seen:
+            raise ConfigurationError(f"dimension '{self.name}' needs at least one value")
+        object.__setattr__(self, "values", tuple(seen))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One assignment of a value to every dimension of a design space.
+
+    Stored as a sorted tuple of ``(field, value)`` pairs with numerically
+    normalized values, so equal assignments compare and hash equal however
+    they were constructed, and the :attr:`label` is canonical.
+    """
+
+    items: Tuple[Tuple[str, Any], ...]
+
+    def __post_init__(self) -> None:
+        normalized = tuple(
+            sorted((name, _canonical_value(value)) for name, value in self.items)
+        )
+        if not normalized:
+            raise ConfigurationError("a design point needs at least one field")
+        names = [name for name, _ in normalized]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"design point repeats a field: {names}")
+        object.__setattr__(self, "items", normalized)
+
+    @classmethod
+    def from_mapping(cls, values: Mapping[str, Any]) -> "DesignPoint":
+        return cls(items=tuple(values.items()))
+
+    @property
+    def values(self) -> Dict[str, Any]:
+        """The assignment as a plain dict (insertion order = sorted fields)."""
+        return dict(self.items)
+
+    @property
+    def label(self) -> str:
+        """Canonical human-readable identifier, e.g. ``num_pvs=8,pes_per_pv=16``."""
+        return ",".join(f"{name}={value}" for name, value in self.items)
+
+    def apply(self, base_config: ArchitectureConfig) -> ArchitectureConfig:
+        """The base configuration with this point's fields substituted."""
+        return base_config.with_updates(**dict(self.items))
+
+
+class DesignSpace:
+    """A finite, constrained grid over architecture-configuration fields.
+
+    Parameters
+    ----------
+    dimensions:
+        The axes of the space; at least one, with distinct field names.
+    base_config:
+        Configuration every point is applied onto (paper default when
+        omitted); also used for feasibility checking.
+    constraints:
+        Predicates over the ``{field: value}`` assignment; a point is
+        feasible only if every constraint accepts it *and* the resulting
+        :class:`ArchitectureConfig` constructs without error.
+    """
+
+    def __init__(
+        self,
+        dimensions: Sequence[Dimension],
+        base_config: Optional[ArchitectureConfig] = None,
+        constraints: Sequence[Constraint] = (),
+    ) -> None:
+        if not dimensions:
+            raise ConfigurationError("a design space needs at least one dimension")
+        names = [d.name for d in dimensions]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"design space repeats a dimension: {names}")
+        self._dimensions = tuple(dimensions)
+        self._base_config = base_config or ArchitectureConfig.paper_default()
+        self._constraints = tuple(constraints)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def dimensions(self) -> Tuple[Dimension, ...]:
+        return self._dimensions
+
+    @property
+    def dimension_names(self) -> Tuple[str, ...]:
+        return tuple(d.name for d in self._dimensions)
+
+    @property
+    def base_config(self) -> ArchitectureConfig:
+        return self._base_config
+
+    @property
+    def size(self) -> int:
+        """Number of grid points (feasible or not)."""
+        size = 1
+        for dimension in self._dimensions:
+            size *= len(dimension)
+        return size
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-friendly record of the space's axes and cardinality."""
+        return {
+            "dimensions": {d.name: list(d.values) for d in self._dimensions},
+            "size": self.size,
+            "constraints": len(self._constraints),
+        }
+
+    # ------------------------------------------------------------------
+    # Feasibility
+    # ------------------------------------------------------------------
+    def is_feasible(self, point: DesignPoint) -> bool:
+        """Whether the point passes every constraint and builds a valid config."""
+        values = point.values
+        for constraint in self._constraints:
+            if not constraint(values):
+                return False
+        try:
+            point.apply(self._base_config)
+        except ConfigurationError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Enumeration and sampling
+    # ------------------------------------------------------------------
+    def point_at(self, index: int) -> DesignPoint:
+        """The grid point at a mixed-radix ``index`` (no feasibility check).
+
+        The last dimension varies fastest, matching :meth:`points`' order.
+        """
+        if not (0 <= index < self.size):
+            raise ConfigurationError(
+                f"design-space index {index} out of range [0, {self.size})"
+            )
+        assignment: Dict[str, Any] = {}
+        for dimension in reversed(self._dimensions):
+            index, offset = divmod(index, len(dimension))
+            assignment[dimension.name] = dimension.values[offset]
+        return DesignPoint.from_mapping(assignment)
+
+    def points(self) -> Iterator[DesignPoint]:
+        """Every feasible point, in deterministic grid order."""
+        for index in range(self.size):
+            point = self.point_at(index)
+            if self.is_feasible(point):
+                yield point
+
+    #: Spaces up to this many grid points are sampled via a full index
+    #: shuffle (exact, even when most points are infeasible); larger spaces
+    #: use rejection sampling so memory stays O(draws), not O(space).
+    _EXHAUSTIVE_SAMPLE_LIMIT = 1 << 16
+
+    def sample(self, count: int, rng: Random) -> List[DesignPoint]:
+        """``count`` distinct feasible points drawn uniformly without replacement.
+
+        May return fewer when feasible points are scarce: on small spaces
+        (up to ``_EXHAUSTIVE_SAMPLE_LIMIT`` grid points) every index is
+        considered, on larger ones a bounded number of rejection draws is
+        made — a huge, mostly-infeasible space cannot hang the sampler.
+        Deterministic for a given ``rng`` state.
+        """
+        if count <= 0:
+            raise ConfigurationError("sample count must be positive")
+        chosen: List[DesignPoint] = []
+        if self.size <= self._EXHAUSTIVE_SAMPLE_LIMIT:
+            indices = list(range(self.size))
+            rng.shuffle(indices)
+        else:
+            # index stream of bounded length; duplicates are skipped below
+            attempts = max(1000, 100 * count)
+            indices = (rng.randrange(self.size) for _ in range(attempts))
+        seen: set = set()
+        for index in indices:
+            if index in seen:
+                continue
+            seen.add(index)
+            point = self.point_at(index)
+            if self.is_feasible(point):
+                chosen.append(point)
+                if len(chosen) == count:
+                    break
+        return chosen
+
+    def neighbors(self, point: DesignPoint) -> List[DesignPoint]:
+        """Feasible one-step moves along each dimension's value list.
+
+        The neighbourhood hill climbing explores: for every dimension, the
+        assignments using the previous and the next candidate value.
+        """
+        values = point.values
+        missing = set(self.dimension_names) - set(values)
+        if missing:
+            raise ConfigurationError(
+                f"point does not assign dimensions: {sorted(missing)}"
+            )
+        result: List[DesignPoint] = []
+        for dimension in self._dimensions:
+            current = values[dimension.name]
+            if current not in dimension.values:
+                raise ConfigurationError(
+                    f"point value {current!r} is not a candidate of "
+                    f"dimension '{dimension.name}'"
+                )
+            position = dimension.values.index(current)
+            for step in (-1, 1):
+                offset = position + step
+                if not (0 <= offset < len(dimension)):
+                    continue
+                neighbor = DesignPoint.from_mapping(
+                    {**values, dimension.name: dimension.values[offset]}
+                )
+                if self.is_feasible(neighbor):
+                    result.append(neighbor)
+        return result
+
+    # ------------------------------------------------------------------
+    # Construction from the accelerator registry
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_accelerator(
+        cls,
+        accelerator: str,
+        fields: Optional[Sequence[str]] = None,
+        overrides: Optional[Mapping[str, Sequence[Any]]] = None,
+        base_config: Optional[ArchitectureConfig] = None,
+        constraints: Sequence[Constraint] = (),
+    ) -> "DesignSpace":
+        """Materialize a space from an accelerator's ``config_space()``.
+
+        ``fields`` picks the axes (default: the members of
+        :data:`DEFAULT_SEARCH_FIELDS` the model reacts to); every field must
+        appear in the model's declared ``config_space()`` — searching along an
+        axis the model ignores would only produce duplicate cache entries.
+        Candidate values come from ``overrides`` when given, else from
+        :data:`DEFAULT_DIMENSION_VALUES`.
+        """
+        from ..accelerators.registry import create_accelerator
+
+        base_config = base_config or ArchitectureConfig.paper_default()
+        model = create_accelerator(accelerator, config=base_config)
+        reactive = tuple(model.config_space())
+        overrides = dict(overrides or {})
+
+        unknown = set(overrides) - _CONFIG_FIELD_NAMES
+        if unknown:
+            raise ConfigurationError(
+                f"override fields are not ArchitectureConfig fields: {sorted(unknown)}"
+            )
+        if fields is None:
+            # default axes plus any explicitly overridden field, filtered to
+            # what the model actually reacts to, order-preserving
+            seen: List[str] = []
+            for name in (*DEFAULT_SEARCH_FIELDS, *overrides):
+                if name in reactive and name not in seen:
+                    seen.append(name)
+            selected = tuple(seen)
+        else:
+            selected = tuple(fields)
+        if not selected:
+            raise ConfigurationError(
+                f"no searchable fields for accelerator '{model.name}'"
+            )
+        dimensions: List[Dimension] = []
+        for name in selected:
+            if name not in reactive:
+                raise ConfigurationError(
+                    f"accelerator '{model.name}' does not react to '{name}'; "
+                    f"its config_space() is: {', '.join(reactive)}"
+                )
+            values = overrides.get(name, DEFAULT_DIMENSION_VALUES.get(name))
+            if values is None:
+                raise ConfigurationError(
+                    f"no default candidate values for '{name}'; "
+                    "pass them via overrides={...}"
+                )
+            dimensions.append(Dimension(name=name, values=tuple(values)))
+        return cls(
+            dimensions=dimensions, base_config=base_config, constraints=constraints
+        )

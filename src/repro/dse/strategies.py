@@ -1,0 +1,229 @@
+"""Pluggable search strategies for design-space exploration.
+
+A strategy decides *which* points of a :class:`~repro.dse.space.DesignSpace`
+to evaluate and in what batches; it never runs a simulation itself.  The
+engine hands it an ``evaluate`` callback that turns a batch of design points
+into :class:`~repro.dse.pareto.EvaluatedPoint` values — behind the callback
+every candidate becomes a set of :class:`~repro.runner.SimulationJob` objects
+submitted through the shared :class:`~repro.runner.SimulationRunner`, so a
+strategy should prefer few large batches over many small ones: a batch
+deduplicates internally, hits the content-addressed cache, and gives a
+parallel backend the widest fan-out.
+
+Three strategies are built in:
+
+* :class:`ExhaustiveSearch` — every feasible point, one batch.  The reference
+  everything else is measured against; equivalent to a
+  :class:`~repro.analysis.sweep.ParameterSweep` over the same grid.
+* :class:`RandomSearch` — a uniform sample without replacement, one batch.
+* :class:`HillClimbSearch` — adaptive: walk the one-step neighbourhood of the
+  incumbent towards a better scalarized objective, restarting on local
+  optima.  One batch per neighbourhood.
+
+All strategies are deterministic for a fixed seed, so searches are exactly
+reproducible and warm-cache re-runs replay the identical job set.
+"""
+
+from __future__ import annotations
+
+import math
+from random import Random
+from typing import Callable, Dict, List, Optional, Protocol, Sequence
+
+from ..errors import AnalysisError, ConfigurationError
+from .pareto import EvaluatedPoint, Objective
+from .space import DesignPoint, DesignSpace
+
+#: Batched evaluation callback supplied by the engine.
+EvaluateFn = Callable[[Sequence[DesignPoint]], List[EvaluatedPoint]]
+
+#: Evaluation budget a strategy falls back to when the caller gives none.
+DEFAULT_BUDGET = 16
+
+
+class SearchStrategy(Protocol):
+    """Structural interface of a design-space search strategy."""
+
+    @property
+    def name(self) -> str:
+        """Short identifier used in reports and the CLI's ``--strategy``."""
+        ...
+
+    def search(
+        self,
+        space: DesignSpace,
+        evaluate: EvaluateFn,
+        objectives: Sequence[Objective],
+        budget: Optional[int] = None,
+    ) -> None:
+        """Evaluate up to ``budget`` distinct points via ``evaluate``.
+
+        A strategy only *proposes* batches; the engine driving it owns the
+        evaluation trace (memoized per point), so there is nothing to return.
+        """
+        ...
+
+
+def _check_budget(budget: Optional[int]) -> Optional[int]:
+    if budget is not None and budget <= 0:
+        raise AnalysisError(f"search budget must be positive, got {budget}")
+    return budget
+
+
+def scalar_score(
+    point: EvaluatedPoint, objectives: Sequence[Objective]
+) -> float:
+    """Scalarize a point's objectives for ranking: sum of sense-signed logs.
+
+    Equivalent to ranking by the product of improving ratios, so a 2x gain on
+    any one objective weighs the same regardless of the objectives' units.
+    Non-positive values (a degenerate model reporting zero energy) push the
+    score to ``-inf`` so such points never win.
+    """
+    score = 0.0
+    for objective in objectives:
+        value = point.objective(objective.name)
+        if value <= 0:
+            return float("-inf")
+        log_value = math.log(value)
+        score += log_value if objective.sense == "max" else -log_value
+    return score
+
+
+class ExhaustiveSearch:
+    """Evaluate every feasible point of the space as one batch."""
+
+    name = "exhaustive"
+
+    def search(
+        self,
+        space: DesignSpace,
+        evaluate: EvaluateFn,
+        objectives: Sequence[Objective],
+        budget: Optional[int] = None,
+    ) -> None:
+        budget = _check_budget(budget)
+        points = list(space.points())
+        if budget is not None and len(points) > budget:
+            raise AnalysisError(
+                f"exhaustive search needs {len(points)} evaluations but the "
+                f"budget is {budget}; raise the budget, shrink the space, or "
+                "use the random/hillclimb strategy"
+            )
+        if not points:
+            raise AnalysisError("the design space has no feasible points")
+        evaluate(points)
+
+
+class RandomSearch:
+    """Evaluate a uniform sample of the space (without replacement), one batch."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+
+    def search(
+        self,
+        space: DesignSpace,
+        evaluate: EvaluateFn,
+        objectives: Sequence[Objective],
+        budget: Optional[int] = None,
+    ) -> None:
+        budget = _check_budget(budget) or DEFAULT_BUDGET
+        points = space.sample(budget, Random(self._seed))
+        if not points:
+            raise AnalysisError("the design space has no feasible points")
+        evaluate(points)
+
+
+class HillClimbSearch:
+    """Adaptive neighbourhood search over the scalarized objectives.
+
+    Starts from a random feasible point, evaluates the incumbent's whole
+    one-step neighbourhood as a single batch, moves to the best strictly
+    improving neighbour, and restarts from a fresh random point when stuck —
+    until ``budget`` distinct evaluations have been spent.  With the default
+    multiplicative scalarization (:func:`scalar_score`) the climb targets the
+    balanced region of the frontier; the engine's trace still sees every
+    visited point, so the Pareto analysis covers the whole walk.
+    """
+
+    name = "hillclimb"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+
+    def search(
+        self,
+        space: DesignSpace,
+        evaluate: EvaluateFn,
+        objectives: Sequence[Objective],
+        budget: Optional[int] = None,
+    ) -> None:
+        budget = _check_budget(budget) or DEFAULT_BUDGET
+        rng = Random(self._seed)
+        evaluated: Dict[DesignPoint, EvaluatedPoint] = {}
+
+        def spend(points: Sequence[DesignPoint]) -> List[EvaluatedPoint]:
+            fresh = [p for p in points if p not in evaluated]
+            for result in evaluate(fresh) if fresh else []:
+                evaluated[result.point] = result
+            return [evaluated[p] for p in points]
+
+        def random_unvisited() -> Optional[DesignPoint]:
+            for candidate in space.sample(len(evaluated) + 1, rng):
+                if candidate not in evaluated:
+                    return candidate
+            return None
+
+        start = random_unvisited()
+        if start is None:
+            raise AnalysisError("the design space has no feasible points")
+        current = spend([start])[0]
+        while len(evaluated) < budget:
+            frontier_moves = [
+                p
+                for p in space.neighbors(current.point)
+                if p not in evaluated
+            ][: budget - len(evaluated)]
+            if frontier_moves:
+                neighbors = spend(frontier_moves)
+                best = max(
+                    neighbors,
+                    key=lambda p: (scalar_score(p, objectives), p.label),
+                )
+                if scalar_score(best, objectives) > scalar_score(
+                    current, objectives
+                ):
+                    current = best
+                    continue
+            # local optimum (or neighbourhood exhausted): restart — unless
+            # the budget is already spent, in which case a restart would
+            # overshoot it by one evaluation
+            if len(evaluated) >= budget:
+                break
+            restart = random_unvisited()
+            if restart is None:
+                break
+            current = spend([restart])[0]
+
+
+#: Strategy name -> factory, for the CLI's ``--strategy`` flag.
+STRATEGIES: Dict[str, Callable[..., SearchStrategy]] = {
+    ExhaustiveSearch.name: lambda seed=0: ExhaustiveSearch(),
+    RandomSearch.name: RandomSearch,
+    HillClimbSearch.name: HillClimbSearch,
+}
+
+
+def get_strategy(name: str, seed: int = 0) -> SearchStrategy:
+    """Build a strategy by name (``exhaustive``, ``random``, ``hillclimb``)."""
+    key = str(name).strip().lower()
+    factory = STRATEGIES.get(key)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown search strategy '{name}'; "
+            f"available: {', '.join(sorted(STRATEGIES))}"
+        )
+    return factory(seed=seed)

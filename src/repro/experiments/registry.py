@@ -14,6 +14,7 @@ from ..errors import ExperimentError
 from ..runner import SimulationRunner
 from . import (
     ablation,
+    dse,
     figure1,
     figure8,
     figure9,
@@ -38,6 +39,7 @@ EXPERIMENTS: Dict[str, Tuple[str, ExperimentRunner]] = {
     figure10.EXPERIMENT_ID: (figure10.TITLE, figure10.run),
     figure11.EXPERIMENT_ID: (figure11.TITLE, figure11.run),
     ablation.EXPERIMENT_ID: (ablation.TITLE, ablation.run),
+    dse.EXPERIMENT_ID: (dse.TITLE, dse.run),
 }
 
 

@@ -4,7 +4,13 @@ See ``README.md`` in this directory for the architecture and usage guide.
 """
 
 from .backends import ExecutionBackend, ProcessPoolBackend, SerialBackend
-from .cache import CacheStats, DiskResultCache, InMemoryResultCache, ResultCache
+from .cache import (
+    CachePruneStats,
+    CacheStats,
+    DiskResultCache,
+    InMemoryResultCache,
+    ResultCache,
+)
 from .job import COMPARISON_PAIR, SimulationJob, execute_job
 from .runner import (
     SimulationRunner,
@@ -15,6 +21,7 @@ from .runner import (
 
 __all__ = [
     "COMPARISON_PAIR",
+    "CachePruneStats",
     "CacheStats",
     "DiskResultCache",
     "ExecutionBackend",

@@ -32,6 +32,24 @@ from ..errors import AnalysisError
 PathLike = Union[str, Path]
 
 
+@dataclass(frozen=True)
+class CachePruneStats:
+    """Outcome of one :meth:`DiskResultCache.prune` pass."""
+
+    removed_entries: int
+    removed_bytes: int
+    remaining_entries: int
+    remaining_bytes: int
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "removed_entries": self.removed_entries,
+            "removed_bytes": self.removed_bytes,
+            "remaining_entries": self.remaining_entries,
+            "remaining_bytes": self.remaining_bytes,
+        }
+
+
 @dataclass
 class CacheStats:
     """Counters describing how a runner used its cache.
@@ -157,6 +175,10 @@ class DiskResultCache(ResultCache):
             except OSError:
                 pass
             return None
+        try:
+            os.utime(path)  # refresh recency so prune() evicts cold entries first
+        except OSError:
+            pass
         self._overlay[key] = result
         return result
 
@@ -187,3 +209,50 @@ class DiskResultCache(ResultCache):
         self._overlay.clear()
         for path in self._root.glob("*/*.pkl"):
             path.unlink()
+
+    def size_bytes(self) -> int:
+        """Total size of every stored entry (cheap directory walk)."""
+        return sum(path.stat().st_size for path in self._root.glob("*/*.pkl"))
+
+    def prune(self, max_bytes: int) -> CachePruneStats:
+        """Evict oldest entries (by mtime) until the cache fits ``max_bytes``.
+
+        Content-addressed entries are all equally re-creatable, so the only
+        signal worth keeping is recency: a warm entry that was just read or
+        written has a fresh mtime (``get`` touches entries it serves) and
+        survives longest.  ``prune(0)`` empties the cache.  Entries that
+        vanish concurrently (another run pruning the same directory) are
+        counted as already removed, not errors; entries that cannot be
+        deleted (permissions) stay accounted as remaining.
+        """
+        if max_bytes < 0:
+            raise AnalysisError(f"max_bytes must be >= 0, got {max_bytes}")
+        entries = []
+        for path in self._root.glob("*/*.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, path.name, stat.st_size, path))
+        entries.sort()  # oldest first; name tie-break keeps order deterministic
+        total = sum(size for _mtime, _name, size, _path in entries)
+        removed_entries = removed_bytes = 0
+        for _mtime, _name, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass  # another run pruned it concurrently: already gone
+            except OSError:
+                continue  # undeletable (permissions?): still occupies space
+            self._overlay.pop(path.stem, None)
+            total -= size
+            removed_entries += 1
+            removed_bytes += size
+        return CachePruneStats(
+            removed_entries=removed_entries,
+            removed_bytes=removed_bytes,
+            remaining_entries=len(entries) - removed_entries,
+            remaining_bytes=total,
+        )

@@ -171,6 +171,48 @@ class Session:
             self._options,
         )
 
+    def explore(
+        self,
+        accelerator: Optional[str] = None,
+        models: Optional[Union[ModelLike, Iterable[ModelLike]]] = None,
+        fields: Optional[Sequence[str]] = None,
+        overrides: Optional[Dict[str, Sequence[Any]]] = None,
+        strategy: Optional[Any] = None,
+        budget: Optional[int] = None,
+        space: Optional[Any] = None,
+        objectives: Optional[Sequence[Any]] = None,
+    ):
+        """Design-space exploration of one session accelerator vs the baseline.
+
+        ``accelerator`` defaults to the first compared accelerator that is
+        not the baseline.  The space is materialized from that accelerator's
+        ``config_space()`` over ``fields``/``overrides`` unless an explicit
+        :class:`~repro.dse.DesignSpace` is passed, and every candidate
+        evaluation submits through this session's runner (one job batch per
+        strategy step, shared cache).  Returns a
+        :class:`~repro.dse.ExplorationResult`; see :mod:`repro.dse` for the
+        strategies and the frontier API.
+        """
+        from .dse.engine import DesignSpaceExplorer
+
+        if accelerator is None:
+            accelerator = next(
+                (n for n in self._accelerators if n != self._baseline),
+                self._accelerators[0],
+            )
+        explorer = DesignSpaceExplorer(
+            accelerator=accelerator,
+            baseline=self._baseline,
+            models=self._resolve_models(models) if models is not None else None,
+            base_config=self._config,
+            options=self._options,
+            objectives=objectives,
+            runner=self.runner,
+        )
+        if space is None:
+            space = explorer.space(fields=fields, overrides=overrides)
+        return explorer.explore(space=space, strategy=strategy, budget=budget)
+
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------

@@ -48,6 +48,11 @@ class TestMain:
         assert "table3" in payload
         assert "area_overhead_fraction" in payload["table3"]["data"]
 
+    def test_experiment_json_dash_is_pure_json(self, capsys):
+        assert main(["table3", "--json", "-"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "table3" in payload
+
     def test_quiet_suppresses_report(self, capsys):
         assert main(["table2", "--quiet"]) == 0
         assert capsys.readouterr().out.strip() == ""
@@ -98,6 +103,13 @@ class TestAcceleratorOptions:
         assert payload["accelerators"] == ["eyeriss", "ideal"]
         assert payload["models"]["DCGAN"]["ideal"]["speedup"] > 1.0
 
+    def test_compare_json_dash_prints_to_stdout(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)  # a regression would create a file "-"
+        assert main(["compare", "--accelerators", "eyeriss,ganax", "--json", "-"]) == 0
+        payload = json.loads(capsys.readouterr().out)["compare"]
+        assert payload["baseline"] == "eyeriss"
+        assert not (tmp_path / "-").exists()
+
     def test_compare_unknown_accelerator_is_clean_error(self, capsys):
         assert main(["compare", "--accelerators", "tpu"]) == 2
         err = capsys.readouterr().err
@@ -113,3 +125,160 @@ class TestAcceleratorOptions:
         assert "'compare'" in capsys.readouterr().err
         assert main(["all", "--baseline", "ganax"]) == 2
         assert "'compare'" in capsys.readouterr().err
+
+
+class TestListAcceleratorsJson:
+    def test_json_payload_is_machine_readable(self, tmp_path, capsys):
+        path = tmp_path / "accelerators.json"
+        assert main(["list-accelerators", "--json", str(path), "--quiet"]) == 0
+        payload = json.loads(path.read_text())
+        entries = {entry["name"]: entry for entry in payload["accelerators"]}
+        assert set(entries) == set(accelerator_names())
+        for entry in entries.values():
+            assert entry["version"]
+            assert isinstance(entry["config_space"], list)
+        assert "num_pvs" in entries["ganax"]["config_space"]
+        assert "dram_bandwidth_bytes_per_cycle" not in entries["ideal"]["config_space"]
+
+    def test_json_dash_prints_to_stdout(self, capsys):
+        assert main(["list-accelerators", "--json", "-"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["accelerators"]
+
+
+class TestDseCli:
+    def test_dse_json_reports_frontier(self, tmp_path, capsys):
+        path = tmp_path / "dse.json"
+        assert (
+            main(
+                [
+                    "dse",
+                    "--fields",
+                    "num_pvs",
+                    "--json",
+                    str(path),
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(path.read_text())["dse"]
+        assert payload["accelerator"] == "ganax"
+        assert payload["baseline"] == "eyeriss"
+        assert payload["strategy"] == "exhaustive"
+        assert payload["frontier"]
+        assert payload["evaluations"] == len(payload["frontier"]) + len(
+            payload["dominated"]
+        )
+
+    def test_dse_random_strategy_respects_budget(self, tmp_path, capsys):
+        path = tmp_path / "dse.json"
+        assert (
+            main(
+                [
+                    "dse",
+                    "--fields",
+                    "num_pvs,pes_per_pv",
+                    "--strategy",
+                    "random",
+                    "--budget",
+                    "2",
+                    "--seed",
+                    "5",
+                    "--json",
+                    str(path),
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(path.read_text())["dse"]
+        assert payload["strategy"] == "random"
+        assert payload["evaluations"] == 2
+
+    def test_dse_json_dash_is_pure_json(self, capsys):
+        assert main(["dse", "--fields", "num_pvs", "--json", "-"]) == 0
+        payload = json.loads(capsys.readouterr().out)["dse"]
+        assert payload["frontier"]
+
+    def test_json_dash_with_cache_stats_keeps_stdout_pure(self, capsys):
+        assert main(["dse", "--fields", "num_pvs", "--json", "-", "--cache-stats"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)["dse"]
+        assert payload["frontier"]
+        assert "cache:" in captured.err  # accounting rerouted to stderr
+
+    def test_dse_unknown_strategy_is_clean_error(self, capsys):
+        assert main(["dse", "--strategy", "bayesian"]) == 2
+        assert "unknown search strategy" in capsys.readouterr().err
+
+    def test_dse_unknown_field_is_clean_error(self, capsys):
+        assert main(["dse", "--fields", "warp_speed"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_dse_flags_rejected_elsewhere(self, capsys):
+        assert main(["figure8", "--strategy", "random"]) == 2
+        assert "'dse'" in capsys.readouterr().err
+        assert main(["all", "--budget", "4"]) == 2
+        assert "'dse'" in capsys.readouterr().err
+        assert main(["figure8", "--seed", "7"]) == 2
+        assert "'dse'" in capsys.readouterr().err
+
+
+class TestCachePruneCli:
+    def test_requires_cache_dir_and_max_bytes(self, capsys):
+        assert main(["cache-prune", "--max-bytes", "10"]) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+        assert main(["cache-prune", "--cache-dir", "/tmp/x-cache-prune"]) == 2
+        assert "--max-bytes" in capsys.readouterr().err
+
+    def test_prunes_populated_cache(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        # warm the cache with a tiny dse run, then prune it to zero
+        assert (
+            main(
+                [
+                    "dse",
+                    "--fields",
+                    "num_pvs",
+                    "--cache-dir",
+                    str(cache_dir),
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        assert any(cache_dir.glob("*/*.pkl"))
+        assert (
+            main(
+                ["cache-prune", "--cache-dir", str(cache_dir), "--max-bytes", "0"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "pruned" in out
+        assert not any(cache_dir.glob("*/*.pkl"))
+
+    def test_json_dash_is_pure_json(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        assert (
+            main(
+                [
+                    "cache-prune",
+                    "--cache-dir",
+                    str(cache_dir),
+                    "--max-bytes",
+                    "0",
+                    "--json",
+                    "-",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)["cache_prune"]
+        assert payload["removed_entries"] == 0
+
+    def test_max_bytes_rejected_elsewhere(self, capsys):
+        assert main(["compare", "--max-bytes", "10"]) == 2
+        assert "'cache-prune'" in capsys.readouterr().err

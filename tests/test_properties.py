@@ -386,3 +386,72 @@ class TestHardwareProperties:
         assert breakdown.total_pj >= 0.0
         doubled = model.energy_of(counters + counters)
         assert doubled.total_pj == pytest.approx(2 * breakdown.total_pj)
+
+
+# ----------------------------------------------------------------------
+# Pareto frontier properties (repro.dse)
+# ----------------------------------------------------------------------
+from repro.dse import DesignPoint, EvaluatedPoint, Objective, ParetoFrontier, dominates  # noqa: E402
+
+PARETO_OBJECTIVES = (
+    Objective("speedup", "max"),
+    Objective("energy", "min"),
+    Objective("area", "min"),
+)
+
+#: A small value grid on purpose: ties and duplicate objective vectors are the
+#: interesting edge cases of a dominance ordering.
+objective_vectors = st.lists(
+    st.tuples(*(st.sampled_from([0.5, 1.0, 2.0, 4.0]) for _ in PARETO_OBJECTIVES)),
+    min_size=1,
+    max_size=10,
+)
+
+
+def _evaluated_points(vectors):
+    return [
+        EvaluatedPoint(
+            point=DesignPoint.from_mapping({"num_pvs": index + 1}),
+            objectives={
+                objective.name: value
+                for objective, value in zip(PARETO_OBJECTIVES, vector)
+            },
+        )
+        for index, vector in enumerate(vectors)
+    ]
+
+
+class TestParetoFrontierProperties:
+    @given(objective_vectors)
+    @settings(max_examples=200, deadline=None)
+    def test_no_frontier_point_dominates_another(self, vectors):
+        frontier = ParetoFrontier(PARETO_OBJECTIVES, _evaluated_points(vectors))
+        for a in frontier.frontier:
+            for b in frontier.frontier:
+                assert not dominates(a, b, PARETO_OBJECTIVES)
+
+    @given(objective_vectors)
+    @settings(max_examples=200, deadline=None)
+    def test_every_dominated_point_is_excluded_for_a_reason(self, vectors):
+        points = _evaluated_points(vectors)
+        frontier = ParetoFrontier(PARETO_OBJECTIVES, points)
+        # exact partition of the (deduplicated) input...
+        assert set(frontier.frontier) | set(frontier.dominated) == set(points)
+        assert not set(frontier.frontier) & set(frontier.dominated)
+        # ...and each excluded point is witnessed by a frontier point
+        for excluded in frontier.dominated:
+            assert any(
+                dominates(winner, excluded, PARETO_OBJECTIVES)
+                for winner in frontier.frontier
+            )
+
+    @given(objective_vectors, st.randoms(use_true_random=False))
+    @settings(max_examples=200, deadline=None)
+    def test_frontier_invariant_to_order_and_duplication(self, vectors, rng):
+        points = _evaluated_points(vectors)
+        reference = ParetoFrontier(PARETO_OBJECTIVES, points)
+        shuffled = list(points)
+        rng.shuffle(shuffled)
+        assert ParetoFrontier(PARETO_OBJECTIVES, shuffled) == reference
+        duplicated = points + shuffled + points
+        assert ParetoFrontier(PARETO_OBJECTIVES, duplicated) == reference
