@@ -1,0 +1,92 @@
+"""Benchmark of the workload registry's model caching.
+
+Builds a representative spec set — the six paper workloads plus family
+instances from every axis the registry opens (scaled resolutions, channel
+widths, synthetic stress points) — twice:
+
+* **cold** — after ``clear_cache()``, every ``get_workload`` call constructs
+  the model (shape-chain resolution over the full layer stack);
+* **warm** — the same lookups again, answered from the registry's model
+  cache.
+
+The warm pass must be at least 10x faster than the cold pass: sweeps,
+sessions and the DSE engine resolve workload specs on every job they
+construct, so a cache miss on a hot path would multiply into whole-suite
+slowdowns.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.workloads.registry import clear_cache, get_workload, workload_names
+
+#: Family spec strings exercised alongside the six paper workloads.
+FAMILY_SPECS = (
+    "dcgan@32x32",
+    "dcgan@128x128",
+    "artgan@ch128",
+    "gpgan@32x32",
+    "3dgan@32x32x32",
+    "discogan@128x128",
+    "magan@ch256",
+    "synthetic@d4c64",
+    "synthetic@d8c256",
+    "synthetic@d6c128z100",
+)
+
+#: Required advantage of warm registry lookups over cold builds.
+MIN_WARM_SPEEDUP = 10.0
+
+#: Lookup rounds per timing pass (cache hits are too fast to time once).
+ROUNDS = 50
+
+
+def lookup_all(specs) -> None:
+    for spec in specs:
+        get_workload(spec)
+
+
+def test_workload_registry_cache(benchmark):
+    """Warm get_workload lookups must beat cold builds by >= 10x."""
+    specs = (*workload_names(), *FAMILY_SPECS)
+
+    def cold_pass():
+        clear_cache()
+        start = time.perf_counter()
+        lookup_all(specs)
+        return time.perf_counter() - start
+
+    cold_seconds = benchmark.pedantic(cold_pass, iterations=1, rounds=1)
+
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        lookup_all(specs)
+    warm_seconds = (time.perf_counter() - start) / ROUNDS
+
+    warm_speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    assert warm_speedup >= MIN_WARM_SPEEDUP, (
+        f"warm registry lookups only {warm_speedup:.1f}x faster than cold "
+        f"builds; expected >= {MIN_WARM_SPEEDUP:.0f}x"
+    )
+
+    # The cache must return the very same instances on repeat lookups.
+    assert all(get_workload(spec) is get_workload(spec) for spec in specs)
+
+    emit(
+        format_table(
+            ["Pass", "Wall time (ms)", "vs cold"],
+            [
+                ["cold build", 1e3 * cold_seconds, 1.0],
+                ["warm lookup", 1e3 * warm_seconds, warm_speedup],
+            ],
+            title=(
+                f"Workload registry: {len(specs)} specs "
+                f"({len(workload_names())} paper + {len(FAMILY_SPECS)} family)"
+            ),
+            float_format="{:.3f}",
+        )
+    )

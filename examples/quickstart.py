@@ -11,7 +11,9 @@ Run with::
 
     python examples/quickstart.py [MODEL]
 
-where MODEL is one of: 3D-GAN, ArtGAN, DCGAN, DiscoGAN, GP-GAN, MAGAN.
+where MODEL is one of 3D-GAN, ArtGAN, DCGAN, DiscoGAN, GP-GAN, MAGAN — or a
+workload-family spec string such as ``dcgan@32x32`` or ``synthetic@d8c256``
+(run ``repro-experiments list-workloads`` for the grammar).
 """
 
 from __future__ import annotations

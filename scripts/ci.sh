@@ -12,7 +12,10 @@
 #      thinner than expected or any registered model cannot complete it;
 #   4. a DSE smoke: a deterministic exhaustive search over a tiny two-field
 #      space must produce a verifiably non-dominated Pareto frontier and a
-#      warm re-search must answer entirely from cache.
+#      warm re-search must answer entirely from cache;
+#   5. a workload-registry smoke: `list-workloads --json` must emit valid
+#      JSON covering the six paper workloads and the families, and a
+#      synthetic-family workload must run an end-to-end CLI compare.
 #
 # Usage: scripts/ci.sh [extra pytest args for the tier-1 step]
 set -eu
@@ -25,8 +28,9 @@ export PYTHONPATH
 echo "== tier-1 tests =="
 python -m pytest -x -q -p no:cacheprovider "$@"
 
-echo "== runner + DSE benchmarks (parity + warm-cache contracts) =="
-python -m pytest benchmarks/bench_runner.py benchmarks/bench_dse.py -q \
+echo "== runner + DSE + workload-registry benchmarks (parity + cache contracts) =="
+python -m pytest benchmarks/bench_runner.py benchmarks/bench_dse.py \
+    benchmarks/bench_workloads.py -q \
     -p no:cacheprovider --benchmark-disable-gc
 
 echo "== accelerator registry smoke (Session over every registered model) =="
@@ -72,6 +76,42 @@ print("dse smoke OK:",
       f"{len(frontier.frontier)}/{len(result.evaluated)} points on the "
       f"frontier; warm re-search hit rate "
       f"{100 * warm.cache_stats.hit_rate:.0f}%")
+PY
+
+echo "== workload registry smoke (list-workloads JSON + synthetic compare) =="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+
+python -m repro.cli list-workloads --json "$SMOKE_DIR/workloads.json" --quiet
+python - "$SMOKE_DIR/workloads.json" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1], encoding="utf-8") as handle:
+    payload = json.load(handle)
+names = [entry["name"] for entry in payload["workloads"]]
+assert len(names) >= 6, f"registry too thin: {names}"
+families = {entry["name"]: entry for entry in payload["families"]}
+assert "synthetic" in families, sorted(families)
+assert all(entry["grammar"] and entry["version"] for entry in families.values())
+print("list-workloads OK:", len(names), "workloads,", len(families), "families")
+PY
+
+python -m repro.cli compare \
+    --workloads synthetic@d4c64,dcgan@64x64 \
+    --accelerators eyeriss,ganax --json "$SMOKE_DIR/compare.json" --quiet
+python - "$SMOKE_DIR/compare.json" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1], encoding="utf-8") as handle:
+    payload = json.load(handle)["compare"]
+assert set(payload["models"]) == {"synthetic@d4c64", "DCGAN"}, payload["models"].keys()
+for name, summary in payload["models"].items():
+    assert summary["ganax"]["speedup"] > 1.0, (name, summary)
+print("synthetic compare OK:",
+      ", ".join(f"{name}={summary['ganax']['speedup']:.2f}x"
+                for name, summary in payload["models"].items()))
 PY
 
 echo "CI OK"

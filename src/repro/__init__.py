@@ -15,10 +15,16 @@ This package implements, from scratch:
   beyond the paper's pair — ``ganax-noskip`` (zero skipping disabled) and
   ``ideal`` (consequential-MACs roofline) — and the :class:`Session` facade
   for N-way comparisons across any registered set of architecture points,
+* a pluggable **workload registry** (:mod:`repro.workloads`) mirroring the
+  accelerator one: register custom GANs, or address parameterized workload
+  *families* via spec strings — ``dcgan@32x32``, ``artgan@ch128``,
+  ``synthetic@d8c256`` (a stress-generator family with depth / channel /
+  stride / zero-density knobs) — anywhere a model name is accepted,
 * a design-space exploration engine (:mod:`repro.dse`): ``config_space()``-
   driven search spaces, exhaustive/random/hill-climb strategies and Pareto
   frontiers over speedup, energy and area (``Session.explore``,
-  ``repro-experiments dse``).
+  ``repro-experiments dse``), including exploration targeted at a whole
+  workload family.
 
 Quick start — the paper's two-point comparison::
 
@@ -28,17 +34,20 @@ Quick start — the paper's two-point comparison::
     print(comparison.generator_speedup)          # speedup over EYERISS
     print(comparison.generator_energy_reduction) # energy reduction over EYERISS
 
-N-way comparison across every registered accelerator::
+N-way comparison across every registered accelerator, mixing a paper
+workload with synthetic stress scenarios from the workload families::
 
     from repro import Session
     from repro.accelerators import accelerator_names
 
     session = Session(accelerators=accelerator_names())
-    multi = session.compare("DCGAN")["DCGAN"]
-    print(multi.generator_speedups())   # per-accelerator speedup vs eyeriss
+    multi = session.compare(["DCGAN", "synthetic@d8c256", "synthetic@d8c256z100"])
+    print(multi["DCGAN"].generator_speedups())   # per-accelerator, vs eyeriss
+    print(multi["synthetic@d8c256z100"].generator_speedups())
 
-Registering a custom accelerator makes it addressable everywhere a name is
-accepted (jobs, sessions, sweeps, the CLI) — see ``repro/runner/README.md``.
+Registering a custom accelerator or workload makes it addressable everywhere
+a name is accepted (jobs, sessions, sweeps, the CLI) — see
+``repro/runner/README.md`` and ``repro/workloads/README.md``.
 """
 
 from .accelerators import (
@@ -95,7 +104,18 @@ from .nn import (
     Network,
     TransposedConvLayer,
 )
-from .workloads import all_workloads, get_workload, workload_names
+from .workloads import (
+    WorkloadFamily,
+    WorkloadSpec,
+    all_workloads,
+    get_workload,
+    get_workload_family,
+    register_workload,
+    register_workload_family,
+    resolve_workload,
+    workload_families,
+    workload_names,
+)
 
 __version__ = "1.0.0"
 
@@ -148,8 +168,15 @@ __all__ = [
     "GANModel",
     "Network",
     "TransposedConvLayer",
+    "WorkloadFamily",
+    "WorkloadSpec",
     "all_workloads",
     "get_workload",
+    "get_workload_family",
+    "register_workload",
+    "register_workload_family",
+    "resolve_workload",
+    "workload_families",
     "workload_names",
     "__version__",
 ]

@@ -4,25 +4,32 @@ Installed as ``repro-experiments`` (see ``pyproject.toml``).  Examples::
 
     repro-experiments list                # list available experiments
     repro-experiments list-accelerators   # list registered accelerator models
+    repro-experiments list-workloads      # list registered workloads + families
     repro-experiments figure8             # regenerate Figure 8
     repro-experiments all                 # regenerate everything
     repro-experiments compare             # N-way comparison, all accelerators
     repro-experiments compare --accelerators eyeriss,ganax,ideal
+    repro-experiments compare --workloads dcgan@64x64,synthetic@d8c256
+    repro-experiments sweep --parameter num_pvs --values 4,8,16
     repro-experiments figure8 --json out.json
     repro-experiments all --parallel --cache-stats
     repro-experiments all --cache-dir .sim-cache   # warm-start reruns
     repro-experiments dse --accelerator ganax --strategy random --budget 8
+    repro-experiments dse --workloads synthetic@d4c64,synthetic@d6c128z100
     repro-experiments cache-prune --cache-dir .sim-cache --max-bytes 10000000
     repro-experiments list-accelerators --json -   # machine-readable registry
+    repro-experiments list-workloads --json -      # machine-readable registry
 
 Every simulation runs through one shared
 :class:`~repro.runner.SimulationRunner`, so the whole invocation shares a
 content-addressed result cache; ``--parallel`` swaps the serial backend for a
 process pool and ``--cache-dir`` persists results across invocations.  The
-``compare`` mode routes through :class:`repro.Session`, so any accelerator
-registered in :mod:`repro.accelerators` is addressable via ``--accelerators``;
-the ``dse`` mode runs a :mod:`repro.dse` design-space search and reports the
-Pareto frontier.
+``compare`` and ``sweep`` modes route through :class:`repro.Session`, so any
+accelerator registered in :mod:`repro.accelerators` is addressable via
+``--accelerators`` and any workload — including family spec strings like
+``dcgan@32x32`` or ``synthetic@d8c256`` (see ``list-workloads``) — via
+``--workloads``; the ``dse`` mode runs a :mod:`repro.dse` design-space search
+and reports the Pareto frontier.
 """
 
 from __future__ import annotations
@@ -33,11 +40,13 @@ import sys
 from typing import List, Optional, Sequence, Tuple
 
 from .accelerators.registry import accelerator_names, create_accelerator, get_accelerator
+from .analysis.charts import frontier_chart, multi_comparison_chart
 from .analysis.report import format_table
+from .config import ArchitectureConfig
 from .analysis.serialization import multi_comparison_rows
 from .dse.engine import DesignSpaceExplorer
 from .dse.strategies import get_strategy
-from .errors import ReproError, UnknownAcceleratorError
+from .errors import ReproError, UnknownAcceleratorError, UnknownWorkloadError
 from .experiments.base import ExperimentContext
 from .experiments.registry import experiment_ids, run_all, run_experiment
 from .runner import (
@@ -47,6 +56,13 @@ from .runner import (
     SimulationRunner,
 )
 from .session import Session
+from .workloads.registry import (
+    describe_workload_families,
+    describe_workloads,
+    resolve_workload,
+    workload_families,
+    workload_names,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,8 +77,9 @@ def build_parser() -> argparse.ArgumentParser:
         default="all",
         help=(
             "experiment id (e.g. figure8, table3), 'all', 'list', "
-            "'list-accelerators', 'compare' (N-way accelerator comparison), "
-            "'dse' (design-space exploration), or 'cache-prune'"
+            "'list-accelerators', 'list-workloads', 'compare' (N-way "
+            "accelerator comparison), 'sweep' (one-parameter configuration "
+            "sweep), 'dse' (design-space exploration), or 'cache-prune'"
         ),
     )
     parser.add_argument(
@@ -70,8 +87,18 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAMES",
         default=None,
         help=(
-            "comma-separated registered accelerator names for 'compare' "
-            "(default: every registered accelerator)"
+            "comma-separated registered accelerator names for "
+            "'compare'/'sweep' (default: every registered accelerator)"
+        ),
+    )
+    parser.add_argument(
+        "--workloads",
+        metavar="SPECS",
+        default=None,
+        help=(
+            "comma-separated workload names or family spec strings (e.g. "
+            "dcgan@64x64,synthetic@d8c256) for 'compare'/'sweep'/'dse' "
+            "(default: every registered workload; see 'list-workloads')"
         ),
     )
     parser.add_argument(
@@ -79,9 +106,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         default=None,
         help=(
-            "baseline accelerator for 'compare'/'dse' ratios "
+            "baseline accelerator for 'compare'/'sweep'/'dse' ratios "
             "(default: eyeriss)"
         ),
+    )
+    parser.add_argument(
+        "--parameter",
+        metavar="FIELD",
+        default=None,
+        help="ArchitectureConfig field the 'sweep' mode varies",
+    )
+    parser.add_argument(
+        "--values",
+        metavar="VALUES",
+        default=None,
+        help="comma-separated values for the swept 'sweep' field",
     )
     parser.add_argument(
         "--accelerator",
@@ -182,6 +221,43 @@ def parse_accelerator_list(spec: Optional[str]) -> Optional[Tuple[str, ...]]:
     return tuple(get_accelerator(name).name for name in names)
 
 
+def parse_workload_list(spec: Optional[str]) -> Optional[Tuple[str, ...]]:
+    """Parse a comma-separated ``--workloads`` value into canonical specs.
+
+    Entries may be registered names, aliases, or family spec strings
+    (``dcgan@32x32``); family arguments are NOT comma-separable here, so use
+    the compact grammar (``synthetic@d8c256``).  Unknown (or empty) values
+    raise :class:`~repro.errors.UnknownWorkloadError`, whose message lists
+    every registered workload and family.
+    """
+    if spec is None:
+        return None
+    names = tuple(token.strip() for token in spec.split(",") if token.strip())
+    if not names:
+        raise UnknownWorkloadError(spec, workload_names(), workload_families())
+    return tuple(resolve_workload(name).name for name in names)
+
+
+def parse_value_list(spec: str) -> Tuple[object, ...]:
+    """Parse ``--values``: each comma-separated token as int, float or str."""
+    values: List[object] = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        for parse in (int, float):
+            try:
+                values.append(parse(token))
+                break
+            except ValueError:
+                continue
+        else:
+            values.append(token)
+    if not values:
+        raise ReproError(f"--values '{spec}' contains no values")
+    return tuple(values)
+
+
 def build_runner(args: argparse.Namespace) -> SimulationRunner:
     """Construct the runner the CLI's experiments submit through."""
     if args.workers is not None and args.workers <= 0:
@@ -242,6 +318,27 @@ def _list_accelerators(args: argparse.Namespace) -> int:
     return 0
 
 
+def _list_workloads(args: argparse.Namespace) -> int:
+    """The ``list-workloads`` mode: plain text, or machine-readable JSON."""
+    if args.json:
+        payload = {
+            "workloads": describe_workloads(),
+            "families": describe_workload_families(),
+        }
+        _write_json(payload, args.json, args.quiet)
+    else:
+        for entry in describe_workloads():
+            print(
+                f"{entry['name']}  ({entry['family']}, v{entry['version']})  "
+                f"{entry['description']}"
+            )
+        print()
+        print("families (usable as '<family>@<args>'):")
+        for entry in describe_workload_families():
+            print(f"{entry['grammar']}  (v{entry['version']})  {entry['description']}")
+    return 0
+
+
 def _run_cache_prune(args: argparse.Namespace) -> int:
     """The ``cache-prune`` mode: evict oldest disk-cache entries to a budget."""
     if not args.cache_dir:
@@ -273,6 +370,7 @@ def _run_dse(args: argparse.Namespace, runner: SimulationRunner) -> int:
         explorer = DesignSpaceExplorer(
             accelerator=args.accelerator or "ganax",
             baseline=args.baseline or "eyeriss",
+            models=parse_workload_list(args.workloads),
             runner=runner,
         )
         fields = None
@@ -291,6 +389,8 @@ def _run_dse(args: argparse.Namespace, runner: SimulationRunner) -> int:
         # corrupt it, so it is implied-quiet in that case
         if not args.quiet and args.json != "-":
             print(result.report())
+            print()
+            print(frontier_chart("Pareto frontier (first objective)", result.frontier))
         if args.json:
             _write_json({"dse": result.summary()}, args.json, args.quiet)
         if args.cache_stats:
@@ -304,13 +404,14 @@ def _run_dse(args: argparse.Namespace, runner: SimulationRunner) -> int:
 
 
 def _run_compare(args: argparse.Namespace, runner: SimulationRunner) -> int:
-    """The ``compare`` mode: all six GANs across N registered accelerators."""
+    """The ``compare`` mode: N workloads across N registered accelerators."""
     try:
         accelerators = parse_accelerator_list(args.accelerators) or accelerator_names()
+        workloads = parse_workload_list(args.workloads)
         session = Session(
             accelerators=accelerators, baseline=args.baseline, runner=runner
         )
-        comparisons = session.compare()
+        comparisons = session.compare(workloads)
 
         if not args.quiet and args.json != "-":  # '--json -' owns stdout
             rows = [
@@ -337,6 +438,15 @@ def _run_compare(args: argparse.Namespace, runner: SimulationRunner) -> int:
                     float_format="{:.2f}",
                 )
             )
+            # The chart only has bars for non-baseline accelerators, so a
+            # baseline-only comparison keeps its (valid) table-only output.
+            if any(name != session.baseline for name in session.accelerators):
+                print()
+                print(
+                    multi_comparison_chart(
+                        f"Generator speedup vs {session.baseline}", comparisons
+                    )
+                )
 
         if args.json:
             payload = {
@@ -353,7 +463,84 @@ def _run_compare(args: argparse.Namespace, runner: SimulationRunner) -> int:
 
         if args.cache_stats:
             _print_cache_stats(runner, args.json)
-    except ReproError as exc:  # e.g. unknown --accelerators / --baseline
+    except ReproError as exc:  # e.g. unknown --accelerators / --workloads
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        runner.close()
+    return 0
+
+
+def _run_sweep(args: argparse.Namespace, runner: SimulationRunner) -> int:
+    """The ``sweep`` mode: one configuration field across the session grid."""
+    try:
+        if not args.parameter:
+            raise ReproError("sweep requires --parameter")
+        if not args.values:
+            raise ReproError("sweep requires --values")
+        known_fields = sorted(ArchitectureConfig.paper_default().to_mapping())
+        if args.parameter not in known_fields:
+            raise ReproError(
+                f"unknown ArchitectureConfig field '{args.parameter}'; "
+                f"known fields: {', '.join(known_fields)}"
+            )
+        values = parse_value_list(args.values)
+        accelerators = parse_accelerator_list(args.accelerators) or accelerator_names()
+        workloads = parse_workload_list(args.workloads)
+        session = Session(
+            accelerators=accelerators, baseline=args.baseline, runner=runner
+        )
+        grid = session.sweep(args.parameter, values, models=workloads)
+
+        if not args.quiet and args.json != "-":  # '--json -' owns stdout
+            rows = []
+            for label, comparisons in grid.items():
+                for row in multi_comparison_rows(comparisons):
+                    rows.append(
+                        [
+                            label,
+                            row["model"],
+                            row["accelerator"],
+                            row["speedup"],
+                            row["energy_reduction"],
+                        ]
+                    )
+            print(
+                format_table(
+                    [
+                        "Point",
+                        "Model",
+                        "Accelerator",
+                        f"Speedup vs {session.baseline}",
+                        "Energy reduction",
+                    ],
+                    rows,
+                    title=f"Sweep of {args.parameter} (generator)",
+                    float_format="{:.2f}",
+                )
+            )
+
+        if args.json:
+            payload = {
+                "sweep": {
+                    "parameter": args.parameter,
+                    "values": list(values),
+                    "baseline": session.baseline,
+                    "accelerators": list(session.accelerators),
+                    "points": {
+                        label: {
+                            name: comparison.summary()
+                            for name, comparison in comparisons.items()
+                        }
+                        for label, comparisons in grid.items()
+                    },
+                }
+            }
+            _write_json(payload, args.json, args.quiet)
+
+        if args.cache_stats:
+            _print_cache_stats(runner, args.json)
+    except ReproError as exc:  # unknown field/value/workload/accelerator
         print(f"error: {exc}", file=sys.stderr)
         return 2
     finally:
@@ -369,8 +556,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # Mode-specific flags are rejected elsewhere: a silently ignored selection
     # would report numbers for a run the user did not ask for.
     flag_gates = (
-        ("--accelerators", args.accelerators, {"compare"}),
-        ("--baseline", args.baseline, {"compare", "dse"}),
+        ("--accelerators", args.accelerators, {"compare", "sweep"}),
+        ("--workloads", args.workloads, {"compare", "sweep", "dse"}),
+        ("--baseline", args.baseline, {"compare", "sweep", "dse"}),
+        ("--parameter", args.parameter, {"sweep"}),
+        ("--values", args.values, {"sweep"}),
         ("--accelerator", args.accelerator, {"dse"}),
         ("--strategy", args.strategy, {"dse"}),
         ("--budget", args.budget, {"dse"}),
@@ -395,6 +585,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.experiment == "list-accelerators":
         return _list_accelerators(args)
 
+    if args.experiment == "list-workloads":
+        return _list_workloads(args)
+
     if args.experiment == "cache-prune":
         return _run_cache_prune(args)
 
@@ -406,6 +599,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.experiment == "compare":
         return _run_compare(args, runner)
+
+    if args.experiment == "sweep":
+        return _run_sweep(args, runner)
 
     if args.experiment == "dse":
         return _run_dse(args, runner)

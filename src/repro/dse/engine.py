@@ -31,7 +31,7 @@ reports 100% hits).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..accelerators.registry import get_accelerator
 from ..analysis.metrics import geometric_mean
@@ -42,7 +42,7 @@ from ..errors import AnalysisError
 from ..hw.area import AreaModel
 from ..nn.network import GANModel
 from ..runner import CacheStats, SimulationJob, SimulationRunner, get_default_runner
-from ..workloads.registry import all_workloads
+from ..workloads.registry import all_workloads, get_workload
 from .pareto import EvaluatedPoint, Objective, ParetoFrontier
 from .space import Constraint, DesignPoint, DesignSpace
 from .strategies import ExhaustiveSearch, SearchStrategy
@@ -149,7 +149,9 @@ class DesignSpaceExplorer:
         Registry name speedups are measured against (default ``"eyeriss"``);
         simulated at every candidate configuration alongside the candidate.
     models:
-        Workloads driving the evaluation; all six paper GANs when omitted.
+        Workloads driving the evaluation — built models, registry names or
+        family spec strings (``"synthetic@d8c256"``); all six paper GANs
+        when omitted.
     base_config / options:
         The configuration design points are applied onto, and the shared
         simulation options (paper defaults when omitted).
@@ -164,7 +166,7 @@ class DesignSpaceExplorer:
         self,
         accelerator: str = "ganax",
         baseline: str = "eyeriss",
-        models: Optional[Sequence[GANModel]] = None,
+        models: Optional[Sequence[Union[str, GANModel]]] = None,
         base_config: Optional[ArchitectureConfig] = None,
         options: Optional[SimulationOptions] = None,
         objectives: Optional[Sequence[Objective]] = None,
@@ -182,7 +184,11 @@ class DesignSpaceExplorer:
                 True,
             )
         )
-        self._models = list(models) if models is not None else list(all_workloads())
+        self._models = (
+            [get_workload(m) if isinstance(m, str) else m for m in models]
+            if models is not None
+            else list(all_workloads())
+        )
         if not self._models:
             raise AnalysisError("exploration needs at least one model")
         self._base_config = base_config or ArchitectureConfig.paper_default()

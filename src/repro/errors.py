@@ -32,6 +32,40 @@ class WorkloadError(ReproError):
     """A named GAN workload could not be built or found."""
 
 
+class UnknownWorkloadError(WorkloadError):
+    """A workload spec string names no registered workload or family.
+
+    Raised by :func:`repro.workloads.resolve_workload` and the CLI's
+    ``--workloads`` parsing; the message lists every registered workload name
+    and every family (with its spec grammar reachable via ``list-workloads``)
+    so a typo is immediately actionable.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        registered: "tuple[str, ...]" = (),
+        families: "tuple[str, ...]" = (),
+    ) -> None:
+        self.name = name
+        self.registered = tuple(registered)
+        self.families = tuple(families)
+        known = ", ".join(self.registered) if self.registered else "none"
+        message = f"unknown workload '{name}'; registered workloads: {known}"
+        if self.families:
+            message += (
+                "; registered families (usable as '<family>@<args>'): "
+                + ", ".join(self.families)
+            )
+        super().__init__(message)
+
+    def __reduce__(self):
+        # args holds the formatted message, not (name, registered, families);
+        # without this, unpickling (e.g. from a process-pool worker) re-wraps
+        # the message through __init__ and garbles it.
+        return (type(self), (self.name, self.registered, self.families))
+
+
 class IsaError(ReproError):
     """A micro-op is malformed, cannot be encoded, or cannot be decoded."""
 

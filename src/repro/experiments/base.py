@@ -11,15 +11,15 @@ the benchmark harness use.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Sequence
+from typing import Any, Callable, Dict, Optional, Sequence, Union
 
 from ..analysis.results import ComparisonResult, MultiComparison
 from ..config import ArchitectureConfig, SimulationOptions
-from ..errors import ExperimentError
+from ..errors import ExperimentError, WorkloadError
 from ..nn.network import GANModel
 from ..runner import SimulationRunner, get_default_runner
 from ..session import Session
-from ..workloads.registry import all_workloads
+from ..workloads.registry import all_workloads, get_workload, resolve_workload
 
 
 @dataclass(frozen=True)
@@ -74,13 +74,20 @@ class ExperimentContext:
         self,
         config: Optional[ArchitectureConfig] = None,
         options: Optional[SimulationOptions] = None,
-        models: Optional[Sequence[GANModel]] = None,
+        models: Optional[Sequence[Union[str, GANModel]]] = None,
         runner: Optional[SimulationRunner] = None,
         accelerators: Optional[Sequence[str]] = None,
     ) -> None:
         self._config = config or ArchitectureConfig.paper_default()
         self._options = options or SimulationOptions()
-        self._models = list(models) if models is not None else None
+        # Workload names and family spec strings resolve through the
+        # registry, so a context can scope the whole experiment suite to
+        # e.g. ("dcgan@32x32", "synthetic@d8c256").
+        self._models = (
+            [get_workload(m) if isinstance(m, str) else m for m in models]
+            if models is not None
+            else None
+        )
         self._runner = runner
         self._accelerators = tuple(accelerators) if accelerators is not None else None
         self._session: Optional[Session] = None
@@ -147,8 +154,13 @@ class ExperimentContext:
         return self._multi_comparisons
 
     def model(self, name: str) -> GANModel:
+        """A context model by name (registry aliases and spec strings work)."""
+        try:
+            canonical = resolve_workload(name).name
+        except WorkloadError:
+            canonical = name
         for model in self.models:
-            if model.name == name:
+            if model.name in (name, canonical):
                 return model
         raise ExperimentError(f"no model named '{name}' in this context")
 

@@ -1,14 +1,22 @@
 """The unit of work of the simulation runner: one (model, accelerator) run.
 
 A :class:`SimulationJob` fully describes one simulator invocation — which GAN
-model, which accelerator (any name in the :mod:`repro.accelerators` registry),
-which :class:`~repro.config.ArchitectureConfig` and
+workload (a built model, a registry name or a family spec string such as
+``"dcgan@32x32"``), which accelerator (any name in the
+:mod:`repro.accelerators` registry), which
+:class:`~repro.config.ArchitectureConfig` and
 :class:`~repro.config.SimulationOptions` — and derives a deterministic
 content-hash :attr:`~SimulationJob.cache_key` from the canonical serialization
 of those inputs.  Jobs with equal cache keys are guaranteed to produce equal
 :class:`~repro.analysis.results.GanResult` values, which is what lets the
 runner deduplicate batches and share results through a content-addressed
 cache across sweeps, experiments and processes.
+
+Workload spec strings resolve through :mod:`repro.workloads.registry`, and
+the resolved entry's ``workload_version`` is folded into the cache key
+exactly like the accelerator's registered version: bumping a workload's
+version invalidates its stale cached results even when the structural
+fingerprint is unchanged.
 
 :func:`execute_job` is the single entry point every backend uses to turn a
 job into a result; it lives at module level so the process-pool backend can
@@ -19,9 +27,9 @@ need to unpickle simulator instances.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple, Union
 
 from ..accelerators.registry import get_accelerator
 from ..analysis.results import GanResult
@@ -34,6 +42,7 @@ from ..analysis.serialization import (
 )
 from ..config import ArchitectureConfig, SimulationOptions
 from ..nn.network import GANModel
+from ..workloads.registry import get_workload, resolve_workload, workload_version_for
 
 #: The paper's two-point comparison, kept as the legacy default pair.  The
 #: open accelerator set lives in :func:`repro.accelerators.accelerator_names`
@@ -44,14 +53,18 @@ COMPARISON_PAIR: Tuple[str, str] = ("eyeriss", "ganax")
 
 @dataclass(frozen=True)
 class SimulationJob:
-    """One simulator invocation: a GAN model on one accelerator.
+    """One simulator invocation: a GAN workload on one accelerator.
 
     Attributes
     ----------
     model:
-        The workload to simulate.  The model travels with the job (it is
-        picklable), so jobs over ad-hoc models — not just registry
-        workloads — run on every backend.
+        The workload to simulate: a :class:`~repro.nn.network.GANModel`, a
+        registered workload name, or a family spec string (``"dcgan@32x32"``)
+        — names resolve through :mod:`repro.workloads.registry` at
+        construction, so after ``__post_init__`` this is always a built
+        model.  The model travels with the job (it is picklable), so jobs
+        over ad-hoc models — not just registry workloads — run on every
+        backend.
     accelerator:
         Any name registered in :mod:`repro.accelerators` (see
         :func:`~repro.accelerators.accelerator_names`); normalized to the
@@ -60,17 +73,31 @@ class SimulationJob:
         Architecture configuration shared by all simulators.
     options:
         Whole-model simulation options.
+    workload_version:
+        The workload registry version folded into :attr:`cache_key`.
+        Resolved automatically (``""`` for ad-hoc models); pass explicitly
+        only to pin a different cache generation.
     """
 
-    model: GANModel
+    model: Union[str, GANModel]
     accelerator: str
     config: ArchitectureConfig
     options: SimulationOptions
+    workload_version: Optional[str] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         # Raises UnknownAcceleratorError (an AnalysisError) for unknown names.
         spec = get_accelerator(self.accelerator)
         object.__setattr__(self, "accelerator", spec.name)
+        if isinstance(self.model, str):
+            workload = resolve_workload(self.model)  # raises for unknown specs
+            object.__setattr__(self, "model", get_workload(workload))
+            if self.workload_version is None:
+                object.__setattr__(self, "workload_version", workload.version)
+        if self.workload_version is None:
+            object.__setattr__(
+                self, "workload_version", workload_version_for(self.model)
+            )
 
     @property
     def model_name(self) -> str:
@@ -81,19 +108,23 @@ class SimulationJob:
         """Deterministic content hash identifying this job's result.
 
         Combines the accelerator name *and its registered model version* with
-        the fingerprints of the workload structure, the architecture
-        configuration and the simulation options, so any change to any
-        simulation input — including a revised accelerator model that bumps
-        its version — changes the key and stale cached results are never
-        served.  Options are fingerprinted in the accelerator's *canonical*
-        form (:meth:`~repro.accelerators.AcceleratorSpec.canonical_options`),
-        so option values a model ignores or forces share one cache entry.
+        the fingerprints of the workload structure (plus the workload's
+        registry version), the architecture configuration and the simulation
+        options, so any change to any simulation input — including a revised
+        accelerator or workload that bumps its version — changes the key and
+        stale cached results are never served.  Options are fingerprinted in
+        the accelerator's *canonical* form
+        (:meth:`~repro.accelerators.AcceleratorSpec.canonical_options`), so
+        option values a model ignores or forces share one cache entry.
         """
         spec = get_accelerator(self.accelerator)
         return fingerprint_data(
             {
                 "accelerator": {"name": spec.name, "version": spec.version},
-                "workload": workload_fingerprint(self.model),
+                "workload": {
+                    "fingerprint": workload_fingerprint(self.model),
+                    "version": self.workload_version,
+                },
                 "config": config_fingerprint(self.config),
                 "options": options_fingerprint(spec.canonical_options(self.options)),
             }
@@ -102,7 +133,7 @@ class SimulationJob:
     @classmethod
     def for_accelerators(
         cls,
-        model: GANModel,
+        model: Union[str, GANModel],
         accelerators: Sequence[str],
         config: Optional[ArchitectureConfig] = None,
         options: Optional[SimulationOptions] = None,
@@ -118,7 +149,7 @@ class SimulationJob:
     @classmethod
     def comparison_pair(
         cls,
-        model: GANModel,
+        model: Union[str, GANModel],
         config: Optional[ArchitectureConfig] = None,
         options: Optional[SimulationOptions] = None,
     ) -> Tuple["SimulationJob", "SimulationJob"]:

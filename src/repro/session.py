@@ -14,8 +14,10 @@ answers comparison questions about any set of GAN workloads::
     print(comparisons["DCGAN"].generator_speedups())
     # {'eyeriss': 1.0, 'ganax': 4.556, 'ganax-noskip': 0.9999..., 'ideal': 5.121}
 
-Models may be given as registry names or :class:`~repro.nn.network.GANModel`
-instances; ``compare()`` with no arguments covers all six paper workloads.
+Models may be given as registry names (``"DCGAN"``), family spec strings
+(``"dcgan@32x32"``, ``"synthetic@d8c256"`` — see
+:mod:`repro.workloads.families`) or :class:`~repro.nn.network.GANModel`
+instances; ``compare()`` with no arguments covers every registered workload.
 Every simulation in a session submits through one runner batch, so a pooled
 backend fans out over the whole (model x accelerator) grid and results are
 shared through the content-addressed cache.
@@ -37,9 +39,9 @@ from .runner import (
     get_default_runner,
     resolve_accelerators,
 )
-from .workloads.registry import all_workloads, get_workload
+from .workloads.registry import all_workloads, expand_workload_family, get_workload
 
-#: A workload, by registry name or as a built model.
+#: A workload, by registry name / family spec string or as a built model.
 ModelLike = Union[str, GANModel]
 
 
@@ -120,12 +122,22 @@ class Session:
     ) -> Dict[str, MultiComparison]:
         """Compare workloads across the session's accelerators.
 
-        Accepts a single model (name or instance), an iterable of them, or
-        nothing for all registered workloads.  Returns
+        Accepts a single model (name, family spec string or instance), an
+        iterable of them, or nothing for all registered workloads.  Returns
         ``{model_name: MultiComparison}`` in submission order; the whole
         (model x accelerator) grid dispatches as one runner batch.
         """
-        resolved = self._resolve_models(models)
+        return self._compare_resolved(self._resolve_models(models))
+
+    def compare_model(self, model: ModelLike) -> MultiComparison:
+        """Compare one workload across the session's accelerators."""
+        resolved = self._resolve_models(model)
+        return self._compare_resolved(resolved)[resolved[0].name]
+
+    def _compare_resolved(
+        self, resolved: Sequence[GANModel]
+    ) -> Dict[str, MultiComparison]:
+        """The shared comparison path: models are already built instances."""
         return self.runner.compare_accelerators(
             resolved,
             self._accelerators,
@@ -133,11 +145,6 @@ class Session:
             self._config,
             self._options,
         )
-
-    def compare_model(self, model: ModelLike) -> MultiComparison:
-        """Compare one workload across the session's accelerators."""
-        resolved = self._resolve_models(model)
-        return self.compare(resolved)[resolved[0].name]
 
     def run(self, model: ModelLike, accelerator: str):
         """One workload on one accelerator (through the cached runner)."""
@@ -181,6 +188,8 @@ class Session:
         budget: Optional[int] = None,
         space: Optional[Any] = None,
         objectives: Optional[Sequence[Any]] = None,
+        workload_family: Optional[str] = None,
+        workload_variants: Optional[Sequence[str]] = None,
     ):
         """Design-space exploration of one session accelerator vs the baseline.
 
@@ -189,12 +198,27 @@ class Session:
         ``config_space()`` over ``fields``/``overrides`` unless an explicit
         :class:`~repro.dse.DesignSpace` is passed, and every candidate
         evaluation submits through this session's runner (one job batch per
-        strategy step, shared cache).  Returns a
-        :class:`~repro.dse.ExplorationResult`; see :mod:`repro.dse` for the
-        strategies and the frontier API.
+        strategy step, shared cache).
+
+        The evaluated workload set is part of the searched space: pass
+        ``models`` explicitly (names, family spec strings or instances), or
+        target a whole **workload family** with ``workload_family`` — every
+        candidate configuration is then scored across that family's variants
+        (``workload_variants``, or the family's declared defaults), so the
+        frontier optimizes over the family rather than the paper's fixed
+        six.  Returns a :class:`~repro.dse.ExplorationResult`; see
+        :mod:`repro.dse` for the strategies and the frontier API.
         """
         from .dse.engine import DesignSpaceExplorer
 
+        if workload_family is not None:
+            if models is not None:
+                raise AnalysisError(
+                    "pass either models or workload_family, not both"
+                )
+            models = expand_workload_family(workload_family, workload_variants)
+        elif workload_variants is not None:
+            raise AnalysisError("workload_variants requires workload_family")
         if accelerator is None:
             accelerator = next(
                 (n for n in self._accelerators if n != self._baseline),

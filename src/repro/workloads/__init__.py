@@ -1,21 +1,64 @@
-"""The six GAN workloads evaluated by the GANAX paper (Table I)."""
+"""GAN workloads: the six paper models (Table I) plus the open registry.
 
-from .artgan import build_artgan
-from .dcgan import build_dcgan
-from .discogan import build_discogan
-from .gpgan import build_gpgan
-from .magan import build_magan
-from .registry import all_workloads, get_workload, workload_names
-from .threed_gan import build_threed_gan
+The registry (:mod:`repro.workloads.registry`) mirrors the accelerator
+registry: fixed workloads register under a name via :func:`register_workload`
+and parameterized **families** resolve spec strings like ``dcgan@32x32`` or
+``synthetic@d8c256`` on demand (:mod:`repro.workloads.families`,
+:mod:`repro.workloads.synthetic`).  See ``README.md`` in this directory.
+"""
+
+from .artgan import build_artgan, build_artgan_variant
+from .dcgan import build_dcgan, build_dcgan_variant
+from .discogan import build_discogan, build_discogan_variant
+from .gpgan import build_gpgan, build_gpgan_variant
+from .magan import build_magan, build_magan_variant
+from .registry import (
+    WorkloadFamily,
+    WorkloadSpec,
+    all_workloads,
+    describe_workload_families,
+    describe_workloads,
+    expand_workload_family,
+    get_workload,
+    get_workload_family,
+    register_workload,
+    register_workload_family,
+    resolve_workload,
+    unregister_workload,
+    workload_families,
+    workload_names,
+    workload_version_for,
+)
+from .synthetic import build_synthetic
+from .threed_gan import build_threed_gan, build_threed_gan_variant
 
 __all__ = [
+    "WorkloadFamily",
+    "WorkloadSpec",
     "build_artgan",
+    "build_artgan_variant",
     "build_dcgan",
+    "build_dcgan_variant",
     "build_discogan",
+    "build_discogan_variant",
     "build_gpgan",
+    "build_gpgan_variant",
     "build_magan",
+    "build_magan_variant",
+    "build_synthetic",
     "build_threed_gan",
+    "build_threed_gan_variant",
     "all_workloads",
+    "describe_workload_families",
+    "describe_workloads",
+    "expand_workload_family",
     "get_workload",
+    "get_workload_family",
+    "register_workload",
+    "register_workload_family",
+    "resolve_workload",
+    "unregister_workload",
+    "workload_families",
     "workload_names",
+    "workload_version_for",
 ]

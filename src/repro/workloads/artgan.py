@@ -12,11 +12,21 @@ from __future__ import annotations
 
 from ..nn.network import GANModel, Network
 from ..nn.shapes import FeatureMapShape
-from .builder import build_discriminator, build_generator, conv_stack, tconv_stack
+from .builder import (
+    build_discriminator,
+    build_generator,
+    conv_stack,
+    doubling_channel_plan,
+    halving_channel_plan,
+    tconv_stack,
+    upsampling_block_count,
+)
 
 LATENT_DIM = 128
-SEED_SHAPE = FeatureMapShape.image(channels=1024, height=4, width=4)
-IMAGE_SHAPE = FeatureMapShape.image(channels=3, height=128, width=128)
+BASE_CHANNELS = 1024
+IMAGE_SIZE = 128
+SEED_SHAPE = FeatureMapShape.image(channels=BASE_CHANNELS, height=4, width=4)
+IMAGE_SHAPE = FeatureMapShape.image(channels=3, height=IMAGE_SIZE, width=IMAGE_SIZE)
 
 
 def build_artgan_generator() -> Network:
@@ -51,4 +61,49 @@ def build_artgan() -> GANModel:
         discriminator=build_artgan_discriminator(),
         year=2017,
         description="Complex artworks generation",
+    )
+
+
+def build_artgan_variant(
+    size: int = IMAGE_SIZE,
+    base_channels: int = BASE_CHANNELS,
+    latent_dim: int = LATENT_DIM,
+) -> GANModel:
+    """A scaled ArtGAN: the paper recipe at another resolution / channel width.
+
+    One stride-2 4x4 transposed convolution per doubling of the 4x4 seed and
+    a mirroring discriminator with one extra stride-2 convolution — the
+    canonical 128x128 model has 5 and 6.  Backs the ``artgan@...`` workload
+    family (see :mod:`repro.workloads.families`).
+    """
+    blocks = upsampling_block_count(size)
+    generator = build_generator(
+        "artgan_generator",
+        latent_dim,
+        FeatureMapShape.image(channels=base_channels, height=4, width=4),
+        tconv_stack(
+            channel_plan=halving_channel_plan(blocks, base_channels, 3),
+            kernel=4,
+            stride=2,
+            padding=1,
+            prefix="tconv",
+        ),
+    )
+    discriminator = build_discriminator(
+        "artgan_discriminator",
+        FeatureMapShape.image(channels=3, height=size, width=size),
+        conv_stack(
+            channel_plan=doubling_channel_plan(blocks + 1, base_channels),
+            kernel=4,
+            stride=2,
+            padding=1,
+            prefix="conv",
+        ),
+    )
+    return GANModel(
+        name="ArtGAN",
+        generator=generator,
+        discriminator=discriminator,
+        year=2017,
+        description=f"ArtGAN recipe at {size}x{size}, base width {base_channels}",
     )

@@ -50,11 +50,11 @@ def projection_layers(
 def tconv_stack(
     channel_plan: Sequence[int],
     *,
-    kernel: int | Tuple[int, ...],
+    kernel: int | Tuple[int, ...] | Sequence[int | Tuple[int, ...]],
     stride: int | Sequence[int | Tuple[int, ...]],
-    padding: int | Tuple[int, ...],
+    padding: int | Sequence[int | Tuple[int, ...]],
     rank: int = 2,
-    output_padding: int | Tuple[int, ...] = 0,
+    output_padding: int | Sequence[int | Tuple[int, ...]] = 0,
     final_activation: str = "tanh",
     hidden_activation: str = "relu",
     batch_norm: bool = True,
@@ -63,12 +63,17 @@ def tconv_stack(
     """A stack of transposed-convolution blocks.
 
     ``channel_plan`` lists the output channels of each transposed convolution.
-    ``stride`` may be a single value applied to every block or one value per
-    block (used by MAGAN, whose blocks mix stride-1 and stride-2 layers).
+    ``kernel``, ``stride``, ``padding`` and ``output_padding`` may each be a
+    single value applied to every block or one value per block (used by MAGAN
+    and the synthetic stress family, whose blocks mix stride-2 upsampling
+    layers with stride-1 refinement layers of a different geometry).
     """
     if not channel_plan:
         raise WorkloadError("channel_plan must contain at least one entry")
+    kernels = _per_block(kernel, len(channel_plan), "kernel")
     strides = _per_block(stride, len(channel_plan), "stride")
+    paddings = _per_block(padding, len(channel_plan), "padding")
+    output_paddings = _per_block(output_padding, len(channel_plan), "output_padding")
     layers: list[LayerSpec] = []
     last = len(channel_plan) - 1
     for i, (out_channels, block_stride) in enumerate(zip(channel_plan, strides)):
@@ -77,10 +82,10 @@ def tconv_stack(
             TransposedConvLayer(
                 name=f"{prefix}{index}",
                 out_channels=out_channels,
-                kernel=kernel,
+                kernel=kernels[i],
                 stride=block_stride,
-                padding=padding,
-                output_padding=output_padding,
+                padding=paddings[i],
+                output_padding=output_paddings[i],
                 rank=rank,
             )
         )
@@ -162,6 +167,60 @@ def build_discriminator(
         DenseLayer(name="classifier_fc", out_features=classifier_features),
     )
     return Network(name=name, input_shape=input_shape, layers=layers)
+
+
+def upsampling_block_count(size: int, *, seed_extent: int = 4) -> int:
+    """Number of stride-2 upsampling blocks from ``seed_extent`` to ``size``.
+
+    The DCGAN recipe grows a ``seed_extent`` x ``seed_extent`` seed by a
+    factor of two per block, so valid output sizes are exact power-of-two
+    multiples of the seed.
+    """
+    if size < 2 * seed_extent:
+        raise WorkloadError(
+            f"output size {size} must be at least {2 * seed_extent} "
+            f"(one doubling of the {seed_extent}x{seed_extent} seed)"
+        )
+    blocks = 0
+    extent = seed_extent
+    while extent < size:
+        extent *= 2
+        blocks += 1
+    if extent != size:
+        raise WorkloadError(
+            f"output size {size} is not a power-of-two multiple of the "
+            f"{seed_extent}x{seed_extent} seed"
+        )
+    return blocks
+
+
+def halving_channel_plan(
+    num_blocks: int, base_channels: int, out_channels: int, *, floor: int = 8
+) -> Tuple[int, ...]:
+    """Generator channel plan: halve from ``base_channels``, end at the image.
+
+    ``[base/2, base/4, ..., out_channels]`` — the DCGAN recipe, with a
+    ``floor`` so narrow scaled-down variants keep simulable layers.
+    """
+    if num_blocks < 1:
+        raise WorkloadError("a channel plan needs at least one block")
+    hidden = [max(floor, base_channels >> (i + 1)) for i in range(num_blocks - 1)]
+    return (*hidden, out_channels)
+
+
+def doubling_channel_plan(
+    num_blocks: int, top_channels: int, *, floor: int = 8
+) -> Tuple[int, ...]:
+    """Discriminator channel plan: double up to ``top_channels``.
+
+    ``[top >> (n-1), ..., top/2, top]`` — the mirror of
+    :func:`halving_channel_plan`, with the same ``floor``.
+    """
+    if num_blocks < 1:
+        raise WorkloadError("a channel plan needs at least one block")
+    return tuple(
+        max(floor, top_channels >> (num_blocks - 1 - i)) for i in range(num_blocks)
+    )
 
 
 def _per_block(

@@ -11,11 +11,21 @@ from __future__ import annotations
 
 from ..nn.network import GANModel, Network
 from ..nn.shapes import FeatureMapShape
-from .builder import build_discriminator, build_generator, conv_stack, tconv_stack
+from .builder import (
+    build_discriminator,
+    build_generator,
+    conv_stack,
+    doubling_channel_plan,
+    halving_channel_plan,
+    tconv_stack,
+    upsampling_block_count,
+)
 
 LATENT_DIM = 100
-SEED_SHAPE = FeatureMapShape.image(channels=1024, height=4, width=4)
-IMAGE_SHAPE = FeatureMapShape.image(channels=3, height=64, width=64)
+BASE_CHANNELS = 1024
+IMAGE_SIZE = 64
+SEED_SHAPE = FeatureMapShape.image(channels=BASE_CHANNELS, height=4, width=4)
+IMAGE_SHAPE = FeatureMapShape.image(channels=3, height=IMAGE_SIZE, width=IMAGE_SIZE)
 
 
 def build_dcgan_generator() -> Network:
@@ -51,4 +61,51 @@ def build_dcgan() -> GANModel:
         discriminator=build_dcgan_discriminator(),
         year=2015,
         description="Unsupervised representation learning",
+    )
+
+
+def build_dcgan_variant(
+    size: int = IMAGE_SIZE,
+    base_channels: int = BASE_CHANNELS,
+    latent_dim: int = LATENT_DIM,
+) -> GANModel:
+    """A scaled DCGAN: the paper recipe at another resolution / channel width.
+
+    ``size`` must be a power-of-two multiple of the 4x4 seed; the generator
+    gets one stride-2 5x5 transposed convolution per doubling and the
+    discriminator mirrors it with one extra stride-2 convolution, exactly as
+    the canonical 64x64 model does with 4 and 5 layers.  Backs the
+    ``dcgan@...`` workload family (see :mod:`repro.workloads.families`).
+    """
+    blocks = upsampling_block_count(size)
+    generator = build_generator(
+        "dcgan_generator",
+        latent_dim,
+        FeatureMapShape.image(channels=base_channels, height=4, width=4),
+        tconv_stack(
+            channel_plan=halving_channel_plan(blocks, base_channels, 3),
+            kernel=5,
+            stride=2,
+            padding=2,
+            output_padding=1,
+            prefix="tconv",
+        ),
+    )
+    discriminator = build_discriminator(
+        "dcgan_discriminator",
+        FeatureMapShape.image(channels=3, height=size, width=size),
+        conv_stack(
+            channel_plan=doubling_channel_plan(blocks + 1, base_channels),
+            kernel=5,
+            stride=2,
+            padding=2,
+            prefix="conv",
+        ),
+    )
+    return GANModel(
+        name="DCGAN",
+        generator=generator,
+        discriminator=discriminator,
+        year=2015,
+        description=f"DCGAN recipe at {size}x{size}, base width {base_channels}",
     )

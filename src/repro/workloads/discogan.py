@@ -13,9 +13,18 @@ from __future__ import annotations
 from ..nn.layers import ActivationLayer, BatchNormLayer, ConvLayer
 from ..nn.network import GANModel, Network
 from ..nn.shapes import FeatureMapShape
-from .builder import build_discriminator, conv_stack, tconv_stack
+from .builder import (
+    build_discriminator,
+    conv_stack,
+    doubling_channel_plan,
+    halving_channel_plan,
+    tconv_stack,
+)
+from ..errors import WorkloadError
 
-IMAGE_SHAPE = FeatureMapShape.image(channels=3, height=64, width=64)
+BASE_CHANNELS = 1024
+IMAGE_SIZE = 64
+IMAGE_SHAPE = FeatureMapShape.image(channels=3, height=IMAGE_SIZE, width=IMAGE_SIZE)
 
 
 def build_discogan_generator() -> Network:
@@ -73,4 +82,64 @@ def build_discogan() -> GANModel:
         discriminator=build_discogan_discriminator(),
         year=2017,
         description="Style transfer from one domain to another",
+    )
+
+
+def build_discogan_variant(
+    size: int = IMAGE_SIZE, base_channels: int = BASE_CHANNELS
+) -> GANModel:
+    """A scaled DiscoGAN: the encoder-decoder translator at another size.
+
+    The 4-down / bottleneck / 4-up shape is preserved (DiscoGAN's identity),
+    so ``size`` only needs to survive four halvings; ``base_channels`` sets
+    the bottleneck width.  Backs the ``discogan@...`` workload family.
+    """
+    if size < 16 or size & (size - 1):
+        raise WorkloadError(
+            f"DiscoGAN variant size must be a power of two >= 16, got {size}"
+        )
+    image_shape = FeatureMapShape.image(channels=3, height=size, width=size)
+    encoder = conv_stack(
+        channel_plan=doubling_channel_plan(4, base_channels // 2),
+        kernel=4,
+        stride=2,
+        padding=1,
+        activation="leaky_relu",
+        final_activation="leaky_relu",
+        prefix="enc",
+    )
+    bottleneck = (
+        ConvLayer(name="enc5", out_channels=base_channels, kernel=3, stride=1, padding=1),
+        BatchNormLayer(name="enc5_bn"),
+        ActivationLayer(name="enc5_act", function="leaky_relu"),
+    )
+    decoder = tconv_stack(
+        channel_plan=halving_channel_plan(4, base_channels, 3),
+        kernel=4,
+        stride=2,
+        padding=1,
+        prefix="dec",
+    )
+    generator = Network(
+        name="discogan_generator",
+        input_shape=image_shape,
+        layers=(*encoder, *bottleneck, *decoder),
+    )
+    discriminator = build_discriminator(
+        "discogan_discriminator",
+        image_shape,
+        conv_stack(
+            channel_plan=doubling_channel_plan(5, base_channels),
+            kernel=4,
+            stride=2,
+            padding=1,
+            prefix="conv",
+        ),
+    )
+    return GANModel(
+        name="DiscoGAN",
+        generator=generator,
+        discriminator=discriminator,
+        year=2017,
+        description=f"DiscoGAN translator at {size}x{size}, bottleneck {base_channels}",
     )

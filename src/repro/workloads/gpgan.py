@@ -13,11 +13,21 @@ from __future__ import annotations
 
 from ..nn.network import GANModel, Network
 from ..nn.shapes import FeatureMapShape
-from .builder import build_discriminator, build_generator, conv_stack, tconv_stack
+from .builder import (
+    build_discriminator,
+    build_generator,
+    conv_stack,
+    doubling_channel_plan,
+    halving_channel_plan,
+    tconv_stack,
+    upsampling_block_count,
+)
 
 LATENT_DIM = 256
-SEED_SHAPE = FeatureMapShape.image(channels=1024, height=4, width=4)
-IMAGE_SHAPE = FeatureMapShape.image(channels=3, height=64, width=64)
+BASE_CHANNELS = 1024
+IMAGE_SIZE = 64
+SEED_SHAPE = FeatureMapShape.image(channels=BASE_CHANNELS, height=4, width=4)
+IMAGE_SHAPE = FeatureMapShape.image(channels=3, height=IMAGE_SIZE, width=IMAGE_SIZE)
 
 
 def build_gpgan_generator() -> Network:
@@ -52,4 +62,47 @@ def build_gpgan() -> GANModel:
         discriminator=build_gpgan_discriminator(),
         year=2017,
         description="High-resolution image generation",
+    )
+
+
+def build_gpgan_variant(
+    size: int = IMAGE_SIZE,
+    base_channels: int = BASE_CHANNELS,
+    latent_dim: int = LATENT_DIM,
+) -> GANModel:
+    """A scaled GP-GAN blending decoder at another resolution / channel width.
+
+    Backs the ``gpgan@...`` workload family (see
+    :mod:`repro.workloads.families`).
+    """
+    blocks = upsampling_block_count(size)
+    generator = build_generator(
+        "gpgan_generator",
+        latent_dim,
+        FeatureMapShape.image(channels=base_channels, height=4, width=4),
+        tconv_stack(
+            channel_plan=halving_channel_plan(blocks, base_channels, 3),
+            kernel=4,
+            stride=2,
+            padding=1,
+            prefix="tconv",
+        ),
+    )
+    discriminator = build_discriminator(
+        "gpgan_discriminator",
+        FeatureMapShape.image(channels=3, height=size, width=size),
+        conv_stack(
+            channel_plan=doubling_channel_plan(blocks + 1, base_channels),
+            kernel=4,
+            stride=2,
+            padding=1,
+            prefix="conv",
+        ),
+    )
+    return GANModel(
+        name="GP-GAN",
+        generator=generator,
+        discriminator=discriminator,
+        year=2017,
+        description=f"GP-GAN recipe at {size}x{size}, base width {base_channels}",
     )

@@ -25,7 +25,8 @@ from ..nn.shapes import FeatureMapShape
 from .builder import build_generator
 
 LATENT_DIM = 100
-SEED_SHAPE = FeatureMapShape.image(channels=1024, height=8, width=8)
+BASE_CHANNELS = 512
+SEED_SHAPE = FeatureMapShape.image(channels=2 * BASE_CHANNELS, height=8, width=8)
 IMAGE_SHAPE = FeatureMapShape.image(channels=3, height=64, width=64)
 
 
@@ -100,5 +101,81 @@ def build_magan() -> GANModel:
         discriminator=build_magan_discriminator(),
         year=2017,
         description="Stable training procedure for GANs",
+        discriminator_conv_only=True,
+    )
+
+
+def build_magan_variant(
+    base_channels: int = BASE_CHANNELS, latent_dim: int = LATENT_DIM
+) -> GANModel:
+    """A width-scaled MAGAN: the paper topology with rescaled channel plans.
+
+    The alternating stride-2 / stride-1 generator and the autoencoder
+    discriminator (conv-only accounting) are MAGAN's identity, so only the
+    channel widths scale: every plan entry is the canonical one multiplied
+    by ``base_channels / 512``.  Backs the ``magan@...`` workload family.
+    """
+    from ..errors import WorkloadError
+
+    if base_channels < 16 or base_channels % 8:
+        raise WorkloadError(
+            f"MAGAN variant base_channels must be a multiple of 8 >= 16, "
+            f"got {base_channels}"
+        )
+    c = base_channels
+
+    layers = []
+    layers += _block(TransposedConvLayer(name="tconv1", out_channels=c, kernel=4, stride=2, padding=1))
+    layers += _block(TransposedConvLayer(name="tconv2", out_channels=c, kernel=3, stride=1, padding=1))
+    layers += _block(TransposedConvLayer(name="tconv3", out_channels=c // 2, kernel=4, stride=2, padding=1))
+    layers += _block(TransposedConvLayer(name="tconv4", out_channels=c // 2, kernel=3, stride=1, padding=1))
+    layers += _block(TransposedConvLayer(name="tconv5", out_channels=c // 4, kernel=4, stride=2, padding=1))
+    layers += _block(
+        TransposedConvLayer(name="tconv6", out_channels=3, kernel=3, stride=1, padding=1),
+        batch_norm=False,
+        activation="tanh",
+    )
+    generator = build_generator(
+        "magan_generator",
+        latent_dim,
+        FeatureMapShape.image(channels=2 * c, height=8, width=8),
+        layers,
+    )
+
+    encoder = []
+    encoder += _block(ConvLayer(name="enc1", out_channels=c // 8, kernel=4, stride=2, padding=1),
+                      batch_norm=False, activation="leaky_relu")
+    encoder += _block(ConvLayer(name="enc2", out_channels=c // 4, kernel=4, stride=2, padding=1),
+                      activation="leaky_relu")
+    encoder += _block(ConvLayer(name="enc3", out_channels=c // 2, kernel=4, stride=2, padding=1),
+                      activation="leaky_relu")
+    encoder += _block(ConvLayer(name="enc4", out_channels=c, kernel=4, stride=2, padding=1),
+                      activation="leaky_relu")
+    encoder += _block(ConvLayer(name="enc5", out_channels=c, kernel=3, stride=1, padding=1),
+                      activation="leaky_relu")
+    encoder += _block(ConvLayer(name="enc6", out_channels=2 * c, kernel=3, stride=1, padding=1),
+                      activation="leaky_relu")
+    decoder = []
+    decoder += _block(TransposedConvLayer(name="dec1", out_channels=c, kernel=3, stride=1, padding=1))
+    decoder += _block(TransposedConvLayer(name="dec2", out_channels=c, kernel=4, stride=2, padding=1))
+    decoder += _block(TransposedConvLayer(name="dec3", out_channels=c // 2, kernel=4, stride=2, padding=1))
+    decoder += _block(TransposedConvLayer(name="dec4", out_channels=c // 4, kernel=4, stride=2, padding=1))
+    decoder += _block(TransposedConvLayer(name="dec5", out_channels=c // 8, kernel=4, stride=2, padding=1))
+    decoder += _block(
+        TransposedConvLayer(name="dec6", out_channels=3, kernel=3, stride=1, padding=1),
+        batch_norm=False,
+        activation="tanh",
+    )
+    discriminator = Network(
+        name="magan_discriminator",
+        input_shape=IMAGE_SHAPE,
+        layers=(*encoder, *decoder),
+    )
+    return GANModel(
+        name="MAGAN",
+        generator=generator,
+        discriminator=discriminator,
+        year=2017,
+        description=f"MAGAN topology at base width {base_channels}",
         discriminator_conv_only=True,
     )

@@ -1,86 +1,443 @@
-"""Registry of the six GAN workloads evaluated in the paper.
+"""Decorator-based registry of GAN workloads and parameterized families.
 
-The registry maps canonical model names (as they appear in the paper's
-figures) to builder functions and caches the constructed models, because
-building a model only involves shape arithmetic and is cheap but not free.
+The registry turns the workload set into an open one, mirroring the
+accelerator registry of :mod:`repro.accelerators`: any zero-argument builder
+returning a :class:`~repro.nn.network.GANModel` can be registered under a
+name and immediately becomes usable everywhere a workload name is accepted —
+:class:`~repro.runner.SimulationJob`, :class:`repro.Session`, the experiment
+harness and the CLI's ``--workloads`` flag.
+
+Registering a fixed workload::
+
+    from repro.workloads import register_workload
+
+    @register_workload("my-gan", family="custom", version="1")
+    def build_my_gan():
+        return GANModel(name="my-gan", generator=..., discriminator=...)
+
+Beyond fixed entries, **workload families** resolve parameterized spec
+strings of the form ``<family>@<args>`` — ``dcgan@32x32``, ``artgan@ch128``,
+``synthetic@d8c256`` — into :class:`WorkloadSpec` entries on demand, so
+sweeps and design-space exploration can range over arbitrarily many
+scenarios without a registration per point.  See
+:mod:`repro.workloads.families` for the spec-string grammar and the built-in
+families, and ``README.md`` in this directory for the full guide.
+
+The six paper workloads (Table I) are registered lazily on first lookup, in
+the paper's figure order, so importing this module alone never builds a
+model.  Each registry entry carries a ``version`` that participates in the
+runner's content-hash cache keys (see
+:attr:`repro.runner.SimulationJob.cache_key`), exactly like accelerator
+versions: bumping it when a workload's semantics change invalidates stale
+cached results without touching the cache itself.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from ..errors import WorkloadError
+from ..errors import UnknownWorkloadError, WorkloadError
 from ..nn.network import GANModel
-from .artgan import build_artgan
-from .dcgan import build_dcgan
-from .discogan import build_discogan
-from .gpgan import build_gpgan
-from .magan import build_magan
-from .threed_gan import build_threed_gan
 
-#: Builders for every evaluated GAN, keyed by the paper's model name and
-#: ordered as in the paper's figures.
-WORKLOAD_BUILDERS: Dict[str, Callable[[], GANModel]] = {
-    "3D-GAN": build_threed_gan,
-    "ArtGAN": build_artgan,
-    "DCGAN": build_dcgan,
-    "DiscoGAN": build_discogan,
-    "GP-GAN": build_gpgan,
-    "MAGAN": build_magan,
-}
+#: Builds one workload instance: ``builder() -> GANModel``.
+WorkloadBuilder = Callable[[], GANModel]
 
-#: Lower-case aliases accepted by :func:`get_workload`.
-_ALIASES: Dict[str, str] = {
-    "3dgan": "3D-GAN",
-    "3d-gan": "3D-GAN",
-    "threedgan": "3D-GAN",
-    "artgan": "ArtGAN",
-    "dcgan": "DCGAN",
-    "discogan": "DiscoGAN",
-    "gpgan": "GP-GAN",
-    "gp-gan": "GP-GAN",
-    "magan": "MAGAN",
-}
 
-_CACHE: Dict[str, GANModel] = {}
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One registry entry: name, family, version, description and builder.
+
+    The ``version`` participates in the runner's content-hash cache keys
+    (see :attr:`repro.runner.SimulationJob.cache_key`): bumping it when the
+    workload's meaning changes invalidates every stale cached result even if
+    the structural fingerprint happens to stay the same.
+    """
+
+    name: str
+    family: str
+    version: str
+    description: str
+    builder: WorkloadBuilder
+    #: Canonicalized family parameters for family-resolved specs (empty for
+    #: fixed registrations); purely informational, exposed via describe().
+    params: Tuple[Tuple[str, int], ...] = ()
+
+    @property
+    def workload_version(self) -> str:
+        """Cache-key version of this workload (alias of ``version``)."""
+        return self.version
+
+    def build(self) -> GANModel:
+        """Build a fresh model instance (uncached; see :func:`get_workload`).
+
+        The returned model is renamed to the spec's registered name when the
+        builder reports a different one, so results, comparisons and cache
+        fingerprints always carry the registry identity.
+        """
+        model = self.builder()
+        if not isinstance(model, GANModel):
+            raise WorkloadError(
+                f"workload '{self.name}': builder returned "
+                f"{type(model).__name__}, expected GANModel"
+            )
+        if model.name != self.name:
+            model = dataclasses.replace(model, name=self.name)
+        return model
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly metadata record (no model construction needed)."""
+        record: Dict[str, object] = {
+            "name": self.name,
+            "family": self.family,
+            "version": self.version,
+            "description": self.description,
+        }
+        if self.params:
+            record["params"] = dict(self.params)
+        return record
+
+
+@dataclass(frozen=True)
+class WorkloadFamily:
+    """A parameterized workload generator: resolves ``family@args`` specs.
+
+    The ``resolver`` turns the argument string after ``@`` into a
+    :class:`WorkloadSpec` (canonicalizing equivalent spellings to one name,
+    so ``dcgan@size=32`` and ``dcgan@32x32`` share one cache entry), and the
+    family's default parameter point resolves to the corresponding built-in
+    paper workload where one exists.
+    """
+
+    name: str
+    version: str
+    description: str
+    #: Human-readable spec grammar, e.g. ``"dcgan@<N>x<N>[,ch<C>][,latent<L>]"``.
+    grammar: str
+    resolver: Callable[[str], WorkloadSpec]
+    #: Argument strings Session.explore expands when targeting the family.
+    default_variants: Tuple[str, ...] = ()
+
+    def resolve(self, args: str) -> WorkloadSpec:
+        """Resolve one argument string into a (memoizable) spec."""
+        return self.resolver(args)
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly metadata record."""
+        return {
+            "name": self.name,
+            "version": self.version,
+            "description": self.description,
+            "grammar": self.grammar,
+            "default_variants": list(self.default_variants),
+        }
+
+
+_REGISTRY: Dict[str, WorkloadSpec] = {}  # canonical name -> spec, in order
+_ALIASES: Dict[str, str] = {}  # normalized alias -> canonical name
+_FAMILIES: Dict[str, WorkloadFamily] = {}  # family name -> family
+_RESOLVED: Dict[str, WorkloadSpec] = {}  # memo of family-resolved specs
+_MODELS: Dict[str, GANModel] = {}  # spec name -> built model (the cache)
+_builtins_loaded = False
+
+
+def _load_builtin_workloads() -> None:
+    """Import the module that registers the six paper GANs and the families.
+
+    Deferred to the first registry lookup so that the registry module itself
+    has no import-time dependency on the workload definitions (mirroring how
+    :mod:`repro.accelerators.registry` lazily loads its builtins).
+    """
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    _builtins_loaded = True
+    from . import builtins as _builtins  # noqa: F401
+
+
+def _normalize(name: str) -> str:
+    key = str(name).strip().lower()
+    if not key:
+        raise WorkloadError("workload name must be non-empty")
+    return key
+
+
+def _alias_forms(name: str) -> Tuple[str, ...]:
+    """Normalized spellings that should resolve to ``name``."""
+    key = _normalize(name)
+    dehyphenated = key.replace("-", "").replace("_", "")
+    return (key,) if dehyphenated == key else (key, dehyphenated)
+
+
+def register_workload(
+    name: str,
+    *,
+    family: str = "custom",
+    version: str = "1",
+    description: str = "",
+    aliases: Sequence[str] = (),
+) -> Callable[[WorkloadBuilder], WorkloadBuilder]:
+    """Decorator adding a fixed workload builder to the registry.
+
+    ``name`` is the canonical identity (results, comparisons and cache
+    fingerprints carry it; the built model is renamed to it if the builder
+    reports a different name).  Lookup is case-insensitive and tolerant of
+    ``-``/``_`` (``"GP-GAN"`` also resolves as ``gpgan``); extra ``aliases``
+    add further accepted spellings.  Duplicate names or aliases are rejected
+    — a workload revision should bump ``version``, not shadow an entry.
+    """
+
+    def decorator(builder: WorkloadBuilder) -> WorkloadBuilder:
+        # Load the builtins first (no-op while they are mid-import) so a
+        # custom registration can never accidentally shadow a paper workload.
+        _load_builtin_workloads()
+        if "@" in name or "," in name or not name.strip():
+            raise WorkloadError(
+                f"invalid workload name '{name}': '@' is reserved for family "
+                "spec strings and ',' for CLI lists; names must be non-empty"
+            )
+        if name in _REGISTRY:
+            raise WorkloadError(
+                f"workload '{name}' is already registered; unregister it "
+                "first or pick a different name"
+            )
+        new_aliases = []
+        for alias in (*_alias_forms(name), *map(_normalize, aliases)):
+            if alias in _ALIASES and _ALIASES[alias] != name:
+                raise WorkloadError(
+                    f"workload alias '{alias}' (for '{name}') collides with "
+                    f"registered workload '{_ALIASES[alias]}'"
+                )
+            new_aliases.append(alias)
+        doc = description or (builder.__doc__ or "").strip().partition("\n")[0]
+        _REGISTRY[name] = WorkloadSpec(
+            name=name,
+            family=family,
+            version=str(version),
+            description=doc,
+            builder=builder,
+        )
+        for alias in new_aliases:
+            _ALIASES[alias] = name
+        return builder
+
+    return decorator
+
+
+def register_workload_family(
+    name: str,
+    resolver: Optional[Callable[[str], WorkloadSpec]] = None,
+    *,
+    version: str = "1",
+    description: str = "",
+    grammar: str = "",
+    default_variants: Sequence[str] = (),
+) -> Union[WorkloadFamily, Callable[[Callable[[str], WorkloadSpec]], WorkloadFamily]]:
+    """Register a parameterized workload family (usable as a decorator).
+
+    The ``resolver`` maps the argument string after ``@`` to a
+    :class:`WorkloadSpec`; results are memoized per canonical name, so a
+    resolver only runs once per distinct design point.  Returns the
+    registered :class:`WorkloadFamily` (or a decorator when ``resolver`` is
+    omitted).
+    """
+    key = _normalize(name)
+
+    def register(fn: Callable[[str], WorkloadSpec]) -> WorkloadFamily:
+        _load_builtin_workloads()
+        if key in _FAMILIES:
+            raise WorkloadError(f"workload family '{key}' is already registered")
+        family = WorkloadFamily(
+            name=key,
+            version=str(version),
+            description=description or (fn.__doc__ or "").strip().partition("\n")[0],
+            grammar=grammar or f"{key}@<args>",
+            resolver=fn,
+            default_variants=tuple(default_variants),
+        )
+        _FAMILIES[key] = family
+        return family
+
+    if resolver is None:
+        return register
+    return register(resolver)
+
+
+def unregister_workload(name: str) -> WorkloadSpec:
+    """Remove a fixed registry entry (mainly for tests and plugin teardown)."""
+    spec = resolve_workload(name)
+    if spec.name not in _REGISTRY:
+        raise WorkloadError(
+            f"'{spec.name}' is a family-resolved workload, not a registered "
+            "entry; only registered workloads can be unregistered"
+        )
+    del _REGISTRY[spec.name]
+    for alias in [a for a, target in _ALIASES.items() if target == spec.name]:
+        del _ALIASES[alias]
+    # Family spellings memoized onto this spec (a family's default point
+    # resolves to its builtin) must re-resolve, or a re-registration with a
+    # bumped version would keep serving the stale spec — and its stale
+    # cache-key version — through those spellings.
+    for key in [k for k, memoized in _RESOLVED.items() if memoized is spec]:
+        del _RESOLVED[key]
+    _MODELS.pop(spec.name, None)
+    return spec
 
 
 def workload_names() -> Tuple[str, ...]:
-    """Canonical names of the evaluated GANs, in the paper's figure order."""
-    return tuple(WORKLOAD_BUILDERS)
+    """Canonical names of every registered workload, in registration order.
 
-
-def get_workload(name: str) -> GANModel:
-    """Build (or fetch from cache) the GAN model called ``name``.
-
-    ``name`` may be the canonical paper name (e.g. ``"GP-GAN"``) or a relaxed
-    lower-case alias (``"gpgan"``).
+    The six paper GANs come first, in the paper's figure order; family
+    instances resolved from spec strings are *not* listed (they are
+    unbounded) — discover families via :func:`workload_families`.
     """
-    canonical = _canonical_name(name)
-    if canonical not in _CACHE:
-        _CACHE[canonical] = WORKLOAD_BUILDERS[canonical]()
-    return _CACHE[canonical]
+    _load_builtin_workloads()
+    return tuple(_REGISTRY)
+
+
+def workload_families() -> Tuple[str, ...]:
+    """Every registered family name, sorted for stable listings."""
+    _load_builtin_workloads()
+    return tuple(sorted(_FAMILIES))
+
+
+def get_workload_family(name: str) -> WorkloadFamily:
+    """Look up one workload family; unknown names raise a helpful error."""
+    _load_builtin_workloads()
+    family = _FAMILIES.get(_normalize(name))
+    if family is None:
+        raise UnknownWorkloadError(name, workload_names(), workload_families())
+    return family
+
+
+def resolve_workload(spec: Union[str, WorkloadSpec]) -> WorkloadSpec:
+    """Resolve a workload spec string (or pass a spec through) to its entry.
+
+    ``spec`` may be a registered name (``"DCGAN"``), a relaxed alias
+    (``"gp-gan"``), or a family spec string (``"dcgan@32x32"``,
+    ``"synthetic@d8c256"``).  Family resolutions are memoized under both the
+    requested spelling and the canonical name, so equivalent spellings share
+    one spec, one built model and one cache identity.
+    """
+    if isinstance(spec, WorkloadSpec):
+        return spec
+    _load_builtin_workloads()
+    name = str(spec).strip()
+    if not name:
+        raise WorkloadError("workload spec must be non-empty")
+    key = name.lower()
+    if "@" in name:
+        memoized = _RESOLVED.get(key)
+        if memoized is not None:
+            return memoized
+        family_name, _, args = name.partition("@")
+        family = get_workload_family(family_name)
+        resolved = family.resolve(args)
+        # Equivalent spellings must share one spec object (and therefore one
+        # cached model): reuse the entry memoized under the canonical name.
+        canonical_key = resolved.name.lower()
+        resolved = _RESOLVED.setdefault(canonical_key, resolved)
+        _RESOLVED[key] = resolved
+        return resolved
+    canonical = _ALIASES.get(key) or _ALIASES.get(key.replace("-", "").replace("_", ""))
+    if canonical is not None:
+        return _REGISTRY[canonical]
+    raise UnknownWorkloadError(name, workload_names(), workload_families())
+
+
+def get_workload(spec: Union[str, WorkloadSpec]) -> GANModel:
+    """Build (or fetch from cache) the workload described by ``spec``.
+
+    Models are cached per canonical spec name: building only involves shape
+    arithmetic and is cheap but not free, and a shared instance lets the
+    fingerprint memoization in :mod:`repro.analysis.serialization` make warm
+    cache lookups O(1).
+    """
+    resolved = resolve_workload(spec)
+    model = _MODELS.get(resolved.name)
+    if model is None:
+        model = resolved.build()
+        _MODELS[resolved.name] = model
+    return model
 
 
 def all_workloads() -> List[GANModel]:
-    """All six GAN models, in the paper's figure order."""
+    """Every registered workload's model, in registration (paper) order."""
     return [get_workload(name) for name in workload_names()]
+
+
+def prime_workload_cache(spec: WorkloadSpec, model: GANModel) -> None:
+    """Seed the model cache with an already-built instance of ``spec``.
+
+    Used by family resolvers, whose fail-fast validation already constructs
+    the model: priming makes that build *the* cached instance instead of
+    discarding it.  A mismatched name is rejected — the cache is keyed by
+    spec identity.
+    """
+    if model.name != spec.name:
+        raise WorkloadError(
+            f"cannot prime cache for '{spec.name}' with a model named "
+            f"'{model.name}'"
+        )
+    _MODELS.setdefault(spec.name, model)
+
+
+def workload_version_for(model: GANModel) -> str:
+    """The registered cache-key version of ``model``, or ``""`` if ad hoc.
+
+    A model participates in a registered identity when its name resolves in
+    the registry (including memoized family instances) *and* its structural
+    fingerprint matches the registered builder's output — so a hand-built
+    model that merely reuses a registry name never inherits that entry's
+    version (its own fingerprint already sets it apart).
+    """
+    _load_builtin_workloads()
+    try:
+        spec = resolve_workload(model.name)
+    except WorkloadError:
+        return ""
+    from ..analysis.serialization import workload_fingerprint
+
+    if workload_fingerprint(get_workload(spec)) != workload_fingerprint(model):
+        return ""
+    return spec.version
+
+
+def describe_workloads() -> List[Dict[str, object]]:
+    """Registry metadata for every registered workload (for listings)."""
+    return [resolve_workload(name).describe() for name in workload_names()]
+
+
+def describe_workload_families() -> List[Dict[str, object]]:
+    """Registry metadata for every workload family (for listings)."""
+    return [get_workload_family(name).describe() for name in workload_families()]
+
+
+def expand_workload_family(
+    family: str, variants: Optional[Sequence[str]] = None
+) -> List[str]:
+    """Spec strings covering a family: explicit ``variants`` or its defaults.
+
+    Each variant may be a bare argument string (``"d4c64"``) or a full spec
+    string (``"synthetic@d4c64"``); bare arguments are prefixed with the
+    family name.  Used by :meth:`repro.Session.explore` to target a workload
+    family as part of the searched space.
+    """
+    entry = get_workload_family(family)
+    args_list = tuple(variants) if variants is not None else entry.default_variants
+    if not args_list:
+        raise WorkloadError(
+            f"workload family '{entry.name}' declares no default variants; "
+            "pass explicit variants"
+        )
+    specs = []
+    for args in args_list:
+        spec = args if "@" in str(args) else f"{entry.name}@{args}"
+        specs.append(resolve_workload(spec).name)
+    return specs
 
 
 def clear_cache() -> None:
     """Drop cached models (used by tests that mutate nothing but want isolation)."""
-    _CACHE.clear()
-
-
-def _canonical_name(name: str) -> str:
-    if name in WORKLOAD_BUILDERS:
-        return name
-    key = name.strip().lower().replace("_", "-")
-    if key in _ALIASES:
-        return _ALIASES[key]
-    key = key.replace("-", "")
-    if key in _ALIASES:
-        return _ALIASES[key]
-    raise WorkloadError(
-        f"unknown workload '{name}'; known workloads: {', '.join(workload_names())}"
-    )
+    _MODELS.clear()

@@ -1,0 +1,176 @@
+"""Synthetic stress-generator workloads: parameterized DCGAN-style stacks.
+
+The paper evaluates six published GANs; this module opens the workload axis
+to *generated* scenarios.  :func:`build_synthetic` constructs a DCGAN-style
+generator/discriminator pair from four structural knobs:
+
+* ``depth`` — number of transposed-convolution blocks in the generator;
+* ``base_channels`` — channel width of the 4x4 seed (the plan halves after
+  each upsampling block, exactly like the paper workloads);
+* ``stride`` / ``kernel`` — upsampling geometry of the stride-s blocks;
+* ``upsample_percent`` — the **zero-density knob**: the percentage of blocks
+  that upsample (and therefore insert zeros under the paper's Figure 3
+  formulation); the rest are stride-1 3x3 refinement blocks contributing no
+  inconsequential MACs, as in MAGAN.
+
+Sweeping ``upsample_percent`` from 0 to 100 moves the workload from a
+MAGAN-like worst case for GANAX to a 3D-GAN-like best case, which makes the
+family the natural stress harness for sweeps and design-space exploration.
+Spec strings such as ``synthetic@d8c256`` resolve through the ``synthetic``
+registry family (see :mod:`repro.workloads.families`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import WorkloadError
+from ..nn.network import GANModel
+from ..nn.shapes import FeatureMapShape
+from .builder import (
+    build_discriminator,
+    build_generator,
+    conv_stack,
+    doubling_channel_plan,
+    tconv_stack,
+)
+
+#: Default knob values (the family's canonical rendering skips these).
+DEFAULTS = {
+    "depth": 6,
+    "base_channels": 128,
+    "kernel": 4,
+    "stride": 2,
+    "upsample_percent": 50,
+    "latent_dim": 100,
+}
+
+SEED_EXTENT = 4
+#: Geometry of the stride-1 refinement blocks (3x3, extent-preserving).
+REFINE_KERNEL, REFINE_PADDING = 3, 1
+
+
+def upsample_schedule(depth: int, upsample_percent: int) -> Tuple[bool, ...]:
+    """Which of the ``depth`` blocks upsample, spread evenly MAGAN-style.
+
+    ``round(depth * upsample_percent / 100)`` blocks upsample; the True
+    entries are distributed so upsampling and refinement blocks interleave.
+    """
+    upsamples = round(depth * upsample_percent / 100)
+    return tuple(
+        (i + 1) * upsamples // depth > i * upsamples // depth for i in range(depth)
+    )
+
+
+def _upsample_geometry(kernel: int, stride: int) -> Tuple[int, int]:
+    """(padding, output_padding) making a stride-s block scale extents by s.
+
+    Solves ``(n-1)*s - 2p + k + op == s*n`` with ``0 <= op < s``.
+    """
+    padding = max(0, (kernel - stride + 1) // 2)
+    output_padding = stride - kernel + 2 * padding
+    if not 0 <= output_padding < max(stride, 1):
+        raise WorkloadError(
+            f"no exact-upsampling geometry for kernel={kernel}, stride={stride}"
+        )
+    return padding, output_padding
+
+
+def build_synthetic(
+    depth: int = DEFAULTS["depth"],
+    base_channels: int = DEFAULTS["base_channels"],
+    kernel: int = DEFAULTS["kernel"],
+    stride: int = DEFAULTS["stride"],
+    upsample_percent: int = DEFAULTS["upsample_percent"],
+    latent_dim: int = DEFAULTS["latent_dim"],
+) -> GANModel:
+    """Build one synthetic stress GAN from the structural knobs.
+
+    The generator is ``depth`` transposed-convolution blocks over a 4x4 seed
+    of ``base_channels`` channels; the discriminator is a stride-2 conv
+    stack taking the generated image back toward the seed extent.
+    """
+    if not 1 <= depth <= 12:
+        raise WorkloadError(f"synthetic depth must be in [1, 12], got {depth}")
+    if base_channels < 8:
+        raise WorkloadError(
+            f"synthetic base_channels must be >= 8, got {base_channels}"
+        )
+    if not 2 <= kernel <= 7:
+        raise WorkloadError(f"synthetic kernel must be in [2, 7], got {kernel}")
+    if stride not in (1, 2, 4):
+        raise WorkloadError(f"synthetic stride must be 1, 2 or 4, got {stride}")
+    if not 0 <= upsample_percent <= 100:
+        raise WorkloadError(
+            f"synthetic upsample_percent must be in [0, 100], got {upsample_percent}"
+        )
+    if latent_dim < 1:
+        raise WorkloadError(f"synthetic latent_dim must be >= 1, got {latent_dim}")
+
+    schedule = upsample_schedule(depth, upsample_percent)
+    up_padding, up_output_padding = _upsample_geometry(kernel, stride)
+
+    channel_plan: List[int] = []
+    kernels: List[int] = []
+    strides: List[int] = []
+    paddings: List[int] = []
+    output_paddings: List[int] = []
+    channels = base_channels
+    for upsamples in schedule:
+        if upsamples:
+            channels = max(8, channels // 2)
+            kernels.append(kernel)
+            strides.append(stride)
+            paddings.append(up_padding)
+            output_paddings.append(up_output_padding)
+        else:
+            kernels.append(REFINE_KERNEL)
+            strides.append(1)
+            paddings.append(REFINE_PADDING)
+            output_paddings.append(0)
+        channel_plan.append(channels)
+    channel_plan[-1] = 3  # final block renders the image
+
+    generator = build_generator(
+        "synthetic_generator",
+        latent_dim,
+        FeatureMapShape.image(
+            channels=base_channels, height=SEED_EXTENT, width=SEED_EXTENT
+        ),
+        tconv_stack(
+            channel_plan=channel_plan,
+            kernel=kernels,
+            stride=strides,
+            padding=paddings,
+            output_padding=output_paddings,
+            prefix="tconv",
+        ),
+    )
+
+    image_extent = generator.output_shape.spatial[0]
+    # One stride-2 conv per upsampling block, but never more halvings than
+    # the image extent admits (stride-1 generators stay at the seed extent).
+    down_blocks = min(
+        max(1, sum(schedule)), max(1, image_extent.bit_length() - 1)
+    )
+    discriminator = build_discriminator(
+        "synthetic_discriminator",
+        FeatureMapShape.image(channels=3, height=image_extent, width=image_extent),
+        conv_stack(
+            channel_plan=doubling_channel_plan(down_blocks, base_channels),
+            kernel=4,
+            stride=2,
+            padding=1,
+            prefix="conv",
+        ),
+    )
+    return GANModel(
+        name="synthetic",
+        generator=generator,
+        discriminator=discriminator,
+        year=0,
+        description=(
+            f"synthetic stress GAN: depth {depth}, base width {base_channels}, "
+            f"{sum(schedule)}/{depth} stride-{stride} upsampling blocks"
+        ),
+    )

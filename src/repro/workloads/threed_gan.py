@@ -16,11 +16,23 @@ from __future__ import annotations
 
 from ..nn.network import GANModel, Network
 from ..nn.shapes import FeatureMapShape
-from .builder import build_discriminator, build_generator, conv_stack, tconv_stack
+from .builder import (
+    build_discriminator,
+    build_generator,
+    conv_stack,
+    doubling_channel_plan,
+    halving_channel_plan,
+    tconv_stack,
+    upsampling_block_count,
+)
 
 LATENT_DIM = 200
-SEED_SHAPE = FeatureMapShape.volume(channels=512, depth=4, height=4, width=4)
-VOXEL_SHAPE = FeatureMapShape.volume(channels=1, depth=64, height=64, width=64)
+BASE_CHANNELS = 512
+GRID_SIZE = 64
+SEED_SHAPE = FeatureMapShape.volume(channels=BASE_CHANNELS, depth=4, height=4, width=4)
+VOXEL_SHAPE = FeatureMapShape.volume(
+    channels=1, depth=GRID_SIZE, height=GRID_SIZE, width=GRID_SIZE
+)
 
 
 def build_threed_gan_generator() -> Network:
@@ -58,4 +70,52 @@ def build_threed_gan() -> GANModel:
         discriminator=build_threed_gan_discriminator(),
         year=2016,
         description="3D objects generation",
+    )
+
+
+def build_threed_gan_variant(
+    size: int = GRID_SIZE,
+    base_channels: int = BASE_CHANNELS,
+    latent_dim: int = LATENT_DIM,
+) -> GANModel:
+    """A scaled 3D-GAN: the paper recipe at another voxel-grid resolution.
+
+    One stride-2 4x4x4 3-D transposed convolution per doubling of the 4x4x4
+    seed; the three-axis zero insertion makes this family the stress case
+    for inconsequential-MAC fractions.  Backs the ``3dgan@...`` workload
+    family (see :mod:`repro.workloads.families`).
+    """
+    blocks = upsampling_block_count(size)
+    generator = build_generator(
+        "3dgan_generator",
+        latent_dim,
+        FeatureMapShape.volume(channels=base_channels, depth=4, height=4, width=4),
+        tconv_stack(
+            channel_plan=halving_channel_plan(blocks, base_channels, 1, floor=8),
+            kernel=4,
+            stride=2,
+            padding=1,
+            rank=3,
+            final_activation="sigmoid",
+            prefix="tconv3d",
+        ),
+    )
+    discriminator = build_discriminator(
+        "3dgan_discriminator",
+        FeatureMapShape.volume(channels=1, depth=size, height=size, width=size),
+        conv_stack(
+            channel_plan=doubling_channel_plan(blocks + 1, base_channels),
+            kernel=4,
+            stride=2,
+            padding=1,
+            rank=3,
+            prefix="conv3d",
+        ),
+    )
+    return GANModel(
+        name="3D-GAN",
+        generator=generator,
+        discriminator=discriminator,
+        year=2016,
+        description=f"3D-GAN recipe on a {size}^3 grid, base width {base_channels}",
     )

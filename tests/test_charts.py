@@ -103,3 +103,74 @@ class TestStackedChart:
         segments = tuple("abcdefgh")
         with pytest.raises(AnalysisError):
             stacked_chart("T", {"row": {s: 0.1 for s in segments}}, segments=segments)
+
+
+class TestRegistryAwareCharts:
+    """multi_comparison_chart / frontier_chart over arbitrary registry sets."""
+
+    @pytest.fixture(scope="class")
+    def comparisons(self):
+        from repro.runner import SimulationRunner
+        from repro.workloads.registry import get_workload
+
+        runner = SimulationRunner()
+        return runner.compare_accelerators(
+            [get_workload("DCGAN")],
+            ("eyeriss", "ganax", "ideal"),
+            baseline="eyeriss",
+        )
+
+    def test_one_bar_per_model_accelerator(self, comparisons):
+        from repro.analysis.charts import multi_comparison_chart
+
+        chart = multi_comparison_chart("Speedup", comparisons)
+        assert "DCGAN/ganax" in chart
+        assert "DCGAN/ideal" in chart
+        assert "DCGAN/eyeriss" not in chart  # baseline skipped by default
+        chart = multi_comparison_chart(
+            "Speedup", comparisons, include_baseline=True
+        )
+        assert "DCGAN/eyeriss" in chart and "1.00x" in chart
+
+    def test_utilization_metric_uses_percent_scale(self, comparisons):
+        from repro.analysis.charts import multi_comparison_chart
+
+        chart = multi_comparison_chart(
+            "Utilization", comparisons, metric="pe_utilization"
+        )
+        assert "%" in chart
+
+    def test_unknown_metric_rejected(self, comparisons):
+        from repro.analysis.charts import multi_comparison_chart
+
+        with pytest.raises(AnalysisError):
+            multi_comparison_chart("T", comparisons, metric="latency")
+
+    def test_empty_comparisons_rejected(self):
+        from repro.analysis.charts import multi_comparison_chart
+
+        with pytest.raises(AnalysisError):
+            multi_comparison_chart("T", {})
+
+    def test_frontier_chart_marks_frontier_points(self):
+        from repro.analysis.charts import frontier_chart
+        from repro.dse import DesignPoint, EvaluatedPoint, Objective, ParetoFrontier
+
+        objectives = (Objective("speedup", "max"), Objective("area", "min"))
+        points = [
+            EvaluatedPoint(
+                point=DesignPoint.from_mapping({"num_pvs": pvs}),
+                objectives={"speedup": speedup, "area": area},
+            )
+            for pvs, speedup, area in [(8, 2.0, 1.0), (16, 1.0, 1.0)]
+        ]
+        frontier = ParetoFrontier(objectives, points)
+        chart = frontier_chart("DSE", frontier)
+        assert "[speedup]" in chart
+        assert "num_pvs=8 *" in chart  # the winner is marked
+        assert "num_pvs=16" in chart and "num_pvs=16 *" not in chart
+        assert "Pareto frontier" in chart
+        by_area = frontier_chart("DSE", frontier, objective="area")
+        assert "[area]" in by_area
+        with pytest.raises(AnalysisError):
+            frontier_chart("DSE", frontier, objective="latency")

@@ -282,3 +282,145 @@ class TestCachePruneCli:
     def test_max_bytes_rejected_elsewhere(self, capsys):
         assert main(["compare", "--max-bytes", "10"]) == 2
         assert "'cache-prune'" in capsys.readouterr().err
+
+
+class TestWorkloadOptions:
+    def test_parse_workload_list_resolves_specs(self):
+        from repro.cli import parse_workload_list
+
+        assert parse_workload_list(None) is None
+        assert parse_workload_list(" DCGAN , dcgan@size=32 ") == (
+            "DCGAN",
+            "dcgan@32x32",
+        )
+
+    def test_parse_workload_list_unknown_name_message(self):
+        from repro.cli import parse_workload_list
+        from repro.errors import UnknownWorkloadError
+
+        with pytest.raises(UnknownWorkloadError) as excinfo:
+            parse_workload_list("DCGAN,StyleGAN")
+        message = str(excinfo.value)
+        assert "unknown workload 'StyleGAN'" in message
+        assert "DCGAN" in message and "synthetic" in message
+
+    def test_list_workloads_prints_registry_and_families(self, capsys):
+        from repro.workloads import workload_names
+
+        assert main(["list-workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in workload_names():
+            assert name in out
+        assert "synthetic@" in out and "families" in out
+
+    def test_list_workloads_json_is_machine_readable(self, capsys):
+        from repro.workloads import workload_families, workload_names
+
+        assert main(["list-workloads", "--json", "-"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = [entry["name"] for entry in payload["workloads"]]
+        assert names == list(workload_names())
+        families = {entry["name"]: entry for entry in payload["families"]}
+        assert set(families) == set(workload_families())
+        assert families["synthetic"]["grammar"].startswith("synthetic@")
+        assert families["synthetic"]["default_variants"]
+
+    def test_compare_with_workload_specs(self, capsys):
+        assert (
+            main(
+                [
+                    "compare",
+                    "--workloads",
+                    "dcgan@64x64,synthetic@d4c64",
+                    "--accelerators",
+                    "eyeriss,ganax",
+                    "--json",
+                    "-",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)["compare"]
+        assert set(payload["models"]) == {"DCGAN", "synthetic@d4c64"}
+        assert payload["models"]["synthetic@d4c64"]["ganax"]["speedup"] > 1.0
+
+    def test_compare_unknown_workload_is_clean_error(self, capsys):
+        assert main(["compare", "--workloads", "stylegan"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload 'stylegan'" in err
+
+    def test_compare_with_only_the_baseline_stays_table_only(self, capsys):
+        """A baseline-only comparison has no chart bars but must still work."""
+        assert main(["compare", "--accelerators", "eyeriss"]) == 0
+        out = capsys.readouterr().out
+        assert "DCGAN" in out
+        assert "Generator speedup" not in out  # chart skipped, not crashed
+
+    def test_workloads_flag_rejected_elsewhere(self, capsys):
+        assert main(["figure8", "--workloads", "DCGAN"]) == 2
+        err = capsys.readouterr().err
+        assert "'compare'" in err and "'sweep'" in err and "'dse'" in err
+
+
+class TestSweepCli:
+    def test_sweep_json_payload(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--parameter",
+                    "num_pvs",
+                    "--values",
+                    "8,16",
+                    "--workloads",
+                    "synthetic@d4c64",
+                    "--accelerators",
+                    "eyeriss,ganax",
+                    "--json",
+                    "-",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)["sweep"]
+        assert payload["parameter"] == "num_pvs"
+        assert payload["values"] == [8, 16]
+        assert set(payload["points"]) == {"num_pvs=8", "num_pvs=16"}
+        point = payload["points"]["num_pvs=8"]["synthetic@d4c64"]
+        assert point["ganax"]["speedup"] > 1.0
+
+    def test_sweep_requires_parameter_and_values(self, capsys):
+        assert main(["sweep", "--values", "8"]) == 2
+        assert "--parameter" in capsys.readouterr().err
+        assert main(["sweep", "--parameter", "num_pvs"]) == 2
+        assert "--values" in capsys.readouterr().err
+
+    def test_sweep_unknown_field_is_clean_error(self, capsys):
+        assert main(["sweep", "--parameter", "warp_speed", "--values", "1"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_sweep_flags_rejected_elsewhere(self, capsys):
+        assert main(["figure8", "--parameter", "num_pvs"]) == 2
+        assert "'sweep'" in capsys.readouterr().err
+        assert main(["compare", "--values", "8"]) == 2
+        assert "'sweep'" in capsys.readouterr().err
+
+
+class TestDseWorkloads:
+    def test_dse_over_a_synthetic_workload(self, capsys):
+        assert (
+            main(
+                [
+                    "dse",
+                    "--fields",
+                    "num_pvs",
+                    "--workloads",
+                    "synthetic@d4c64",
+                    "--json",
+                    "-",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)["dse"]
+        assert payload["frontier"]

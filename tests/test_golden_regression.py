@@ -16,9 +16,10 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.metrics import geometric_mean
+from repro.analysis.serialization import workload_fingerprint
 from repro.config import ArchitectureConfig
 from repro.runner import SimulationRunner
-from repro.workloads.registry import all_workloads, workload_names
+from repro.workloads.registry import all_workloads, get_workload, workload_names
 
 #: model -> (generator speedup, generator energy reduction) on paper defaults,
 #: captured from the seed (git 056798f).
@@ -57,6 +58,19 @@ VARIANT_GOLDEN = {
     },
 }
 
+#: model -> structural fingerprint (the runner-cache workload identity),
+#: captured from the seed models before the workload registry redesign.  The
+#: registry must keep building byte-identical structures for the six paper
+#: specs whatever happens to the builder plumbing.
+GOLDEN_FINGERPRINTS = {
+    "3D-GAN": "021f6abdb495d889d284f5744a168231774dbe3f32f0afb829faacc6c2c78ff8",
+    "ArtGAN": "797141e7e412b53e4322e18de849bc3a7de6f1b23344b6dacca758b851c89d13",
+    "DCGAN": "c98e8fc5dbea2ae4696ba686404403ce230f837e95bce1f1baacbde1e2f03469",
+    "DiscoGAN": "23fa143417378c14bc4b8773252475a61b7ecd4d139765f11dcb2a147d8f8065",
+    "GP-GAN": "ac6956bbd8359faa7dcfab4c5c380d80094180507f013312888ba369ca1b62a6",
+    "MAGAN": "6adace1f37f0392d75dca0b757232c265e107e8c61dd2de26795b59cab1d8d84",
+}
+
 RELATIVE_TOLERANCE = 1e-12
 
 
@@ -79,6 +93,38 @@ def variant_comparisons():
 
 def test_golden_covers_all_registered_workloads():
     assert set(GOLDEN) == set(workload_names())
+
+
+@pytest.mark.parametrize("model_name", sorted(GOLDEN_FINGERPRINTS))
+def test_workload_fingerprints_pinned(model_name):
+    """Registry-built paper specs stay byte-identical to the seed models."""
+    assert (
+        workload_fingerprint(get_workload(model_name))
+        == GOLDEN_FINGERPRINTS[model_name]
+    )
+
+
+@pytest.mark.parametrize("model_name", sorted(GOLDEN_FINGERPRINTS))
+def test_family_default_specs_are_the_paper_workloads(model_name):
+    """The families' default points resolve to the pinned paper fingerprints."""
+    from repro.workloads.registry import resolve_workload
+
+    family = resolve_workload(model_name).family
+    spec = resolve_workload(model_name)
+    assert resolve_workload(f"{model_name}") is spec
+    default_spellings = {
+        "3dgan": "3dgan@64x64x64",
+        "artgan": "artgan@128x128",
+        "dcgan": "dcgan@64x64",
+        "discogan": "discogan@64x64",
+        "gpgan": "gpgan@64x64",
+        "magan": "magan@ch512",
+    }
+    assert resolve_workload(default_spellings[family]) is spec
+    assert (
+        workload_fingerprint(get_workload(default_spellings[family]))
+        == GOLDEN_FINGERPRINTS[model_name]
+    )
 
 
 @pytest.mark.parametrize("model_name", sorted(GOLDEN))

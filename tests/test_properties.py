@@ -455,3 +455,101 @@ class TestParetoFrontierProperties:
         assert ParetoFrontier(PARETO_OBJECTIVES, shuffled) == reference
         duplicated = points + shuffled + points
         assert ParetoFrontier(PARETO_OBJECTIVES, duplicated) == reference
+
+
+# ----------------------------------------------------------------------
+# Workload registry invariants (repro.workloads.registry)
+# ----------------------------------------------------------------------
+from repro.errors import WorkloadError  # noqa: E402
+from repro.workloads.registry import (  # noqa: E402
+    clear_cache,
+    get_workload,
+    register_workload,
+    resolve_workload,
+    unregister_workload,
+    workload_names,
+)
+
+#: Strategy over valid synthetic-family spec strings.  Stride 1 with an even
+#: kernel is the one knob combination without an exact extent-preserving
+#: geometry (output_padding must be < stride), so it is filtered out.
+synthetic_specs = (
+    st.tuples(
+        st.integers(min_value=1, max_value=8),
+        st.sampled_from([8, 16, 64, 128]),
+        st.sampled_from([2, 3, 4, 5]),
+        st.sampled_from([1, 2, 4]),
+        st.integers(min_value=0, max_value=100),
+    )
+    .filter(lambda knobs: not (knobs[3] == 1 and knobs[2] % 2 == 0))
+    .map(lambda knobs: "synthetic@d{}c{}k{}s{}z{}".format(*knobs))
+)
+
+#: Paper workload spellings: canonical names plus relaxed aliases and the
+#: families' default-point spec strings, which must all converge.
+paper_spellings = st.sampled_from(
+    [
+        ("DCGAN", "dcgan", "DcGaN", "dcgan@64x64", "dcgan@size=64"),
+        ("GP-GAN", "gpgan", "gp_gan", "gpgan@64x64"),
+        ("3D-GAN", "3dgan", "threedgan", "3dgan@64x64x64"),
+        ("ArtGAN", "artgan", "artgan@128x128", "artgan@ch1024"),
+        ("MAGAN", "magan", "magan@ch512"),
+        ("DiscoGAN", "discogan", "discogan@64x64"),
+    ]
+)
+
+
+class TestWorkloadRegistryProperties:
+    @given(synthetic_specs)
+    @settings(max_examples=40, deadline=None)
+    def test_fingerprint_stable_across_registry_roundtrips(self, spec):
+        """Resolve -> build -> clear -> rebuild must fingerprint identically."""
+        first = workload_fingerprint(get_workload(spec))
+        clear_cache()
+        rebuilt = get_workload(spec)
+        assert workload_fingerprint(rebuilt) == first
+        # and the memoized spec still names the same canonical point
+        assert resolve_workload(spec).name == rebuilt.name
+
+    @given(synthetic_specs)
+    @settings(max_examples=40, deadline=None)
+    def test_resolution_is_canonical_and_idempotent(self, spec):
+        resolved = resolve_workload(spec)
+        assert resolve_workload(resolved.name) is resolved
+        assert resolve_workload(spec.upper()) is resolved
+
+    @given(paper_spellings)
+    @settings(max_examples=24, deadline=None)
+    def test_equivalent_spellings_converge_on_one_spec(self, spellings):
+        canonical = resolve_workload(spellings[0])
+        for spelling in spellings[1:]:
+            assert resolve_workload(spelling) is canonical
+
+    def test_workload_names_equals_spec_resolution(self):
+        """Every listed name resolves to a spec carrying exactly that name."""
+        for name in workload_names():
+            assert resolve_workload(name).name == name
+
+    @given(st.text(alphabet="abcdefgh-", min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_duplicate_registration_always_raises(self, raw_name):
+        name = f"prop-{raw_name.strip('-') or 'x'}"
+        builder = lambda: None  # noqa: E731 - never built
+        register_workload(name)(builder)
+        try:
+            with pytest.raises(WorkloadError):
+                register_workload(name)(builder)
+            with pytest.raises(WorkloadError):
+                register_workload(name.upper())(builder)
+        finally:
+            unregister_workload(name)
+
+    def test_registration_order_is_preserved(self):
+        names = [f"prop-order-{i}" for i in range(5)]
+        for name in names:
+            register_workload(name)(lambda: None)
+        try:
+            assert list(workload_names())[-len(names):] == names
+        finally:
+            for name in names:
+                unregister_workload(name)

@@ -603,3 +603,121 @@ class TestSession:
         session = Session(accelerators=["ganax", "ideal"])
         described = session.describe()
         assert [entry["name"] for entry in described] == ["ganax", "ideal"]
+
+
+# ----------------------------------------------------------------------
+# Workload registry integration: spec strings + versioned cache keys
+# ----------------------------------------------------------------------
+class TestJobWorkloadResolution:
+    def test_spec_string_resolves_through_the_registry(self, paper_config, options):
+        job = SimulationJob("DCGAN", "ganax", paper_config, options)
+        assert job.model_name == "DCGAN"
+        assert job.workload_version == "1"
+
+    def test_spec_string_and_model_instance_share_one_cache_key(
+        self, dcgan_model, paper_config, options
+    ):
+        by_name = SimulationJob("DCGAN", "ganax", paper_config, options)
+        by_model = SimulationJob(dcgan_model, "ganax", paper_config, options)
+        by_family = SimulationJob("dcgan@64x64", "ganax", paper_config, options)
+        assert by_name.cache_key == by_model.cache_key == by_family.cache_key
+
+    def test_unknown_spec_string_raises(self, paper_config, options):
+        from repro.errors import UnknownWorkloadError
+
+        with pytest.raises(UnknownWorkloadError):
+            SimulationJob("StyleGAN", "ganax", paper_config, options)
+
+    def test_family_spec_jobs_execute(self, paper_config, options):
+        job = SimulationJob("synthetic@d4c64", "ganax", paper_config, options)
+        result = execute_job(job)
+        assert result.model_name == "synthetic@d4c64"
+        assert result.generator.cycles > 0
+
+    def test_workload_version_is_folded_into_the_cache_key(
+        self, dcgan_model, paper_config, options
+    ):
+        """Two jobs differing only in workload_version never share a cache entry."""
+        base = SimulationJob(dcgan_model, "ganax", paper_config, options)
+        bumped = SimulationJob(
+            dcgan_model, "ganax", paper_config, options, workload_version="2"
+        )
+        assert base.workload_version == "1"
+        assert bumped.cache_key != base.cache_key
+
+    def test_version_bump_through_the_registry_invalidates_cached_results(
+        self, paper_config, options
+    ):
+        from repro.workloads.registry import (
+            register_workload,
+            unregister_workload,
+        )
+        from repro.workloads.dcgan import build_dcgan
+
+        register_workload("vbump-gan", version="1")(build_dcgan)
+        try:
+            before = SimulationJob("vbump-gan", "ganax", paper_config, options)
+            assert before.workload_version == "1"
+        finally:
+            unregister_workload("vbump-gan")
+        register_workload("vbump-gan", version="2")(build_dcgan)
+        try:
+            after = SimulationJob("vbump-gan", "ganax", paper_config, options)
+            assert after.workload_version == "2"
+            # same structure, same fingerprint — but the bumped version
+            # separates the cache generations
+            assert after.cache_key != before.cache_key
+        finally:
+            unregister_workload("vbump-gan")
+
+    def test_adhoc_models_carry_an_empty_version(self, paper_config, options):
+        import dataclasses
+
+        from repro.workloads.registry import get_workload
+
+        adhoc = dataclasses.replace(get_workload("DCGAN"), name="my-own-gan")
+        job = SimulationJob(adhoc, "ganax", paper_config, options)
+        assert job.workload_version == ""
+
+
+class TestSessionWorkloadSpecs:
+    def test_session_accepts_family_spec_strings(self):
+        runner = SimulationRunner()
+        session = Session(runner=runner)
+        multi = session.compare_model("synthetic@d4c64")
+        assert multi.model_name == "synthetic@d4c64"
+        assert multi.generator_speedup("ganax") > 1.0
+
+    def test_compare_model_resolves_exactly_once(self, monkeypatch):
+        session = Session(runner=SimulationRunner())
+        calls = []
+        original = Session._resolve_models
+
+        def counting(models):
+            calls.append(models)
+            return original(models)
+
+        monkeypatch.setattr(Session, "_resolve_models", staticmethod(counting))
+        session.compare_model("DCGAN")
+        assert len(calls) == 1
+
+    def test_explore_targets_a_workload_family(self):
+        runner = SimulationRunner()
+        session = Session(runner=runner)
+        result = session.explore(
+            accelerator="ganax",
+            workload_family="synthetic",
+            workload_variants=("d2c32", "d2c32z100"),
+            overrides={"num_pvs": (8, 16)},
+            fields=("num_pvs",),
+        )
+        assert len(result.evaluated) == 2
+        speedups = result.evaluated[0].metrics["speedups"]
+        assert set(speedups) == {"synthetic@d2c32", "synthetic@d2c32z100"}
+
+    def test_explore_rejects_models_plus_family(self):
+        session = Session(runner=SimulationRunner())
+        with pytest.raises(AnalysisError):
+            session.explore(models=["DCGAN"], workload_family="synthetic")
+        with pytest.raises(AnalysisError):
+            session.explore(workload_variants=("d2c32",))
