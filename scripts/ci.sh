@@ -15,7 +15,11 @@
 #      warm re-search must answer entirely from cache;
 #   5. a workload-registry smoke: `list-workloads --json` must emit valid
 #      JSON covering the six paper workloads and the families, and a
-#      synthetic-family workload must run an end-to-end CLI compare.
+#      synthetic-family workload must run an end-to-end CLI compare;
+#   6. a streaming smoke: `compare --progress --jsonl -` must stream one
+#      valid JSON record per job to stdout and per-job progress lines to
+#      stderr (the streaming benchmark in step 2 separately enforces that
+#      streaming scheduling overhead stays within 10% of batch run_jobs).
 #
 # Usage: scripts/ci.sh [extra pytest args for the tier-1 step]
 set -eu
@@ -28,9 +32,9 @@ export PYTHONPATH
 echo "== tier-1 tests =="
 python -m pytest -x -q -p no:cacheprovider "$@"
 
-echo "== runner + DSE + workload-registry benchmarks (parity + cache contracts) =="
+echo "== runner + DSE + workload + streaming benchmarks (parity + cache + overhead contracts) =="
 python -m pytest benchmarks/bench_runner.py benchmarks/bench_dse.py \
-    benchmarks/bench_workloads.py -q \
+    benchmarks/bench_workloads.py benchmarks/bench_streaming.py -q \
     -p no:cacheprovider --benchmark-disable-gc
 
 echo "== accelerator registry smoke (Session over every registered model) =="
@@ -112,6 +116,32 @@ for name, summary in payload["models"].items():
 print("synthetic compare OK:",
       ", ".join(f"{name}={summary['ganax']['speedup']:.2f}x"
                 for name, summary in payload["models"].items()))
+PY
+
+echo "== streaming smoke (compare --progress --jsonl -) =="
+python -m repro.cli compare \
+    --workloads dcgan@64x64,MAGAN --accelerators eyeriss,ganax \
+    --progress --jsonl - \
+    > "$SMOKE_DIR/stream.jsonl" 2> "$SMOKE_DIR/stream.progress"
+python - "$SMOKE_DIR/stream.jsonl" "$SMOKE_DIR/stream.progress" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1], encoding="utf-8") as handle:
+    records = [json.loads(line) for line in handle if line.strip()]
+assert len(records) == 4, f"expected 4 job records, got {len(records)}"
+for record in records:
+    assert record["event"] in ("completed", "cache-hit"), record
+    assert record["provenance"] in ("executed", "cache", "deduplicated"), record
+    assert record["generator_cycles"] > 0, record
+assert {r["accelerator"] for r in records} == {"eyeriss", "ganax"}
+
+with open(sys.argv[2], encoding="utf-8") as handle:
+    progress = [line for line in handle if line.startswith("[")]
+assert len(progress) == 4, f"expected 4 progress lines, got {len(progress)}"
+assert any(line.startswith("[4/4]") for line in progress), progress
+print("streaming smoke OK:", len(records), "JSONL records,",
+      len(progress), "progress lines")
 PY
 
 echo "CI OK"

@@ -24,7 +24,13 @@ This package implements, from scratch:
   driven search spaces, exhaustive/random/hill-climb strategies and Pareto
   frontiers over speedup, energy and area (``Session.explore``,
   ``repro-experiments dse``), including exploration targeted at a whole
-  workload family.
+  workload family,
+* a **streaming execution API** (:mod:`repro.runner`): ``submit()`` returns a
+  :class:`~repro.runner.BatchHandle` whose ``as_completed()`` yields results
+  as they land, with a typed :class:`~repro.runner.RunnerEvent` stream for
+  live progress, three pluggable backends (serial, process-pool, asyncio),
+  and streaming consumers all the way up — ``Session.stream_compare``,
+  ``ParameterSweep.iter_points``, the CLI's ``--progress`` / ``--jsonl``.
 
 Quick start — the paper's two-point comparison::
 
@@ -44,6 +50,13 @@ workload with synthetic stress scenarios from the workload families::
     multi = session.compare(["DCGAN", "synthetic@d8c256", "synthetic@d8c256z100"])
     print(multi["DCGAN"].generator_speedups())   # per-accelerator, vs eyeriss
     print(multi["synthetic@d8c256z100"].generator_speedups())
+
+Streaming the same comparison — each model's row arrives the moment its
+simulations finish, instead of with the slowest model::
+
+    session = Session(accelerators=accelerator_names())
+    for name, multi in session.stream_compare(["DCGAN", "ArtGAN", "MAGAN"]):
+        print(name, multi.generator_speedups())  # cache hits arrive first
 
 Registering a custom accelerator or workload makes it addressable everywhere
 a name is accepted (jobs, sessions, sweeps, the CLI) — see
@@ -90,7 +103,11 @@ from .errors import ReproError, UnknownAcceleratorError
 from .session import Session
 from .hw import AreaModel, EnergyBreakdown, EnergyModel, EnergyTable, EventCounters
 from .runner import (
+    AsyncioBackend,
+    BatchHandle,
+    JobCompletion,
     ProcessPoolBackend,
+    RunnerEvent,
     SerialBackend,
     SimulationJob,
     SimulationRunner,
@@ -157,7 +174,11 @@ __all__ = [
     "EnergyModel",
     "EnergyTable",
     "EventCounters",
+    "AsyncioBackend",
+    "BatchHandle",
+    "JobCompletion",
     "ProcessPoolBackend",
+    "RunnerEvent",
     "SerialBackend",
     "SimulationJob",
     "SimulationRunner",

@@ -20,12 +20,12 @@ is passed explicitly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence
 
 from ..config import ArchitectureConfig, SimulationOptions
 from ..errors import AnalysisError
 from ..nn.network import GANModel
-from ..runner import SimulationRunner, get_default_runner
+from ..runner import COMPARISON_PAIR, SimulationRunner, get_default_runner
 from .metrics import geometric_mean
 from .results import ComparisonResult, MultiComparison
 
@@ -175,6 +175,53 @@ class ParameterSweep:
         if not labelled_configs:
             raise AnalysisError("a sweep needs at least one configuration")
         return self._build_points(labelled_configs)
+
+    def iter_points(
+        self,
+        parameter: str,
+        values: Sequence[Any],
+        label_format: str = "{parameter}={value}",
+    ) -> Iterator[SweepPoint]:
+        """Yield each :class:`SweepPoint` as soon as its config completes.
+
+        The streaming counterpart of :meth:`run`: the whole grid still joins
+        one runner submission (same deduplication, same cache entries), but
+        a sweep point is yielded the moment every model of *its* configuration
+        has finished, instead of after the slowest point of the whole sweep.
+        Points arrive in completion order — equal to value order with the
+        serial backend — and abandoning the iterator cancels unstarted jobs.
+        """
+        yield from self.iter_configs(
+            build_labelled_configs(parameter, values, self._base_config, label_format)
+        )
+
+    def iter_configs(
+        self, labelled_configs: Mapping[str, ArchitectureConfig]
+    ) -> Iterator[SweepPoint]:
+        """Streaming counterpart of :meth:`run_configs`; see :meth:`iter_points`."""
+        if not labelled_configs:
+            raise AnalysisError("a sweep needs at least one configuration")
+        runner = self._runner or get_default_runner()
+        # Unique names: the stream collapses equivalent workload spellings
+        # (e.g. "DCGAN" and "dcgan@64x64") to one group, exactly as the
+        # batch path's per-name comparison dict does.
+        expected = list(dict.fromkeys(model.name for model in self._models))
+        pending: Dict[str, Dict[str, ComparisonResult]] = {}
+        for label, model_name, multi in runner.stream_accelerators_over_configs(
+            self._models,
+            labelled_configs,
+            COMPARISON_PAIR,
+            baseline="eyeriss",
+            options=self._options,
+        ):
+            per_label = pending.setdefault(label, {})
+            per_label[model_name] = multi.as_comparison()
+            if len(per_label) == len(expected):
+                yield SweepPoint.from_comparisons(
+                    label,
+                    labelled_configs[label],
+                    {name: per_label.pop(name) for name in expected},
+                )
 
     def _build_points(
         self, labelled_configs: Mapping[str, ArchitectureConfig]

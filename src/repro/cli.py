@@ -19,17 +19,32 @@ Installed as ``repro-experiments`` (see ``pyproject.toml``).  Examples::
     repro-experiments cache-prune --cache-dir .sim-cache --max-bytes 10000000
     repro-experiments list-accelerators --json -   # machine-readable registry
     repro-experiments list-workloads --json -      # machine-readable registry
+    repro-experiments all --progress               # live per-job progress
+    repro-experiments compare --progress --jsonl - # stream results as JSONL
+    repro-experiments sweep --parameter num_pvs --values 4,8 --jsonl run.jsonl
+    repro-experiments compare --backend asyncio    # pick a runner backend
 
 Every simulation runs through one shared
 :class:`~repro.runner.SimulationRunner`, so the whole invocation shares a
 content-addressed result cache; ``--parallel`` swaps the serial backend for a
-process pool and ``--cache-dir`` persists results across invocations.  The
-``compare`` and ``sweep`` modes route through :class:`repro.Session`, so any
-accelerator registered in :mod:`repro.accelerators` is addressable via
-``--accelerators`` and any workload — including family spec strings like
-``dcgan@32x32`` or ``synthetic@d8c256`` (see ``list-workloads``) — via
-``--workloads``; the ``dse`` mode runs a :mod:`repro.dse` design-space search
-and reports the Pareto frontier.
+process pool (``--backend`` picks any registered backend: ``serial``,
+``process-pool``, ``asyncio``) and ``--cache-dir`` persists results across
+invocations.  The ``compare`` and ``sweep`` modes route through
+:class:`repro.Session`, so any accelerator registered in
+:mod:`repro.accelerators` is addressable via ``--accelerators`` and any
+workload — including family spec strings like ``dcgan@32x32`` or
+``synthetic@d8c256`` (see ``list-workloads``) — via ``--workloads``; the
+``dse`` mode runs a :mod:`repro.dse` design-space search and reports the
+Pareto frontier.
+
+The runner's streaming API drives two live outputs: ``--progress`` prints a
+per-job progress line to stderr the moment each simulation finishes (or is
+answered from cache), and ``--jsonl PATH|-`` writes one machine-readable
+JSON record per job *as it terminates* — ``completed``, ``cache-hit``,
+``failed`` or ``cancelled`` (result fields are present only on the first
+two; PATH is rewritten each run).  Both work with every backend, because
+they subscribe to the runner's typed event stream rather than wrapping any
+particular mode.
 """
 
 from __future__ import annotations
@@ -37,7 +52,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Sequence, Tuple
+import threading
+from typing import IO, List, Optional, Sequence, Tuple
 
 from .accelerators.registry import accelerator_names, create_accelerator, get_accelerator
 from .analysis.charts import frontier_chart, multi_comparison_chart
@@ -52,8 +68,11 @@ from .experiments.registry import experiment_ids, run_all, run_experiment
 from .runner import (
     DiskResultCache,
     ProcessPoolBackend,
+    RunnerEvent,
     SerialBackend,
     SimulationRunner,
+    backend_names,
+    get_backend,
 )
 from .session import Session
 from .workloads.registry import (
@@ -181,6 +200,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute simulations on a process pool instead of serially",
     )
     parser.add_argument(
+        "--backend",
+        metavar="NAME",
+        default=None,
+        help=(
+            "execution backend by registered name "
+            f"({', '.join(backend_names())}); overrides --parallel"
+        ),
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a live per-job progress line to stderr as results stream",
+    )
+    parser.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        default=None,
+        help=(
+            "stream one JSON record per terminated job (completed/cache-hit/"
+            "failed/cancelled) to PATH ('-' for stdout) for "
+            "'compare'/'sweep'/'dse'; PATH is rewritten each run"
+        ),
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         metavar="N",
@@ -262,22 +305,87 @@ def build_runner(args: argparse.Namespace) -> SimulationRunner:
     """Construct the runner the CLI's experiments submit through."""
     if args.workers is not None and args.workers <= 0:
         raise ValueError("--workers must be a positive integer")
-    backend = (
-        ProcessPoolBackend(max_workers=args.workers)
-        if args.parallel or args.workers is not None
-        else SerialBackend()
-    )
+    if args.backend is not None:
+        backend = get_backend(args.backend, max_workers=args.workers)
+    elif args.parallel or args.workers is not None:
+        backend = ProcessPoolBackend(max_workers=args.workers)
+    else:
+        backend = SerialBackend()
     if args.no_cache:
         return SimulationRunner(backend=backend, use_cache=False)
     cache = DiskResultCache(args.cache_dir) if args.cache_dir else None
     return SimulationRunner(backend=backend, cache=cache)
 
 
-def _print_cache_stats(runner: SimulationRunner, json_destination: Optional[str]) -> None:
+def _owns_stdout(args: argparse.Namespace) -> bool:
+    """Whether a machine-readable stream claimed stdout (implies quiet text)."""
+    return args.json == "-" or args.jsonl == "-"
+
+
+class _ProgressPrinter:
+    """Live per-job progress on stderr, driven by the runner's event stream."""
+
+    def __init__(self, stream: Optional[IO[str]] = None) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._lock = threading.Lock()
+        self._scheduled = 0
+        self._finished = 0
+
+    def __call__(self, event: RunnerEvent) -> None:
+        with self._lock:
+            if event.kind == "scheduled":
+                self._scheduled += 1
+                return
+            if not event.is_terminal:
+                return
+            self._finished += 1
+            detail = event.provenance or event.kind
+            if event.kind == "failed":
+                detail = f"failed: {event.error}"
+            print(
+                f"[{self._finished}/{self._scheduled}] "
+                f"{event.job.model_name} on {event.job.accelerator}: {detail}",
+                file=self._stream,
+                flush=True,
+            )
+
+
+class _JsonlWriter:
+    """One JSON record per terminal job event, streamed as results land.
+
+    Subscribed to the runner, so every mode that routes jobs through the
+    shared runner streams records without knowing about the flag; records
+    use :meth:`repro.runner.RunnerEvent.describe` (machine-readable entries
+    in the same spirit as ``list-accelerators --json``).
+    """
+
+    def __init__(self, destination: str) -> None:
+        self._owns_handle = destination != "-"
+        self._handle: IO[str] = (
+            open(destination, "w", encoding="utf-8")
+            if self._owns_handle
+            else sys.stdout
+        )
+        self._lock = threading.Lock()
+
+    def __call__(self, event: RunnerEvent) -> None:
+        if not event.is_terminal:
+            return
+        line = json.dumps(event.describe(), sort_keys=True)
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        if self._owns_handle:
+            self._handle.close()
+
+
+def _print_cache_stats(runner: SimulationRunner, args: argparse.Namespace) -> None:
     stats = runner.stats
-    # with '--json -' stdout is the machine-readable payload, so the
-    # accounting line goes to stderr instead of corrupting it
-    stream = sys.stderr if json_destination == "-" else sys.stdout
+    # with '--json -' / '--jsonl -' stdout is the machine-readable payload,
+    # so the accounting line goes to stderr instead of corrupting it
+    stream = sys.stderr if _owns_stdout(args) else sys.stdout
     print(
         "cache: "
         f"{stats.hits} hits, {stats.misses} misses, "
@@ -352,7 +460,7 @@ def _run_cache_prune(args: argparse.Namespace) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    if not args.quiet and args.json != "-":  # '--json -' owns stdout
+    if not args.quiet and not _owns_stdout(args):
         print(
             f"pruned {stats.removed_entries} entries "
             f"({stats.removed_bytes} bytes); "
@@ -385,16 +493,16 @@ def _run_dse(args: argparse.Namespace, runner: SimulationRunner) -> int:
         )
         result = explorer.explore(space=space, strategy=strategy, budget=args.budget)
 
-        # with '--json -' stdout *is* the payload; the text report would
-        # corrupt it, so it is implied-quiet in that case
-        if not args.quiet and args.json != "-":
+        # with '--json -' / '--jsonl -' stdout *is* the payload; the text
+        # report would corrupt it, so it is implied-quiet in that case
+        if not args.quiet and not _owns_stdout(args):
             print(result.report())
             print()
             print(frontier_chart("Pareto frontier (first objective)", result.frontier))
         if args.json:
             _write_json({"dse": result.summary()}, args.json, args.quiet)
         if args.cache_stats:
-            _print_cache_stats(runner, args.json)
+            _print_cache_stats(runner, args)
     except ReproError as exc:  # unknown accelerator/strategy/field, bad budget
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -413,7 +521,7 @@ def _run_compare(args: argparse.Namespace, runner: SimulationRunner) -> int:
         )
         comparisons = session.compare(workloads)
 
-        if not args.quiet and args.json != "-":  # '--json -' owns stdout
+        if not args.quiet and not _owns_stdout(args):
             rows = [
                 [
                     row["model"],
@@ -462,7 +570,7 @@ def _run_compare(args: argparse.Namespace, runner: SimulationRunner) -> int:
             _write_json(payload, args.json, args.quiet)
 
         if args.cache_stats:
-            _print_cache_stats(runner, args.json)
+            _print_cache_stats(runner, args)
     except ReproError as exc:  # e.g. unknown --accelerators / --workloads
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -492,7 +600,7 @@ def _run_sweep(args: argparse.Namespace, runner: SimulationRunner) -> int:
         )
         grid = session.sweep(args.parameter, values, models=workloads)
 
-        if not args.quiet and args.json != "-":  # '--json -' owns stdout
+        if not args.quiet and not _owns_stdout(args):
             rows = []
             for label, comparisons in grid.items():
                 for row in multi_comparison_rows(comparisons):
@@ -539,7 +647,7 @@ def _run_sweep(args: argparse.Namespace, runner: SimulationRunner) -> int:
             _write_json(payload, args.json, args.quiet)
 
         if args.cache_stats:
-            _print_cache_stats(runner, args.json)
+            _print_cache_stats(runner, args)
     except ReproError as exc:  # unknown field/value/workload/accelerator
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -567,6 +675,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ("--seed", args.seed, {"dse"}),
         ("--fields", args.fields, {"dse"}),
         ("--max-bytes", args.max_bytes, {"cache-prune"}),
+        ("--jsonl", args.jsonl, {"compare", "sweep", "dse"}),
     )
     for flag, value, modes in flag_gates:
         if value is not None and args.experiment not in modes:
@@ -576,6 +685,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
+
+    if args.json == "-" and args.jsonl == "-":
+        # both streams would interleave on stdout, corrupting each other
+        print(
+            "error: --json - and --jsonl - both claim stdout; "
+            "write at least one of them to a file",
+            file=sys.stderr,
+        )
+        return 2
 
     if args.experiment == "list":
         for experiment_id in experiment_ids():
@@ -593,18 +711,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     try:
         runner = build_runner(args)
-    except Exception as exc:  # bad --workers / unusable --cache-dir
+    except Exception as exc:  # bad --workers / --backend / --cache-dir
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    if args.experiment == "compare":
-        return _run_compare(args, runner)
+    # Live consumers of the runner's event stream: every job any mode
+    # submits reports the moment it terminates, whatever the backend.
+    if args.progress:
+        runner.subscribe(_ProgressPrinter())
+    jsonl_writer: Optional[_JsonlWriter] = None
+    if args.jsonl:
+        try:
+            jsonl_writer = _JsonlWriter(args.jsonl)
+        except OSError as exc:  # unwritable --jsonl destination
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        runner.subscribe(jsonl_writer)
 
-    if args.experiment == "sweep":
-        return _run_sweep(args, runner)
+    try:
+        if args.experiment == "compare":
+            return _run_compare(args, runner)
 
-    if args.experiment == "dse":
-        return _run_dse(args, runner)
+        if args.experiment == "sweep":
+            return _run_sweep(args, runner)
+
+        if args.experiment == "dse":
+            return _run_dse(args, runner)
+    finally:
+        if jsonl_writer is not None:
+            jsonl_writer.close()
 
     context = ExperimentContext(runner=runner)
     try:
@@ -617,7 +752,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
 
-        if not args.quiet and args.json != "-":  # '--json -' owns stdout
+        if not args.quiet and not _owns_stdout(args):
             for result in results:
                 print(result.report)
                 print()
@@ -634,7 +769,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             _write_json(payload, args.json, args.quiet)
 
         if args.cache_stats:
-            _print_cache_stats(runner, args.json)
+            _print_cache_stats(runner, args)
     finally:
         runner.close()
     return 0

@@ -31,7 +31,17 @@ reports 100% hits).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..accelerators.registry import get_accelerator
 from ..analysis.metrics import geometric_mean
@@ -138,6 +148,58 @@ class ExplorationResult:
         )
 
 
+class _TraceEvaluator:
+    """The memoizing evaluation facade the engine hands to strategies.
+
+    Callable for batched evaluation (the historical ``evaluate`` signature),
+    with a :meth:`stream` method for strategies that want evaluations as
+    they complete.  Both paths share one memo — a strategy revisiting a
+    point (hill-climb restarts, duplicated random draws) costs nothing —
+    and append each fresh result to the engine's trace exactly once, in the
+    order the strategy observed it.
+    """
+
+    def __init__(
+        self,
+        explorer: "DesignSpaceExplorer",
+        memo: Dict[DesignPoint, EvaluatedPoint],
+        trace: List[EvaluatedPoint],
+    ) -> None:
+        self._explorer = explorer
+        self._memo = memo
+        self._trace = trace
+
+    def __call__(self, points: Sequence[DesignPoint]) -> List[EvaluatedPoint]:
+        # dict.fromkeys: drop repeats *within* the batch too, so the
+        # trace holds each point exactly once whatever the strategy sends
+        fresh = [p for p in dict.fromkeys(points) if p not in self._memo]
+        for result in self._explorer.evaluate(fresh):
+            self._record(result)
+        return [self._memo[p] for p in points]
+
+    def stream(self, points: Sequence[DesignPoint]) -> Iterator[EvaluatedPoint]:
+        """Yield evaluations as they land; memoized points come first.
+
+        Fresh points stream through
+        :meth:`DesignSpaceExplorer.evaluate_stream`; closing the iterator
+        early cancels the in-flight simulations, and points that were never
+        consumed never enter the trace (they were not evaluated).
+        """
+        ordered = list(dict.fromkeys(points))
+        for point in ordered:
+            if point in self._memo:
+                yield self._memo[point]
+        fresh = [p for p in ordered if p not in self._memo]
+        for result in self._explorer.evaluate_stream(fresh):
+            self._record(result)
+            yield result
+
+    def _record(self, result: EvaluatedPoint) -> None:
+        if result.point not in self._memo:
+            self._memo[result.point] = result
+            self._trace.append(result)
+
+
 class DesignSpaceExplorer:
     """Evaluate design points of one accelerator against a baseline.
 
@@ -236,8 +298,97 @@ class DesignSpaceExplorer:
         )
 
     # ------------------------------------------------------------------
-    # Batched evaluation
+    # Evaluation (batched and streaming share one job-grid builder)
     # ------------------------------------------------------------------
+    def _build_jobs(
+        self, points: Sequence[DesignPoint]
+    ) -> Tuple[List[SimulationJob], List[Tuple[int, str, bool]], List[ArchitectureConfig]]:
+        """The (point x model x {candidate, baseline}) grid for one batch.
+
+        Returns the jobs, a parallel slot list mapping each job back to
+        ``(point index, model name, is_candidate)``, and each point's
+        applied configuration — the single source of truth for both
+        :meth:`evaluate` and :meth:`evaluate_stream`, so the two paths can
+        never disagree about job construction.
+        """
+        jobs: List[SimulationJob] = []
+        slots: List[Tuple[int, str, bool]] = []
+        configs: List[ArchitectureConfig] = []
+        for point_index, point in enumerate(points):
+            config = point.apply(self._base_config)
+            configs.append(config)
+            for model in self._models:
+                for name, is_candidate in (
+                    (self._accelerator, True),
+                    (self._baseline, False),
+                ):
+                    jobs.append(
+                        SimulationJob(
+                            model=model,
+                            accelerator=name,
+                            config=config,
+                            options=self._options,
+                        )
+                    )
+                    slots.append((point_index, model.name, is_candidate))
+        return jobs, slots, configs
+
+    def _score_slot(
+        self,
+        points: Sequence[DesignPoint],
+        configs: Sequence[ArchitectureConfig],
+        point_index: int,
+        candidates: Mapping[str, GanResult],
+        references: Mapping[str, GanResult],
+    ) -> EvaluatedPoint:
+        """Score one point from its per-model result maps, in model order."""
+        order = [model.name for model in self._models]
+        return self._score(
+            points[point_index],
+            configs[point_index],
+            {name: candidates[name] for name in order},
+            {name: references[name] for name in order},
+        )
+
+    def evaluate_stream(
+        self, points: Sequence[DesignPoint]
+    ) -> Iterator[EvaluatedPoint]:
+        """Yield each point's :class:`EvaluatedPoint` as its jobs complete.
+
+        The streaming counterpart of :meth:`evaluate`: the whole
+        (point x model x {candidate, baseline}) grid is submitted at once,
+        and a point is scored and yielded the moment *its* simulations have
+        all landed — cache-warm points arrive immediately, and an adaptive
+        strategy can react to the first finished candidate instead of
+        waiting for the whole batch.  Points arrive in completion order
+        (equal to submission order with the serial backend); closing the
+        iterator early cancels every simulation that has not started.
+        """
+        points = list(points)
+        if not points:
+            return
+        jobs, slots, configs = self._build_jobs(points)
+        handle = self.runner.submit(jobs)
+        remaining = [2 * len(self._models)] * len(points)
+        candidates: List[Dict[str, GanResult]] = [{} for _ in points]
+        references: List[Dict[str, GanResult]] = [{} for _ in points]
+        try:
+            for completion in handle.as_completed():
+                point_index, model_name, is_candidate = slots[completion.index]
+                side = candidates if is_candidate else references
+                side[point_index][model_name] = completion.result
+                remaining[point_index] -= 1
+                if remaining[point_index] == 0:
+                    yield self._score_slot(
+                        points,
+                        configs,
+                        point_index,
+                        candidates[point_index],
+                        references[point_index],
+                    )
+        finally:
+            handle.cancel()
+
     def evaluate(self, points: Sequence[DesignPoint]) -> List[EvaluatedPoint]:
         """Measure every point's objectives; one runner batch for all of them.
 
@@ -248,31 +399,18 @@ class DesignSpaceExplorer:
         points = list(points)
         if not points:
             return []
-        jobs: List[SimulationJob] = []
-        configs: List[ArchitectureConfig] = []
-        for point in points:
-            config = point.apply(self._base_config)
-            configs.append(config)
-            for model in self._models:
-                for name in (self._accelerator, self._baseline):
-                    jobs.append(
-                        SimulationJob(
-                            model=model,
-                            accelerator=name,
-                            config=config,
-                            options=self._options,
-                        )
-                    )
-        results = iter(self.runner.run_jobs(jobs))
-        evaluated: List[EvaluatedPoint] = []
-        for point, config in zip(points, configs):
-            candidate: Dict[str, GanResult] = {}
-            reference: Dict[str, GanResult] = {}
-            for model in self._models:
-                candidate[model.name] = next(results)
-                reference[model.name] = next(results)
-            evaluated.append(self._score(point, config, candidate, reference))
-        return evaluated
+        jobs, slots, configs = self._build_jobs(points)
+        candidates: List[Dict[str, GanResult]] = [{} for _ in points]
+        references: List[Dict[str, GanResult]] = [{} for _ in points]
+        for (point_index, model_name, is_candidate), result in zip(
+            slots, self.runner.run_jobs(jobs)
+        ):
+            side = candidates if is_candidate else references
+            side[point_index][model_name] = result
+        return [
+            self._score_slot(points, configs, index, candidates[index], references[index])
+            for index in range(len(points))
+        ]
 
     def _score(
         self,
@@ -337,17 +475,9 @@ class DesignSpaceExplorer:
         before = dict(self.runner.stats.as_dict())
         memo: Dict[DesignPoint, EvaluatedPoint] = {}
         trace: List[EvaluatedPoint] = []
-
-        def evaluate(points: Sequence[DesignPoint]) -> List[EvaluatedPoint]:
-            # dict.fromkeys: drop repeats *within* the batch too, so the
-            # trace holds each point exactly once whatever the strategy sends
-            fresh = [p for p in dict.fromkeys(points) if p not in memo]
-            for result in self.evaluate(fresh):
-                memo[result.point] = result
-                trace.append(result)
-            return [memo[p] for p in points]
-
-        strategy.search(space, evaluate, self._objectives, budget)
+        strategy.search(
+            space, _TraceEvaluator(self, memo, trace), self._objectives, budget
+        )
         after = self.runner.stats.as_dict()
         delta = CacheStats(
             hits=int(after["hits"] - before["hits"]),

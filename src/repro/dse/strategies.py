@@ -8,7 +8,11 @@ every candidate becomes a set of :class:`~repro.runner.SimulationJob` objects
 submitted through the shared :class:`~repro.runner.SimulationRunner`, so a
 strategy should prefer few large batches over many small ones: a batch
 deduplicates internally, hits the content-addressed cache, and gives a
-parallel backend the widest fan-out.
+parallel backend the widest fan-out.  Since the streaming runner redesign
+the engine's evaluator additionally exposes ``evaluate.stream(points)``,
+yielding evaluations *as they complete*; adaptive strategies can consume it
+to react to early results (and closing the stream cancels whatever has not
+started), while batch-only strategies keep calling ``evaluate(points)``.
 
 Three strategies are built in:
 
@@ -140,13 +144,24 @@ class RandomSearch:
 class HillClimbSearch:
     """Adaptive neighbourhood search over the scalarized objectives.
 
-    Starts from a random feasible point, evaluates the incumbent's whole
-    one-step neighbourhood as a single batch, moves to the best strictly
-    improving neighbour, and restarts from a fresh random point when stuck —
-    until ``budget`` distinct evaluations have been spent.  With the default
-    multiplicative scalarization (:func:`scalar_score`) the climb targets the
-    balanced region of the frontier; the engine's trace still sees every
-    visited point, so the Pareto analysis covers the whole walk.
+    Starts from a random feasible point, submits the incumbent's whole
+    one-step neighbourhood, and **advances on the first strictly improving
+    neighbour to complete** — when the engine's evaluator exposes a
+    streaming path (``evaluate.stream``, the default since the streaming
+    runner redesign), the climb consumes evaluations as they land and
+    cancels the rest of the ring the moment an improving move arrives,
+    instead of paying for every neighbour.  Against a plain batched
+    ``evaluate`` callable it falls back to the historical
+    best-of-the-whole-ring step.  Restarts from a fresh random point when
+    stuck, until ``budget`` distinct evaluations have been spent.
+
+    With the default multiplicative scalarization (:func:`scalar_score`)
+    the climb targets the balanced region of the frontier; the engine's
+    trace still sees every *consumed* point, so the Pareto analysis covers
+    the whole walk.  With the serial backend completion order equals
+    submission order, so searches stay exactly reproducible for a fixed
+    seed; parallel backends may legitimately walk a different (equally
+    valid) path, since "first completed" then depends on timing.
     """
 
     name = "hillclimb"
@@ -164,12 +179,35 @@ class HillClimbSearch:
         budget = _check_budget(budget) or DEFAULT_BUDGET
         rng = Random(self._seed)
         evaluated: Dict[DesignPoint, EvaluatedPoint] = {}
+        stream = getattr(evaluate, "stream", None)
 
         def spend(points: Sequence[DesignPoint]) -> List[EvaluatedPoint]:
             fresh = [p for p in points if p not in evaluated]
             for result in evaluate(fresh) if fresh else []:
                 evaluated[result.point] = result
             return [evaluated[p] for p in points]
+
+        def climb(
+            current: EvaluatedPoint, moves: Sequence[DesignPoint]
+        ) -> Optional[EvaluatedPoint]:
+            """The first (streaming) or best (batched) improving neighbour."""
+            target = scalar_score(current, objectives)
+            if stream is None:
+                neighbors = spend(moves)
+                best = max(
+                    neighbors,
+                    key=lambda p: (scalar_score(p, objectives), p.label),
+                )
+                return best if scalar_score(best, objectives) > target else None
+            results = stream(moves)
+            try:
+                for result in results:
+                    evaluated[result.point] = result
+                    if scalar_score(result, objectives) > target:
+                        return result  # closing the stream cancels the rest
+            finally:
+                results.close()
+            return None
 
         def random_unvisited() -> Optional[DesignPoint]:
             for candidate in space.sample(len(evaluated) + 1, rng):
@@ -188,15 +226,9 @@ class HillClimbSearch:
                 if p not in evaluated
             ][: budget - len(evaluated)]
             if frontier_moves:
-                neighbors = spend(frontier_moves)
-                best = max(
-                    neighbors,
-                    key=lambda p: (scalar_score(p, objectives), p.label),
-                )
-                if scalar_score(best, objectives) > scalar_score(
-                    current, objectives
-                ):
-                    current = best
+                improved = climb(current, frontier_moves)
+                if improved is not None:
+                    current = improved
                     continue
             # local optimum (or neighbourhood exhausted): restart — unless
             # the budget is already spent, in which case a restart would

@@ -77,6 +77,7 @@ class ExperimentContext:
         models: Optional[Sequence[Union[str, GANModel]]] = None,
         runner: Optional[SimulationRunner] = None,
         accelerators: Optional[Sequence[str]] = None,
+        progress: Optional[Callable[..., None]] = None,
     ) -> None:
         self._config = config or ArchitectureConfig.paper_default()
         self._options = options or SimulationOptions()
@@ -90,6 +91,8 @@ class ExperimentContext:
         )
         self._runner = runner
         self._accelerators = tuple(accelerators) if accelerators is not None else None
+        self._progress = progress
+        self._detach_progress: Optional[Callable[[], None]] = None
         self._session: Optional[Session] = None
         self._comparisons: Optional[Dict[str, ComparisonResult]] = None
         self._multi_comparisons: Optional[Dict[str, MultiComparison]] = None
@@ -104,10 +107,30 @@ class ExperimentContext:
 
     @property
     def runner(self) -> SimulationRunner:
-        """The runner every experiment in this context submits through."""
+        """The runner every experiment in this context submits through.
+
+        When the context carries a ``progress`` hook it is subscribed to the
+        runner's :class:`~repro.runner.RunnerEvent` stream on first access,
+        so every simulation any experiment triggers — headline comparisons,
+        figures, tables, ablation sweeps — reports live per-job progress.
+        """
         if self._runner is None:
             self._runner = get_default_runner()
+        if self._progress is not None and self._detach_progress is None:
+            self._detach_progress = self._runner.subscribe(self._progress)
         return self._runner
+
+    def detach_progress(self) -> None:
+        """Unsubscribe the progress hook from the runner (idempotent).
+
+        Call this when the context is done if the runner outlives it (the
+        process-wide default runner does); otherwise the hook keeps firing
+        for unrelated work submitted through the same runner.
+        """
+        if self._detach_progress is not None:
+            self._detach_progress()
+            self._detach_progress = None
+        self._progress = None  # a later runner access must not re-subscribe
 
     @property
     def models(self) -> Sequence[GANModel]:

@@ -1,9 +1,21 @@
-"""Shared simulation execution layer: jobs, backends, caching, scheduling.
+"""Shared simulation execution layer: jobs, backends, caching, streaming.
 
-See ``README.md`` in this directory for the architecture and usage guide.
+See ``README.md`` in this directory for the architecture and usage guide —
+including the streaming API (``SimulationRunner.submit`` ->
+``BatchHandle.as_completed`` plus the typed ``RunnerEvent`` stream).
 """
 
-from .backends import ExecutionBackend, ProcessPoolBackend, SerialBackend
+from .backends import (
+    BACKENDS,
+    AsyncioBackend,
+    DeferredJobFuture,
+    ExecutionBackend,
+    JobFuture,
+    ProcessPoolBackend,
+    SerialBackend,
+    backend_names,
+    get_backend,
+)
 from .cache import (
     CachePruneStats,
     CacheStats,
@@ -11,6 +23,16 @@ from .cache import (
     InMemoryResultCache,
     ResultCache,
 )
+from .events import (
+    EVENT_KINDS,
+    PROVENANCE_CACHE,
+    PROVENANCE_DEDUPLICATED,
+    PROVENANCE_EXECUTED,
+    TERMINAL_EVENT_KINDS,
+    JobCompletion,
+    RunnerEvent,
+)
+from .handle import BatchHandle
 from .job import COMPARISON_PAIR, SimulationJob, execute_job
 from .runner import (
     SimulationRunner,
@@ -20,18 +42,32 @@ from .runner import (
 )
 
 __all__ = [
+    "BACKENDS",
     "COMPARISON_PAIR",
+    "EVENT_KINDS",
+    "PROVENANCE_CACHE",
+    "PROVENANCE_DEDUPLICATED",
+    "PROVENANCE_EXECUTED",
+    "TERMINAL_EVENT_KINDS",
+    "AsyncioBackend",
+    "BatchHandle",
     "CachePruneStats",
     "CacheStats",
+    "DeferredJobFuture",
     "DiskResultCache",
     "ExecutionBackend",
     "InMemoryResultCache",
+    "JobCompletion",
+    "JobFuture",
     "ProcessPoolBackend",
     "ResultCache",
+    "RunnerEvent",
     "SerialBackend",
     "SimulationJob",
     "SimulationRunner",
+    "backend_names",
     "execute_job",
+    "get_backend",
     "get_default_runner",
     "resolve_accelerators",
     "set_default_runner",

@@ -1,0 +1,142 @@
+"""Typed events and completion records of the streaming execution API.
+
+Every job submitted through :meth:`~repro.runner.runner.SimulationRunner.submit`
+moves through a small, observable life cycle.  The runner narrates it as
+:class:`RunnerEvent` values delivered to subscribed listeners
+(:meth:`~repro.runner.runner.SimulationRunner.subscribe` or the per-batch
+``on_event`` argument), and the :class:`~repro.runner.handle.BatchHandle`
+yields :class:`JobCompletion` records from ``as_completed()`` as results land.
+
+The event grammar, per submitted job (in emission order):
+
+``scheduled``
+    always first — the job joined a batch at this submission index.
+``deduped``
+    an identical job (equal ``cache_key``) is already in the batch; this one
+    will share the earlier job's outcome.
+``cache-hit``
+    terminal — the result came straight from the content-addressed cache.
+``started``
+    the job began executing.  Emitted when the backend can observe the
+    start (serial: the consumer's thread drives the job; asyncio: the
+    worker coroutine begins) — the process pool cannot observe worker-side
+    start, so pooled jobs may terminate without a ``started`` event.  Never
+    emitted for cache hits or batch duplicates.
+``completed``
+    terminal — the job produced a result (``provenance`` says how:
+    ``"executed"`` for a fresh simulation, ``"deduplicated"`` for a duplicate
+    resolved by its primary).
+``failed``
+    terminal — execution raised; the exception travels on the event.
+``cancelled``
+    terminal — the job was cancelled before it produced a result.
+
+**Invariant** (asserted by ``tests/test_streaming.py``): every submitted job
+emits ``scheduled`` exactly once and then exactly one terminal event —
+``cache-hit``, ``completed``, ``failed`` or ``cancelled``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Iterator, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..analysis.results import GanResult
+    from .job import SimulationJob
+
+#: Every event kind the runner emits, in life-cycle order.
+EVENT_KINDS: Tuple[str, ...] = (
+    "scheduled",
+    "deduped",
+    "cache-hit",
+    "started",
+    "completed",
+    "failed",
+    "cancelled",
+)
+
+#: Kinds that end a job's life cycle; each job gets exactly one of these.
+TERMINAL_EVENT_KINDS = frozenset({"cache-hit", "completed", "failed", "cancelled"})
+
+#: How a completed job's result was obtained.
+PROVENANCE_CACHE = "cache"
+PROVENANCE_EXECUTED = "executed"
+PROVENANCE_DEDUPLICATED = "deduplicated"
+
+
+@dataclass(frozen=True)
+class RunnerEvent:
+    """One step of one job's life cycle inside a submitted batch.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`EVENT_KINDS`.
+    job:
+        The :class:`~repro.runner.job.SimulationJob` the event describes.
+    index:
+        The job's submission index within its batch (stable across events).
+    provenance:
+        For terminal events with a result: ``"cache"``, ``"executed"`` or
+        ``"deduplicated"``.
+    result:
+        The :class:`~repro.analysis.results.GanResult` on ``cache-hit`` /
+        ``completed`` events.
+    error:
+        The raised exception on ``failed`` events.
+    """
+
+    kind: str
+    job: "SimulationJob"
+    index: int
+    provenance: Optional[str] = None
+    result: Optional["GanResult"] = None
+    error: Optional[BaseException] = None
+
+    @property
+    def is_terminal(self) -> bool:
+        """Whether this event ends its job's life cycle."""
+        return self.kind in TERMINAL_EVENT_KINDS
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-friendly record of the event (used by the CLI's ``--jsonl``)."""
+        record: Dict[str, Any] = {
+            "event": self.kind,
+            "index": self.index,
+            "model": self.job.model_name,
+            "accelerator": self.job.accelerator,
+        }
+        if self.provenance is not None:
+            record["provenance"] = self.provenance
+        if self.result is not None:
+            record["generator_cycles"] = self.result.generator.cycles
+            record["generator_energy_pj"] = self.result.generator.energy_pj
+            record["total_cycles"] = self.result.total_cycles
+            record["total_energy_pj"] = self.result.total_energy_pj
+        if self.error is not None:
+            record["error"] = str(self.error)
+        return record
+
+
+@dataclass(frozen=True)
+class JobCompletion:
+    """One job's terminal outcome, yielded by ``BatchHandle.as_completed()``.
+
+    Iterating the completion unpacks as the documented ``(job, result,
+    provenance)`` triple; ``index`` and ``error`` ride along as attributes for
+    consumers that need the submission slot or the failure cause.
+    """
+
+    job: "SimulationJob"
+    result: Optional["GanResult"]
+    provenance: str
+    index: int
+    error: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter((self.job, self.result, self.provenance))

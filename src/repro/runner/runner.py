@@ -1,16 +1,28 @@
-"""The simulation runner: batched scheduling, deduplication and caching.
+"""The simulation runner: streaming scheduling, deduplication and caching.
 
 :class:`SimulationRunner` is the single execution seam every sweep, experiment
-and CLI invocation submits through.  For each batch of
-:class:`~repro.runner.job.SimulationJob` objects it
+and CLI invocation submits through.  The core API is **submit in, stream
+out**: :meth:`SimulationRunner.submit` accepts a batch of
+:class:`~repro.runner.job.SimulationJob` objects and immediately returns a
+:class:`~repro.runner.handle.BatchHandle`, after
 
-1. **deduplicates** jobs by content hash, so identical (model, accelerator,
+1. **deduplicating** jobs by content hash, so identical (model, accelerator,
    config, options) combinations — common across experiments that share the
    paper-default configuration — execute at most once per batch,
-2. answers what it can from the **content-addressed cache**, and
-3. dispatches only the remaining unique misses to the configured
-   :class:`~repro.runner.backends.ExecutionBackend` (serial or process pool)
-   in one batch, so a parallel backend sees the widest possible fan-out.
+2. answering what it can from the **content-addressed cache** (those jobs
+   resolve on the handle instantly), and
+3. dispatching only the remaining unique misses to the configured
+   :class:`~repro.runner.backends.ExecutionBackend` (serial, process pool or
+   asyncio) through the incremental ``submit_jobs`` protocol, so results
+   stream back per job instead of arriving with the slowest one.
+
+Consumers pull from the handle (``as_completed()`` / ``iter_results()`` /
+``results()``) and can observe the typed
+:class:`~repro.runner.events.RunnerEvent` life cycle of every job through
+:meth:`SimulationRunner.subscribe` or a per-batch ``on_event`` callback.
+:meth:`run_jobs` — the pre-streaming batch API — is now a thin blocking
+wrapper over ``submit()``, so the serial-parity and golden guarantees hold
+unchanged.
 
 The comparison entry points are registry-driven and N-way:
 :meth:`compare_accelerators` / :meth:`compare_accelerators_over_configs`
@@ -28,15 +40,18 @@ casual library use benefits from caching without any setup.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+import threading
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..accelerators.registry import get_accelerator
 from ..analysis.results import ComparisonResult, GanResult, MultiComparison
 from ..config import ArchitectureConfig, SimulationOptions
 from ..errors import AnalysisError
 from ..nn.network import GANModel
-from .backends import ExecutionBackend, SerialBackend
+from .backends import ExecutionBackend, JobFuture, SerialBackend
 from .cache import CacheStats, InMemoryResultCache, ResultCache
+from .events import PROVENANCE_CACHE, PROVENANCE_EXECUTED
+from .handle import BatchHandle, EventListener, _Entry
 from .job import COMPARISON_PAIR, SimulationJob
 
 
@@ -101,6 +116,10 @@ class SimulationRunner:
             else None
         )
         self._stats = CacheStats()
+        # Streaming completions land on backend callback threads; the cache
+        # and the stats counters are shared with the submitting thread.
+        self._lock = threading.Lock()
+        self._listeners: List[EventListener] = []
 
     # ------------------------------------------------------------------
     # Introspection
@@ -129,51 +148,229 @@ class SimulationRunner:
         self.close()
 
     # ------------------------------------------------------------------
-    # Core batched scheduler
+    # Events
     # ------------------------------------------------------------------
+    def subscribe(self, listener: EventListener) -> Callable[[], None]:
+        """Register a callback for every :class:`RunnerEvent` this runner emits.
+
+        The listener fires for every batch submitted *after* this call (the
+        snapshot is taken at ``submit()`` time) and must not raise — listener
+        exceptions are suppressed to protect the batch.  Returns an
+        unsubscribe callable.
+        """
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    # ------------------------------------------------------------------
+    # Core streaming scheduler
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        jobs: Sequence[SimulationJob],
+        on_event: Optional[EventListener] = None,
+    ) -> BatchHandle:
+        """Submit a batch and return a :class:`BatchHandle` immediately.
+
+        Per job, in submission order: identical batch-mates (equal
+        ``cache_key``) are tied to the first occurrence (``deduped``), cache
+        hits resolve on the handle instantly (``cache-hit``), and the
+        remaining unique misses go to the backend's incremental
+        ``submit_jobs`` — their results land on the handle (and in the
+        cache) as each job finishes, from whichever thread the backend
+        completes it on.
+
+        ``on_event`` observes just this batch; listeners registered through
+        :meth:`subscribe` observe every batch.
+        """
+        jobs = list(jobs)
+        listeners = tuple(self._listeners)
+        if on_event is not None:
+            listeners += (on_event,)
+        handle = BatchHandle(jobs, listeners)
+        # Every job announces itself before anything resolves, so listeners
+        # (e.g. the CLI's progress line) see the true batch size up front
+        # even when cache hits would otherwise terminate instantly.
+        for entry in handle._entries:
+            handle._emit_lifecycle("scheduled", entry)
+        primaries: Dict[str, _Entry] = {}
+        pending: List[_Entry] = []
+        for entry in handle._entries:
+            key = entry.job.cache_key
+            primary = primaries.get(key)
+            if primary is not None:
+                with self._lock:
+                    self._stats.deduplicated += 1
+                handle._emit_lifecycle("deduped", entry)
+                handle._register_duplicate(entry, primary)
+                continue
+            primaries[key] = entry
+            cached = None
+            if self._cache is not None:
+                with self._lock:
+                    cached = self._cache.get(key)
+            if cached is not None:
+                with self._lock:
+                    self._stats.hits += 1
+                handle._resolve(
+                    entry, "cache-hit", result=cached, provenance=PROVENANCE_CACHE
+                )
+                continue
+            with self._lock:
+                self._stats.misses += 1
+            pending.append(entry)
+
+        if pending:
+            futures = self._backend.submit_jobs([entry.job for entry in pending])
+            if len(futures) != len(pending):
+                raise AnalysisError(
+                    f"backend '{self._backend.name}' returned {len(futures)} "
+                    f"futures for {len(pending)} jobs"
+                )
+            for entry, future in zip(pending, futures):
+                handle._attach_future(entry, future)
+            for entry, future in zip(pending, futures):
+                future.add_done_callback(
+                    lambda f, entry=entry, handle=handle: self._finish_job(
+                        handle, entry, f
+                    )
+                )
+        return handle
+
+    def _finish_job(
+        self, handle: BatchHandle, entry: _Entry, future: JobFuture
+    ) -> None:
+        """Done-callback for one executed job: account, cache, publish."""
+        if future.cancelled():
+            handle._resolve(entry, "cancelled")
+            return
+        error = future.exception()
+        if error is not None:
+            handle._resolve(
+                entry, "failed", error=error, provenance=PROVENANCE_EXECUTED
+            )
+            return
+        result = future.peek_result()
+        assert result is not None
+        with self._lock:
+            if self._cache is not None:
+                try:
+                    self._cache.put(entry.job.cache_key, result)
+                    self._stats.stores += 1
+                except Exception:
+                    pass  # a failed store must not lose the computed result
+        handle._resolve(
+            entry, "completed", result=result, provenance=PROVENANCE_EXECUTED
+        )
+
     def run_jobs(self, jobs: Sequence[SimulationJob]) -> List[GanResult]:
         """Run a batch of jobs, returning results in submission order.
 
-        Identical jobs (equal ``cache_key``) are executed at most once; the
-        duplicate submissions share the single result object.
+        The blocking wrapper over :meth:`submit`: identical jobs (equal
+        ``cache_key``) execute at most once and duplicate submissions share
+        the single result object, exactly as the handle's ``results()``
+        delivers them.
         """
-        jobs = list(jobs)
-        resolved: Dict[str, GanResult] = {}
-        pending: List[SimulationJob] = []
-        pending_keys: set = set()
-        for job in jobs:
-            key = job.cache_key
-            if key in resolved or key in pending_keys:
-                self._stats.deduplicated += 1
-                continue
-            if self._cache is not None:
-                cached = self._cache.get(key)
-                if cached is not None:
-                    self._stats.hits += 1
-                    resolved[key] = cached
-                    continue
-            self._stats.misses += 1
-            pending.append(job)
-            pending_keys.add(key)
-
-        if pending:
-            results = self._backend.run_jobs(pending)
-            if len(results) != len(pending):
-                raise AnalysisError(
-                    f"backend '{self._backend.name}' returned {len(results)} "
-                    f"results for {len(pending)} jobs"
-                )
-            for job, result in zip(pending, results):
-                resolved[job.cache_key] = result
-                if self._cache is not None:
-                    self._cache.put(job.cache_key, result)
-                    self._stats.stores += 1
-
-        return [resolved[job.cache_key] for job in jobs]
+        return self.submit(jobs).results()
 
     def run_job(self, job: SimulationJob) -> GanResult:
         """Run a single job (through the cache)."""
         return self.run_jobs([job])[0]
+
+    # ------------------------------------------------------------------
+    # Streaming comparison consumers
+    # ------------------------------------------------------------------
+    def stream_accelerators(
+        self,
+        models: Sequence[GANModel],
+        accelerators: Optional[Sequence[str]] = None,
+        baseline: Optional[str] = None,
+        config: Optional[ArchitectureConfig] = None,
+        options: Optional[SimulationOptions] = None,
+    ) -> Iterator[Tuple[str, MultiComparison]]:
+        """Yield ``(model_name, MultiComparison)`` as each model's grid lands.
+
+        The streaming counterpart of :meth:`compare_accelerators`: the whole
+        (model x accelerator) grid is submitted at once, and a model is
+        yielded as soon as *its* jobs have all completed — cache-warm models
+        arrive immediately, even while others still simulate.  Abandoning
+        the iterator cancels the batch's unstarted jobs.
+        """
+        for _label, model_name, multi in self.stream_accelerators_over_configs(
+            models,
+            {"default": config or ArchitectureConfig.paper_default()},
+            accelerators,
+            baseline,
+            options,
+        ):
+            yield model_name, multi
+
+    def stream_accelerators_over_configs(
+        self,
+        models: Sequence[GANModel],
+        labelled_configs: Mapping[str, ArchitectureConfig],
+        accelerators: Optional[Sequence[str]] = None,
+        baseline: Optional[str] = None,
+        options: Optional[SimulationOptions] = None,
+    ) -> Iterator[Tuple[str, str, MultiComparison]]:
+        """Yield ``(config_label, model_name, MultiComparison)`` as groups land.
+
+        The streaming counterpart of :meth:`compare_accelerators_over_configs`:
+        one submission covers the whole (config x model x accelerator) grid,
+        and each (config, model) cell is yielded the moment its accelerator
+        set completes — in completion order, which with the serial backend
+        equals submission order.  Closing the iterator early cancels every
+        job that has not started.
+        """
+        if not models:
+            raise AnalysisError("no models provided")
+        if not labelled_configs:
+            raise AnalysisError("no configurations provided")
+        names, resolved_baseline = resolve_accelerators(accelerators, baseline)
+        jobs: List[SimulationJob] = []
+        # job index -> (group key, model occurrence); a group only accepts
+        # completions from its *canonical* occurrence (the last model listed
+        # under that name, matching the batch path's per-name dict slot), so
+        # a name shared by distinct models never mixes results in one group
+        # while equivalent spellings still collapse to a single yield.
+        slots: List[Tuple[Tuple[str, str], int]] = []
+        canonical: Dict[Tuple[str, str], int] = {}
+        for label, config in labelled_configs.items():
+            for occurrence, model in enumerate(models):
+                key = (label, model.name)
+                canonical[key] = occurrence
+                for job in SimulationJob.for_accelerators(
+                    model, names, config, options
+                ):
+                    jobs.append(job)
+                    slots.append((key, occurrence))
+        handle = self.submit(jobs)
+        groups: Dict[Tuple[str, str], Dict[str, GanResult]] = {}
+        complete: set = set()
+        try:
+            for completion in handle.as_completed():
+                key, occurrence = slots[completion.index]
+                if key in complete or canonical[key] != occurrence:
+                    continue
+                group = groups.setdefault(key, {})
+                group[completion.job.accelerator] = completion.result
+                if len(group) == len(names):
+                    complete.add(key)
+                    del groups[key]
+                    label, model_name = key
+                    yield label, model_name, MultiComparison(
+                        model_name=model_name,
+                        baseline=resolved_baseline,
+                        results={name: group[name] for name in names},
+                    )
+        finally:
+            handle.cancel()
 
     # ------------------------------------------------------------------
     # N-way comparison entry points (registry-driven)

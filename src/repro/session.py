@@ -25,7 +25,7 @@ shared through the content-addressed cache.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from .accelerators.registry import get_accelerator
 from .analysis.results import MultiComparison
@@ -133,6 +133,48 @@ class Session:
         """Compare one workload across the session's accelerators."""
         resolved = self._resolve_models(model)
         return self._compare_resolved(resolved)[resolved[0].name]
+
+    def submit(
+        self, models: Optional[Union[ModelLike, Iterable[ModelLike]]] = None
+    ):
+        """Submit the comparison grid and return its :class:`BatchHandle`.
+
+        The non-blocking entry point: the whole (model x accelerator) grid
+        joins one runner submission and the returned
+        :class:`~repro.runner.BatchHandle` streams per-job completions
+        (``as_completed()``) or blocks for everything (``results()``).
+        Most consumers want :meth:`stream_compare`, which reassembles the
+        per-model :class:`MultiComparison` values as they land.
+        """
+        resolved = self._resolve_models(models)
+        jobs = [
+            job
+            for model in resolved
+            for job in SimulationJob.for_accelerators(
+                model, self._accelerators, self._config, self._options
+            )
+        ]
+        return self.runner.submit(jobs)
+
+    def stream_compare(
+        self, models: Optional[Union[ModelLike, Iterable[ModelLike]]] = None
+    ) -> Iterator[Tuple[str, MultiComparison]]:
+        """Yield ``(model_name, MultiComparison)`` as each model completes.
+
+        The streaming counterpart of :meth:`compare`: all jobs submit at
+        once, and each model is yielded the moment its accelerator set has
+        finished — cache-warm models arrive immediately while cold ones
+        still simulate, so progress UIs and services can react per model
+        instead of waiting for the slowest.  Closing the iterator early
+        cancels every job that has not started.
+        """
+        yield from self.runner.stream_accelerators(
+            self._resolve_models(models),
+            self._accelerators,
+            self._baseline,
+            self._config,
+            self._options,
+        )
 
     def _compare_resolved(
         self, resolved: Sequence[GANModel]

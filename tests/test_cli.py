@@ -424,3 +424,85 @@ class TestDseWorkloads:
         )
         payload = json.loads(capsys.readouterr().out)["dse"]
         assert payload["frontier"]
+
+
+class TestStreamingFlags:
+    """The streaming CLI surface: --progress, --jsonl and --backend."""
+
+    COMPARE = [
+        "compare",
+        "--workloads",
+        "dcgan@64x64",
+        "--accelerators",
+        "eyeriss,ganax",
+    ]
+
+    def test_jsonl_dash_streams_one_record_per_job(self, capsys):
+        assert main([*self.COMPARE, "--jsonl", "-"]) == 0
+        lines = [
+            line for line in capsys.readouterr().out.splitlines() if line.strip()
+        ]
+        assert len(lines) == 2  # one record per (model x accelerator) job
+        records = [json.loads(line) for line in lines]
+        assert {record["accelerator"] for record in records} == {"eyeriss", "ganax"}
+        for record in records:
+            assert record["event"] in ("completed", "cache-hit")
+            assert record["model"] == "DCGAN"
+            assert record["provenance"] in ("executed", "cache", "deduplicated")
+            assert record["generator_cycles"] > 0
+            assert record["total_energy_pj"] > 0
+
+    def test_jsonl_file_on_sweep_covers_the_grid(self, tmp_path, capsys):
+        path = tmp_path / "sweep.jsonl"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--parameter",
+                    "num_pvs",
+                    "--values",
+                    "8,16",
+                    "--workloads",
+                    "dcgan@64x64",
+                    "--accelerators",
+                    "eyeriss,ganax",
+                    "--jsonl",
+                    str(path),
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        records = [
+            json.loads(line) for line in path.read_text().splitlines() if line
+        ]
+        assert len(records) == 4  # 2 values x 2 accelerators x 1 model
+        assert all(record["model"] == "DCGAN" for record in records)
+
+    def test_jsonl_rejected_outside_streaming_modes(self, capsys):
+        assert main(["figure8", "--jsonl", "-"]) == 2
+        err = capsys.readouterr().err
+        assert "--jsonl" in err and "'compare'" in err
+
+    def test_progress_reports_each_job_on_stderr(self, capsys):
+        assert main([*self.COMPARE, "--progress", "--quiet"]) == 0
+        err = capsys.readouterr().err
+        assert "[1/2]" in err and "[2/2]" in err
+        assert "DCGAN on ganax" in err
+
+    def test_backend_flag_resolves_through_the_registry(self, capsys):
+        assert main([*self.COMPARE, "--backend", "asyncio", "--quiet"]) == 0
+        assert main([*self.COMPARE, "--backend", "serial", "--quiet"]) == 0
+
+    def test_unknown_backend_is_a_clean_error(self, capsys):
+        assert main([*self.COMPARE, "--backend", "quantum"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown execution backend" in err
+
+    def test_json_dash_and_jsonl_dash_cannot_share_stdout(self, capsys):
+        assert main([*self.COMPARE, "--json", "-", "--jsonl", "-"]) == 2
+        assert "claim stdout" in capsys.readouterr().err
+        # either stream alone, or one of them to a file, stays fine
+        assert main([*self.COMPARE, "--jsonl", "-", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert all(json.loads(line) for line in out.splitlines() if line.strip())
