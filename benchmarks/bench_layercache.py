@@ -1,0 +1,131 @@
+"""Benchmark of the layer-grain memo store under a synthetic family sweep.
+
+Twelve synthetic GANs that differ only in their latent head share their whole
+transposed-convolution / convolution stack, so the layer memo turns a sweep
+over the family into a handful of real simulations plus cheap per-layer
+lookups.  The benchmark runs the same ``execute_job`` loop twice — memo
+disabled (cold) and memo populated (warm) — and enforces the layer memo's
+reason to exist: the warm sweep must be at least 5x faster than the cold
+sweep, with byte-identical results.
+
+Timing is the best of several rounds for both modes, so the assertion is
+robust against scheduler noise rather than a single-sample coin flip.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.config import ArchitectureConfig, SimulationOptions
+from repro.runner import SimulationJob, configure_layer_memo, execute_job, get_layer_memo
+from repro.runner import cache as cache_module
+from repro.workloads.synthetic import build_synthetic
+
+#: Synthetic family: identical conv/tconv stacks, distinct latent heads.
+FAMILY_SIZE = 12
+
+#: Required advantage of the memo-warm sweep over the memo-disabled sweep.
+MIN_MEMO_SPEEDUP = 5.0
+
+#: Timing rounds per mode; the best round is compared.
+ROUNDS = 3
+
+
+def _family_jobs():
+    config = ArchitectureConfig.paper_default()
+    options = SimulationOptions()
+    jobs = []
+    for index in range(FAMILY_SIZE):
+        model = build_synthetic(depth=12, base_channels=256, latent_dim=100 + index)
+        jobs.extend(SimulationJob.comparison_pair(model, config, options))
+    return jobs
+
+
+def _sweep(jobs):
+    return [execute_job(job) for job in jobs]
+
+
+def _best_of(fn, rounds=ROUNDS):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def test_layer_memo_family_sweep(benchmark):
+    """Memo-warm family sweep must beat the memo-disabled sweep by >= 5x."""
+    # Snapshot the process-global memo configuration so the benchmark leaves
+    # other tests in the state it found them.
+    saved_memo = cache_module._layer_memo
+    saved_configured = cache_module._layer_memo_configured
+    saved_env = {
+        name: os.environ.get(name)
+        for name in (cache_module.LAYER_MEMO_ENV, cache_module.LAYER_MEMO_DIR_ENV)
+    }
+    try:
+        jobs = _family_jobs()
+
+        # Warm the shape-grain lru caches (fingerprints, schedule summaries)
+        # once so both timed modes measure the memo, not first-touch hashing.
+        configure_layer_memo(enabled=False)
+        _sweep(jobs)
+
+        cold_results, cold_seconds = benchmark.pedantic(
+            lambda: _best_of(lambda: _sweep(jobs)),
+            iterations=1,
+            rounds=1,
+        )
+
+        memo = configure_layer_memo()
+        _sweep(jobs)  # populate the memo
+        memo.stats.reset()
+        warm_results, warm_seconds = _best_of(lambda: _sweep(jobs))
+
+        # The memo must not change a single result.
+        assert warm_results == cold_results
+
+        # The whole family resolved from per-layer hits: every lookup in the
+        # timed rounds hit, and the resident set is far smaller than the
+        # number of simulated layers.
+        stats = get_layer_memo().stats
+        assert stats.misses == 0
+        assert stats.hits > 0
+        assert len(memo) < stats.hits
+
+        memo_speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+        assert memo_speedup >= MIN_MEMO_SPEEDUP, (
+            f"memo-warm family sweep only {memo_speedup:.2f}x faster than the "
+            f"memo-disabled sweep; expected >= {MIN_MEMO_SPEEDUP:.0f}x"
+        )
+
+        emit(
+            format_table(
+                ["Sweep mode", "Wall time (ms)", "vs memo disabled"],
+                [
+                    ["memo disabled", 1e3 * cold_seconds, 1.0],
+                    ["memo warm", 1e3 * warm_seconds, memo_speedup],
+                ],
+                title=(
+                    f"Layer memo: {len(jobs)}-job synthetic family sweep "
+                    f"({FAMILY_SIZE} models, {len(memo)} resident layer entries, "
+                    f"{stats.hit_rate * 100:.1f}% hit rate)"
+                ),
+                float_format="{:.2f}",
+            )
+        )
+    finally:
+        with cache_module._layer_memo_lock:
+            cache_module._layer_memo = saved_memo
+            cache_module._layer_memo_configured = saved_configured
+        for name, value in saved_env.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value

@@ -17,13 +17,22 @@ on the benchmark workload itself).
 
 from __future__ import annotations
 
+import os
 import time
 
 from conftest import emit
 
 from repro.analysis.report import format_table
 from repro.analysis.sweep import ParameterSweep
-from repro.runner import ProcessPoolBackend, SerialBackend, SimulationRunner
+from repro.runner import (
+    ProcessPoolBackend,
+    SerialBackend,
+    SimulationJob,
+    SimulationRunner,
+    execute_job,
+)
+from repro.runner import cache as cache_module
+from repro.runner.cache import configure_layer_memo
 from repro.workloads.registry import all_workloads
 
 #: DRAM bandwidth values swept by the benchmark workload.
@@ -31,6 +40,11 @@ BANDWIDTH_VALUES = (8.0, 16.0, 32.0, 64.0, 128.0)
 
 #: Required advantage of the warm-cache sweep over the cold serial sweep.
 MIN_WARM_SPEEDUP = 5.0
+
+#: Wall-clock budget for one cold pass over the full six-GAN comparison grid.
+#: The analytic core is vectorized; the whole grid is a fraction of a second
+#: even on slow CI machines, and this bound keeps it that way.
+GAN_GRID_BUDGET_SECONDS = 2.0
 
 
 def run_sweep(runner: SimulationRunner, models):
@@ -42,6 +56,66 @@ def timed(fn):
     start = time.perf_counter()
     result = fn()
     return result, time.perf_counter() - start
+
+
+def test_six_gan_grid_wall_clock(benchmark):
+    """One cold pass over the six-GAN x (eyeriss, ganax) comparison grid.
+
+    This is the paper's whole evaluation matrix executed job-by-job with no
+    job cache and no layer memo — the analytic core alone must fit the
+    budget.  A regression that de-vectorizes an estimator or adds per-layer
+    overhead shows up here long before it hurts a real sweep.
+    """
+    jobs = []
+    for model in all_workloads():
+        jobs.extend(SimulationJob.comparison_pair(model))
+
+    def grid():
+        return [execute_job(job) for job in jobs]
+
+    saved_memo = cache_module._layer_memo
+    saved_configured = cache_module._layer_memo_configured
+    saved_env = {
+        name: os.environ.get(name)
+        for name in (cache_module.LAYER_MEMO_ENV, cache_module.LAYER_MEMO_DIR_ENV)
+    }
+    try:
+        configure_layer_memo(enabled=False)
+        grid()  # warm the shape-grain lru caches; the budget is on steady state
+        results, seconds = benchmark.pedantic(
+            lambda: timed(grid), iterations=1, rounds=1
+        )
+    finally:
+        with cache_module._layer_memo_lock:
+            cache_module._layer_memo = saved_memo
+            cache_module._layer_memo_configured = saved_configured
+        for name, value in saved_env.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+    assert len(results) == len(jobs)
+    assert seconds <= GAN_GRID_BUDGET_SECONDS, (
+        f"six-GAN comparison grid took {seconds:.3f}s; "
+        f"budget is {GAN_GRID_BUDGET_SECONDS:.1f}s"
+    )
+
+    emit(
+        format_table(
+            ["Grid", "Jobs", "Wall time (ms)", "Budget (ms)"],
+            [
+                [
+                    "6 GANs x (eyeriss, ganax)",
+                    len(jobs),
+                    1e3 * seconds,
+                    1e3 * GAN_GRID_BUDGET_SECONDS,
+                ],
+            ],
+            title="Six-GAN comparison grid wall clock",
+            float_format="{:.2f}",
+        )
+    )
 
 
 def test_runner_execution_modes(benchmark):

@@ -5,8 +5,10 @@
 #   1. the tier-1 test suite (the gate every change must keep green), with
 #      pytest's result cache disabled (-p no:cacheprovider) so runs are
 #      byte-reproducible and leave no .pytest_cache behind;
-#   2. the runner benchmark, which enforces the warm-cache >= 5x speedup
-#      contract and the serial/pooled/warm parity of the sweep results;
+#   2. the runner benchmarks, which enforce the warm-cache >= 5x speedup
+#      contract, the serial/pooled/warm parity of the sweep results, the
+#      six-GAN comparison-grid wall-clock budget, and the layer-memo >= 5x
+#      speedup contract on a synthetic family sweep;
 #   3. an accelerator-registry smoke: a Session runs one small workload
 #      through every registered accelerator and fails if the registry is
 #      thinner than expected or any registered model cannot complete it;
@@ -32,9 +34,10 @@ export PYTHONPATH
 echo "== tier-1 tests =="
 python -m pytest -x -q -p no:cacheprovider "$@"
 
-echo "== runner + DSE + workload + streaming benchmarks (parity + cache + overhead contracts) =="
-python -m pytest benchmarks/bench_runner.py benchmarks/bench_dse.py \
-    benchmarks/bench_workloads.py benchmarks/bench_streaming.py -q \
+echo "== runner + layer-memo + DSE + workload + streaming benchmarks (parity + cache + overhead contracts) =="
+python -m pytest benchmarks/bench_runner.py benchmarks/bench_layercache.py \
+    benchmarks/bench_dse.py benchmarks/bench_workloads.py \
+    benchmarks/bench_streaming.py -q \
     -p no:cacheprovider --benchmark-disable-gc
 
 echo "== accelerator registry smoke (Session over every registered model) =="

@@ -19,7 +19,16 @@ concrete model only supplies ``simulate_layer``.
 from __future__ import annotations
 
 from dataclasses import fields as dataclass_fields
-from typing import Dict, Iterable, Optional, Protocol, Tuple, runtime_checkable
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
 
 from ..analysis.results import GanResult, LayerResult, NetworkResult
 from ..config import ArchitectureConfig, SimulationOptions
@@ -144,6 +153,35 @@ class GanSimulatorBase:
             f"{type(self).__name__} must implement simulate_layer"
         )
 
+    def simulate_layers(
+        self, bindings: Sequence[LayerBinding]
+    ) -> Tuple[LayerResult, ...]:
+        """Simulate a batch of bound layers (the network-simulation hot path).
+
+        The default delegates to :meth:`simulate_layer` per binding; the
+        built-in analytical simulators override it with vectorized
+        whole-table estimators that produce bit-identical results.  The
+        runner's layer-grain memo also routes its misses through this entry
+        point so shared layer shapes are computed in one batch.
+        """
+        return tuple(self.simulate_layer(binding) for binding in bindings)
+
+    def _layer_results_from_estimates(
+        self, bindings: Sequence[LayerBinding], estimates: Sequence[object]
+    ) -> Tuple[LayerResult, ...]:
+        """Price and batch-scale a column of raw per-layer estimates."""
+        return tuple(
+            self._layer_result(
+                binding,
+                cycles=estimate.cycles,
+                active_pe_cycles=estimate.active_pe_cycles,
+                busy_pe_cycles=estimate.busy_pe_cycles,
+                total_pe_cycles=estimate.total_pe_cycles,
+                counters=estimate.counters,
+            )
+            for binding, estimate in zip(bindings, estimates)
+        )
+
     def _layer_result(
         self,
         binding: LayerBinding,
@@ -172,26 +210,45 @@ class GanSimulatorBase:
         )
 
     def simulate_network(
-        self, network: Network, bindings: Optional[Iterable[LayerBinding]] = None
+        self,
+        network: Network,
+        bindings: Optional[Iterable[LayerBinding]] = None,
+        layer_fn: Optional[
+            Callable[[Sequence[LayerBinding]], Sequence[LayerResult]]
+        ] = None,
     ) -> NetworkResult:
-        """Simulate every (or a chosen subset of) layer of ``network``."""
+        """Simulate every (or a chosen subset of) layer of ``network``.
+
+        ``layer_fn`` replaces :meth:`simulate_layers` as the batch evaluator;
+        the runner's layer-grain memo passes a wrapper that serves cached
+        layers and routes only the misses into :meth:`simulate_layers`.
+        """
         selected = tuple(bindings) if bindings is not None else network.bindings
-        results = tuple(self.simulate_layer(binding) for binding in selected)
+        compute = layer_fn if layer_fn is not None else self.simulate_layers
+        results = tuple(compute(selected))
         return NetworkResult(
             network_name=network.name,
             accelerator=self.name,
             layer_results=results,
         )
 
-    def simulate_gan(self, model: GANModel) -> GanResult:
+    def simulate_gan(
+        self,
+        model: GANModel,
+        layer_fn: Optional[
+            Callable[[Sequence[LayerBinding]], Sequence[LayerResult]]
+        ] = None,
+    ) -> GanResult:
         """Simulate a full GAN: generator plus (optionally) discriminator."""
-        generator = self.simulate_network(model.generator)
+        generator = self.simulate_network(model.generator, layer_fn=layer_fn)
         discriminator = None
         if self._options.include_discriminator:
             bindings = model.discriminator.bindings
             if model.discriminator_conv_only and self._options.magan_discriminator_conv_only:
                 bindings = tuple(b for b in bindings if not b.is_transposed)
-            discriminator = self.simulate_network(model.discriminator, bindings)
+            discriminator = self.simulate_network(
+                model.discriminator, bindings, layer_fn=layer_fn
+            )
         return GanResult(
             model_name=model.name,
             accelerator=self.name,

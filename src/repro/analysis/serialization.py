@@ -29,7 +29,9 @@ from typing import Any, Dict, Iterable, List, Mapping, Sequence, Union
 
 from ..config import ArchitectureConfig, SimulationOptions
 from ..errors import AnalysisError
-from ..nn.network import GANModel, Network
+from ..nn.layers import LayerSpec
+from ..nn.network import GANModel, LayerBinding, Network
+from ..nn.shapes import FeatureMapShape
 from .results import ComparisonResult, GanResult, MultiComparison, NetworkResult
 
 PathLike = Union[str, Path]
@@ -98,6 +100,73 @@ def workload_structure(model: GANModel) -> Dict[str, Any]:
         "generator": _network_structure(model.generator),
         "discriminator": _network_structure(model.discriminator),
     }
+
+
+@lru_cache(maxsize=4096)
+def _layer_structure_fingerprint(layer: LayerSpec, input_shape: FeatureMapShape) -> str:
+    """Content hash of one layer's shape-relevant structure.
+
+    Deliberately excludes the layer *name*: two layers with identical
+    parameters and input shapes produce identical simulation activity, so the
+    layer-grain memo shares one entry between them (the runner rewrites the
+    name on a hit).  Memoized per (layer, input_shape) — both are frozen
+    dataclasses, so repeated sweeps over the same network pay the JSON walk
+    once.
+    """
+    structure = {"kind": type(layer).__name__, **dataclasses.asdict(layer)}
+    structure.pop("name", None)
+    structure["input_shape"] = {
+        "channels": input_shape.channels,
+        "spatial": list(input_shape.spatial),
+    }
+    return fingerprint_data(structure)
+
+
+@lru_cache(maxsize=1024)
+def _simulation_context_fingerprint(
+    accelerator_name: str,
+    accelerator_version: str,
+    config: ArchitectureConfig,
+    options: SimulationOptions,
+) -> str:
+    """Content hash of everything about a simulation *except* the layer."""
+    return fingerprint_data(
+        {
+            "accelerator": {"name": accelerator_name, "version": accelerator_version},
+            "config": config.to_mapping(),
+            "options": options.to_mapping(),
+        }
+    )
+
+
+@lru_cache(maxsize=16384)
+def layer_fingerprint(
+    binding: LayerBinding,
+    accelerator_name: str,
+    accelerator_version: str,
+    config: ArchitectureConfig,
+    options: SimulationOptions,
+) -> str:
+    """Deterministic content hash identifying one layer-grain simulation.
+
+    Combines the layer's structural fingerprint (parameters + input shape,
+    name excluded) with the simulation context (accelerator identity and
+    version, architecture configuration, canonicalized options).  Two bindings
+    from *different* workloads that share a layer shape under the same context
+    fingerprint identically — the property the runner's layer memo exploits.
+    Callers must pass options already canonicalized for the accelerator
+    (``spec.canonical_options``) so ignored option fields collapse.
+    Memoized end-to-end (every argument is hashable), so warm layer-memo
+    lookups pay a dict probe instead of a JSON walk and a SHA-256.
+    """
+    return fingerprint_data(
+        {
+            "layer": _layer_structure_fingerprint(binding.layer, binding.input_shape),
+            "context": _simulation_context_fingerprint(
+                accelerator_name, accelerator_version, config, options
+            ),
+        }
+    )
 
 
 @lru_cache(maxsize=256)

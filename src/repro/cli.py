@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import threading
 from typing import IO, List, Optional, Sequence, Tuple
@@ -72,7 +73,9 @@ from .runner import (
     SerialBackend,
     SimulationRunner,
     backend_names,
+    configure_layer_memo,
     get_backend,
+    get_layer_memo,
 )
 from .session import Session
 from .workloads.registry import (
@@ -312,7 +315,16 @@ def build_runner(args: argparse.Namespace) -> SimulationRunner:
     else:
         backend = SerialBackend()
     if args.no_cache:
+        # --no-cache disables every caching tier, including the layer memo
+        # (propagated to pool workers through the environment).
+        configure_layer_memo(enabled=False)
         return SimulationRunner(backend=backend, use_cache=False)
+    if args.cache_dir:
+        # Persist the layer-grain memo beside the job-level entries so warm
+        # layers also survive restarts: <cache-dir>/layers/<fp[:2]>/<fp>.pkl.
+        configure_layer_memo(root=os.path.join(args.cache_dir, "layers"))
+    else:
+        configure_layer_memo()
     cache = DiskResultCache(args.cache_dir) if args.cache_dir else None
     return SimulationRunner(backend=backend, cache=cache)
 
@@ -393,6 +405,16 @@ def _print_cache_stats(runner: SimulationRunner, args: argparse.Namespace) -> No
         f"(hit rate {100 * stats.hit_rate:.1f}%)",
         file=stream,
     )
+    memo = get_layer_memo()
+    if memo is not None:
+        layer_stats = memo.stats
+        print(
+            "layer memo: "
+            f"{layer_stats.hits} hits, {layer_stats.misses} misses "
+            f"(hit rate {100 * layer_stats.hit_rate:.1f}%, "
+            f"{len(memo)} resident entries)",
+            file=stream,
+        )
 
 
 def _write_json(payload: dict, destination: str, quiet: bool) -> None:

@@ -22,6 +22,7 @@ validation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import DataflowError
@@ -336,6 +337,83 @@ def _column_segments(
 # ----------------------------------------------------------------------
 # Aggregate queries used by the performance model
 # ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScheduleSummary:
+    """The aggregate schedule quantities the analytical model consumes.
+
+    The performance estimators never read the materialised per-row and
+    per-column tuples of a :class:`DataflowSchedule` — only the total output
+    rows, the pattern count and the row-weighted average of consequential
+    filter rows.  All three are computable in O(stride x kernel) arithmetic,
+    so :func:`schedule_summary` provides them without building the schedule.
+    ``tests/test_dataflow.py`` pins the equivalence against
+    :func:`build_schedule` / :func:`average_active_filter_rows`.
+    """
+
+    output_rows: int
+    num_patterns: int
+    average_active_filter_rows: float
+
+
+@lru_cache(maxsize=4096)
+def _summarize_row_geometry(
+    out_rows: int, kernel_rows: int, stride_rows: int, padding_rows: int
+) -> ScheduleSummary:
+    rows = 0
+    weighted = 0
+    patterns = 0
+    for phase in range(min(stride_rows, out_rows)):
+        count = (out_rows - 1 - phase) // stride_rows + 1
+        active = max(
+            1,
+            len(
+                _consequential_kernel_indices(
+                    phase, kernel_rows, stride_rows, padding_rows
+                )
+            ),
+        )
+        patterns += 1
+        rows += count
+        weighted += count * active
+    average = weighted / rows if rows else 0.0
+    return ScheduleSummary(
+        output_rows=out_rows,
+        num_patterns=patterns,
+        average_active_filter_rows=average,
+    )
+
+
+def schedule_summary(binding: LayerBinding) -> ScheduleSummary:
+    """Aggregate schedule quantities of a (t)conv binding, without the schedule.
+
+    Equivalent to summarising ``build_schedule(binding)`` but O(stride x
+    kernel) instead of O(rows + cols), and memoized on the row geometry —
+    every layer sharing an output height / kernel / stride / padding reuses
+    one summary.
+    """
+    layer = binding.layer
+    if isinstance(layer, TransposedConvLayer):
+        if layer.rank not in (2, 3):
+            raise DataflowError(
+                f"{layer.name}: dataflow schedules support 2-D and 3-D layers"
+            )
+        row_dim = layer.rank - 2
+        return _summarize_row_geometry(
+            binding.output_shape.spatial[row_dim],
+            layer.kernel[row_dim],
+            layer.stride[row_dim],
+            layer.padding[row_dim],
+        )
+    if isinstance(layer, ConvLayer):
+        row_dim = layer.rank - 2 if layer.rank >= 2 else 0
+        out_rows = binding.output_shape.spatial[row_dim] if layer.rank >= 2 else 1
+        kernel_rows = layer.kernel[row_dim] if layer.rank >= 2 else 1
+        # Conventional convolutions are the degenerate single-pattern case:
+        # stride-1 structure with every filter row consequential.
+        return _summarize_row_geometry(out_rows, kernel_rows, 1, 0)
+    raise DataflowError(f"layer '{binding.name}' is not convolutional")
+
+
 def average_active_filter_rows(schedule: DataflowSchedule) -> float:
     """Row-count weighted average of consequential filter rows per output row."""
     rows = 0

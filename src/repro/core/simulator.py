@@ -12,11 +12,13 @@ variant packages exactly that).
 
 from __future__ import annotations
 
+from typing import Sequence, Tuple
+
 from ..accelerators.base import GanSimulatorBase
 from ..accelerators.registry import register_accelerator
 from ..analysis.results import LayerResult
 from ..nn.network import LayerBinding
-from .performance import GanaxLayerEstimate, estimate_layer
+from .performance import GanaxLayerEstimate, estimate_layer, estimate_network
 
 #: Canonical accelerator identifier used in results.
 ACCELERATOR_NAME = "ganax"
@@ -51,3 +53,14 @@ class GanaxSimulator(GanSimulatorBase):
             total_pe_cycles=estimate.total_pe_cycles,
             counters=estimate.counters,
         )
+
+    def simulate_layers(
+        self, bindings: Sequence[LayerBinding]
+    ) -> Tuple[LayerResult, ...]:
+        """Simulate a batch of layers through the vectorized estimator."""
+        estimates = estimate_network(
+            bindings,
+            self._config,
+            zero_skipping=self._options.ganax_zero_skipping,
+        )
+        return self._layer_results_from_estimates(bindings, estimates)

@@ -19,7 +19,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..errors import LayerError, ShapeError
 from .shapes import (
@@ -100,6 +103,29 @@ def _validate_conv_common(
         raise LayerError(f"{name}: stride extents must be positive, got {stride}")
     if any(p < 0 for p in padding):
         raise LayerError(f"{name}: padding must be non-negative, got {padding}")
+
+
+@lru_cache(maxsize=4096)
+def consequential_taps_along_extent(
+    in_extent: int, out_extent: int, kernel: int, stride: int, padding: int
+) -> Tuple[int, ...]:
+    """Per-output-coordinate consequential tap counts along one dimension.
+
+    Vectorized over the (output coordinate, kernel tap) grid and memoized on
+    the five geometry scalars: the same extents recur for every channel pair,
+    every repeated block of a generator stack, and across workload variants
+    that share layer geometry, so virtually all calls after the first are
+    dictionary lookups.
+    """
+    border = kernel - 1 - padding
+    zi_extent = (in_extent - 1) * stride + 1
+    expanded = (
+        np.arange(out_extent, dtype=np.int64)[:, None]
+        + np.arange(kernel, dtype=np.int64)[None, :]
+        - border
+    )
+    genuine = (expanded >= 0) & (expanded < zi_extent) & (expanded % stride == 0)
+    return tuple(int(taps) for taps in genuine.sum(axis=1))
 
 
 @dataclass(frozen=True)
@@ -290,19 +316,9 @@ class TransposedConvLayer(LayerSpec):
         element iff ``e - (kernel - 1 - padding)`` is a non-negative multiple
         of ``stride`` smaller than ``(in_extent - 1) * stride + 1``.
         """
-        border = kernel - 1 - padding
-        zi_extent = (in_extent - 1) * stride + 1
-        counts = []
-        for o in range(out_extent):
-            taps = 0
-            for k in range(kernel):
-                e = o + k - border
-                if e < 0 or e >= zi_extent:
-                    continue
-                if e % stride == 0:
-                    taps += 1
-            counts.append(taps)
-        return tuple(counts)
+        return consequential_taps_along_extent(
+            in_extent, out_extent, kernel, stride, padding
+        )
 
 
 @dataclass(frozen=True)

@@ -13,6 +13,7 @@ discriminator, mirroring Figure 2 of the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import NetworkError
@@ -34,15 +35,29 @@ class LayerBinding:
     def name(self) -> str:
         return self.layer.name
 
-    @property
+    def __hash__(self) -> int:
+        # Cached: the layer-memo fingerprint cache hashes bindings on every
+        # warm lookup, and the generated dataclass hash re-walks the nested
+        # layer/shape tuples each time.  Bindings are immutable, so the value
+        # is computed once (cached_property stores it on the instance
+        # __dict__, bypassing the frozen __setattr__).
+        return self._cached_hash
+
+    @cached_property
+    def _cached_hash(self) -> int:
+        return hash((self.index, self.layer, self.input_shape, self.output_shape))
+
+    # The work properties are cached per binding: the performance models read
+    # them several times per estimate and bindings are immutable.
+    @cached_property
     def total_macs(self) -> int:
         return self.layer.total_macs(self.input_shape)
 
-    @property
+    @cached_property
     def consequential_macs(self) -> int:
         return self.layer.consequential_macs(self.input_shape)
 
-    @property
+    @cached_property
     def weight_count(self) -> int:
         return self.layer.weight_count(self.input_shape)
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -148,14 +149,19 @@ def analyze_transposed_conv(
     )
 
 
-def _phase_taps(taps: Sequence[int], stride: int) -> Tuple[int, ...]:
-    """Representative (interior) tap count per output-column phase."""
-    result = []
-    for phase in range(stride):
-        values = [taps[i] for i in range(len(taps)) if i % stride == phase]
-        # Interior columns all share the same count; borders may be truncated.
-        result.append(max(values) if values else 0)
-    return tuple(result)
+@lru_cache(maxsize=4096)
+def _phase_taps(taps: Tuple[int, ...], stride: int) -> Tuple[int, ...]:
+    """Representative (interior) tap count per output-column phase.
+
+    Interior columns of one phase all share the same count; borders may be
+    truncated, so the per-phase maximum is the interior value.  Vectorized
+    (one grouped-maximum over the whole tap row) and memoized per
+    (taps, stride): distinct layers of the same geometry share one entry.
+    """
+    counts = np.asarray(taps, dtype=np.int64)
+    maxima = np.zeros(stride, dtype=np.int64)  # phases with no columns stay 0
+    np.maximum.at(maxima, np.arange(len(taps), dtype=np.int64) % stride, counts)
+    return tuple(int(value) for value in maxima)
 
 
 def _count_rows_with_phase(extent: int, stride: int, phase: int) -> int:

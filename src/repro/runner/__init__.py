@@ -17,11 +17,17 @@ from .backends import (
     get_backend,
 )
 from .cache import (
+    LAYER_MEMO_DIR_ENV,
+    LAYER_MEMO_ENV,
     CachePruneStats,
     CacheStats,
     DiskResultCache,
     InMemoryResultCache,
+    LayerMemoStats,
+    LayerMemoStore,
     ResultCache,
+    configure_layer_memo,
+    get_layer_memo,
 )
 from .events import (
     EVENT_KINDS,
@@ -45,6 +51,8 @@ __all__ = [
     "BACKENDS",
     "COMPARISON_PAIR",
     "EVENT_KINDS",
+    "LAYER_MEMO_DIR_ENV",
+    "LAYER_MEMO_ENV",
     "PROVENANCE_CACHE",
     "PROVENANCE_DEDUPLICATED",
     "PROVENANCE_EXECUTED",
@@ -59,6 +67,8 @@ __all__ = [
     "InMemoryResultCache",
     "JobCompletion",
     "JobFuture",
+    "LayerMemoStats",
+    "LayerMemoStore",
     "ProcessPoolBackend",
     "ResultCache",
     "RunnerEvent",
@@ -66,9 +76,11 @@ __all__ = [
     "SimulationJob",
     "SimulationRunner",
     "backend_names",
+    "configure_layer_memo",
     "execute_job",
     "get_backend",
     "get_default_runner",
+    "get_layer_memo",
     "resolve_accelerators",
     "set_default_runner",
 ]

@@ -191,20 +191,33 @@ class JobFuture:
             self._error = error
         # Run every done-callback *before* waking result() waiters, looping
         # so callbacks registered concurrently are never dropped.
-        while True:
+        try:
+            while True:
+                with self._cond:
+                    if not self._done_callbacks:
+                        self._settled = True
+                        self._cond.notify_all()
+                        return True
+                    callbacks = self._done_callbacks[:]
+                    del self._done_callbacks[:]
+                for fn in callbacks:
+                    self._safe_call(fn)
+        finally:
+            # A callback escaping with a BaseException (KeyboardInterrupt
+            # unwinding a dying pool's callback thread, say) must still leave
+            # the future settled: the terminal state is already recorded, and
+            # an unsettled-forever future would hang every result() waiter
+            # and as_completed() consumer.
             with self._cond:
-                if not self._done_callbacks:
+                if not self._settled:
                     self._settled = True
                     self._cond.notify_all()
-                    return True
-                callbacks = self._done_callbacks[:]
-                del self._done_callbacks[:]
-            for fn in callbacks:
-                self._safe_call(fn)
 
     def _safe_call(self, fn: Callable[["JobFuture"], None]) -> None:
         # A raising callback must not leave the future unsettled (that would
-        # deadlock every waiter); the runner's callbacks never raise.
+        # deadlock every waiter); the runner's callbacks never raise.  Only
+        # Exception is swallowed — BaseException (interrupts) propagates, and
+        # _settle's finally block keeps the future settled even then.
         try:
             fn(self)
         except Exception:
@@ -404,23 +417,56 @@ class ProcessPoolBackend(ExecutionBackend):
         workers = self._max_workers or os.cpu_count() or 1
         return max(1, job_count // (4 * workers))
 
+    @staticmethod
+    def _failed_future(error: BaseException) -> JobFuture:
+        future = JobFuture()
+        future.set_exception(error)
+        return future
+
     def submit_jobs(self, jobs: Sequence[SimulationJob]) -> List[JobFuture]:
+        """Submit every job; never raises mid-batch on a dead pool.
+
+        ``pool.submit`` raises once the pool is broken (a worker died — e.g.
+        killed by the OOM killer or an interrupt) or shut down.  Propagating
+        that from the middle of the loop would discard the already-submitted
+        futures and strand any consumer iterating ``as_completed`` over them;
+        instead the offending job and every remaining job settle immediately
+        as failed, so the full one-future-per-job list is always returned and
+        every future reaches a terminal state.
+        """
         if not jobs:
             return []
         pool = self._ensure_pool()
         chunksize = self._chunksize(len(jobs))
         if chunksize == 1:
-            return [_WrappedJobFuture(pool.submit(execute_job, job)) for job in jobs]
-        futures: List[JobFuture] = [_ChunkMemberFuture() for _ in jobs]
+            futures: List[JobFuture] = []
+            for index, job in enumerate(jobs):
+                try:
+                    inner = pool.submit(execute_job, job)
+                except BaseException as exc:
+                    futures.extend(
+                        self._failed_future(exc) for _ in range(index, len(jobs))
+                    )
+                    return futures
+                futures.append(_WrappedJobFuture(inner))
+            return futures
+        members_list: List[JobFuture] = [_ChunkMemberFuture() for _ in jobs]
         for start in range(0, len(jobs), chunksize):
-            members = futures[start : start + chunksize]
-            inner = pool.submit(_execute_job_chunk, list(jobs[start : start + chunksize]))
+            members = members_list[start : start + chunksize]
+            try:
+                inner = pool.submit(
+                    _execute_job_chunk, list(jobs[start : start + chunksize])
+                )
+            except BaseException as exc:
+                for member in members_list[start:]:
+                    member.set_exception(exc)
+                return members_list
             for member in members:
                 member._bind(inner)
             inner.add_done_callback(
                 lambda f, members=members: _settle_chunk(members, f)
             )
-        return futures
+        return members_list
 
     def close(self) -> None:
         if self._pool is not None:

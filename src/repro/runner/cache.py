@@ -22,14 +22,23 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Union
 
-from ..analysis.results import GanResult
+from ..analysis.results import GanResult, LayerResult
 from ..errors import AnalysisError
 
 PathLike = Union[str, Path]
+
+#: Environment switch for the process-global layer memo: ``"0"`` disables it.
+#: Propagated through the environment so process-pool workers (fork *and*
+#: spawn start methods inherit the environment) build an equivalent store.
+LAYER_MEMO_ENV = "REPRO_LAYER_MEMO"
+#: Optional directory for the layer memo's sharded on-disk tier.
+LAYER_MEMO_DIR_ENV = "REPRO_LAYER_MEMO_DIR"
 
 
 @dataclass(frozen=True)
@@ -162,11 +171,14 @@ class DiskResultCache(ResultCache):
         if key in self._overlay:
             return self._overlay[key]
         path = self._path_for(key)
-        if not path.exists():
-            return None
         try:
             with path.open("rb") as handle:
                 result = pickle.load(handle)
+        except FileNotFoundError:
+            # Absent — or deleted by a concurrent prune()/clear() between any
+            # earlier existence check and the open.  A clean miss either way;
+            # nothing to unlink.
+            return None
         except Exception:
             # A truncated/corrupt entry (e.g. torn write from a crashed run)
             # is a miss, not a fatal error; drop it so it gets rewritten.
@@ -176,7 +188,10 @@ class DiskResultCache(ResultCache):
                 pass
             return None
         try:
-            os.utime(path)  # refresh recency so prune() evicts cold entries first
+            # Refresh recency so prune() evicts cold entries first.  The entry
+            # may vanish between the read and the touch (concurrent prune);
+            # the pickled bytes are already in hand, so serve them regardless.
+            os.utime(path)
         except OSError:
             pass
         self._overlay[key] = result
@@ -256,3 +271,222 @@ class DiskResultCache(ResultCache):
             remaining_entries=len(entries) - removed_entries,
             remaining_bytes=total,
         )
+
+
+# ----------------------------------------------------------------------
+# Layer-grain memoization (below the job-level result cache)
+# ----------------------------------------------------------------------
+@dataclass
+class LayerMemoStats:
+    """Counters for the layer-grain memo (one tier below :class:`CacheStats`)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "hit_rate": self.hit_rate,
+        }
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.stores = 0
+
+
+class LayerMemoStore:
+    """Thread-safe LRU memo of per-layer simulation results.
+
+    Keys are :func:`~repro.analysis.serialization.layer_fingerprint` digests —
+    content hashes over (layer structure × input shape × accelerator identity
+    × configuration × canonical options) — so any two jobs whose networks
+    share a layer shape under the same simulation context share one entry,
+    across workloads and across sweeps.
+
+    The memo is two-tier: an in-memory ``OrderedDict`` LRU (bounded by
+    ``max_entries``) plus an optional sharded pickle directory
+    (``<root>/<key[:2]>/<key>.pkl``, same layout and torn-write discipline as
+    :class:`DiskResultCache`) so warm layers survive process restarts and are
+    shared between pool workers.  All operations tolerate entries vanishing
+    concurrently (another process pruning the shard directory): a vanished
+    file is a miss, never an error.
+    """
+
+    def __init__(
+        self, max_entries: int = 65536, root: Optional[PathLike] = None
+    ) -> None:
+        if max_entries <= 0:
+            raise AnalysisError(f"max_entries must be > 0, got {max_entries}")
+        self._max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, LayerResult]" = OrderedDict()
+        self._stats = LayerMemoStats()
+        self._root: Optional[Path] = None
+        if root is not None:
+            self._root = Path(root)
+            if self._root.exists() and not self._root.is_dir():
+                raise AnalysisError(
+                    f"layer memo root '{self._root}' exists and is not a directory"
+                )
+            self._root.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def root(self) -> Optional[Path]:
+        return self._root
+
+    @property
+    def stats(self) -> LayerMemoStats:
+        return self._stats
+
+    def _path_for(self, key: str) -> Path:
+        assert self._root is not None
+        return self._root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[LayerResult]:
+        """The memoized layer result for ``key``, or None on a miss."""
+        with self._lock:
+            result = self._entries.get(key)
+            if result is not None:
+                self._entries.move_to_end(key)
+                self._stats.hits += 1
+                return result
+        if self._root is not None:
+            result = self._disk_get(key)
+            if result is not None:
+                with self._lock:
+                    self._insert_locked(key, result)
+                    self._stats.hits += 1
+                return result
+        with self._lock:
+            self._stats.misses += 1
+        return None
+
+    def put(self, key: str, result: LayerResult) -> None:
+        """Memoize ``result`` under ``key`` (overwrites silently)."""
+        with self._lock:
+            self._insert_locked(key, result)
+            self._stats.stores += 1
+        if self._root is not None:
+            self._disk_put(key, result)
+
+    def _insert_locked(self, key: str, result: LayerResult) -> None:
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+
+    def _disk_get(self, key: str) -> Optional[LayerResult]:
+        path = self._path_for(key)
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def _disk_put(self, key: str, result: LayerResult) -> None:
+        path = self._path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key[:16]}.", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+        if self._root is not None:
+            for path in self._root.glob("*/*.pkl"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+
+_layer_memo_lock = threading.Lock()
+_layer_memo: Optional[LayerMemoStore] = None
+_layer_memo_configured = False
+
+
+def configure_layer_memo(
+    enabled: bool = True,
+    root: Optional[PathLike] = None,
+    max_entries: int = 65536,
+) -> Optional[LayerMemoStore]:
+    """(Re)configure the process-global layer memo; returns the new store.
+
+    Also records the configuration in the process environment
+    (:data:`LAYER_MEMO_ENV` / :data:`LAYER_MEMO_DIR_ENV`) so process-pool
+    workers spawned afterwards — under either the ``fork`` or ``spawn`` start
+    method, both of which inherit the environment — lazily build an
+    equivalent store via :func:`get_layer_memo`.  Pass ``enabled=False`` to
+    disable layer memoization entirely (returns None).
+    """
+    global _layer_memo, _layer_memo_configured
+    with _layer_memo_lock:
+        if enabled:
+            store: Optional[LayerMemoStore] = LayerMemoStore(
+                max_entries=max_entries, root=root
+            )
+            os.environ[LAYER_MEMO_ENV] = "1"
+            if root is not None:
+                os.environ[LAYER_MEMO_DIR_ENV] = str(Path(root))
+            else:
+                os.environ.pop(LAYER_MEMO_DIR_ENV, None)
+        else:
+            store = None
+            os.environ[LAYER_MEMO_ENV] = "0"
+            os.environ.pop(LAYER_MEMO_DIR_ENV, None)
+        _layer_memo = store
+        _layer_memo_configured = True
+        return store
+
+
+def get_layer_memo() -> Optional[LayerMemoStore]:
+    """The process-global layer memo, or None when disabled.
+
+    On first use in a process that never called :func:`configure_layer_memo`
+    (notably pool workers), the store is built from the environment:
+    in-memory-only by default, disabled when ``REPRO_LAYER_MEMO=0``, with an
+    on-disk tier rooted at ``REPRO_LAYER_MEMO_DIR`` when set.
+    """
+    global _layer_memo, _layer_memo_configured
+    with _layer_memo_lock:
+        if not _layer_memo_configured:
+            if os.environ.get(LAYER_MEMO_ENV, "1") == "0":
+                _layer_memo = None
+            else:
+                memo_dir = os.environ.get(LAYER_MEMO_DIR_ENV) or None
+                _layer_memo = LayerMemoStore(root=memo_dir)
+            _layer_memo_configured = True
+        return _layer_memo

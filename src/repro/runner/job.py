@@ -27,16 +27,18 @@ need to unpickle simulator instances.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Optional, Sequence, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
-from ..accelerators.registry import get_accelerator
-from ..analysis.results import GanResult
+from ..accelerators.registry import AcceleratorSpec, get_accelerator
+from ..analysis.results import GanResult, LayerResult
 from ..errors import AnalysisError
 from ..analysis.serialization import (
     config_fingerprint,
     fingerprint_data,
+    layer_fingerprint,
     options_fingerprint,
     workload_fingerprint,
 )
@@ -158,18 +160,85 @@ class SimulationJob:
         return eyeriss, ganax
 
 
+def _memoized_layer_fn(
+    spec: AcceleratorSpec, simulator: object, job: SimulationJob
+) -> Optional[Callable[[Sequence[object]], Tuple[LayerResult, ...]]]:
+    """A batch layer evaluator backed by the process-global layer memo.
+
+    Returns None — meaning "simulate normally, no memo" — when the memo is
+    disabled or when the simulator is not eligible: only simulators that use
+    the *unoverridden* :class:`GanSimulatorBase` network/GAN aggregation are
+    guaranteed to route every layer through ``layer_fn``, so memoizing behind
+    a custom aggregation could silently change results.
+
+    Memo keys are :func:`layer_fingerprint` digests over (layer structure ×
+    input shape × accelerator identity × config × canonical options) — the
+    layer *name* is excluded, so distinct workloads sharing a layer shape
+    share the entry; hits are re-labelled with the requesting binding's name.
+    Misses are computed in one :meth:`simulate_layers` batch, so memoization
+    composes with the vectorized estimators instead of defeating them.
+    """
+    # Late imports: the accelerators package (and the cache module) are still
+    # initializing when this module is first imported through them.
+    from ..accelerators.base import GanSimulatorBase
+    from .cache import get_layer_memo
+
+    memo = get_layer_memo()
+    if memo is None or not isinstance(simulator, GanSimulatorBase):
+        return None
+    cls = type(simulator)
+    if (
+        cls.simulate_gan is not GanSimulatorBase.simulate_gan
+        or cls.simulate_network is not GanSimulatorBase.simulate_network
+    ):
+        return None
+    canonical = spec.canonical_options(job.options)
+
+    def layer_fn(bindings: Sequence[object]) -> Tuple[LayerResult, ...]:
+        keys = [
+            layer_fingerprint(b, spec.name, spec.version, job.config, canonical)
+            for b in bindings
+        ]
+        results: List[Optional[LayerResult]] = [None] * len(bindings)
+        missing: List[int] = []
+        for index, (binding, key) in enumerate(zip(bindings, keys)):
+            hit = memo.get(key)
+            if hit is not None:
+                if hit.layer_name != binding.name:
+                    hit = dataclasses.replace(hit, layer_name=binding.name)
+                results[index] = hit
+            else:
+                missing.append(index)
+        if missing:
+            computed = simulator.simulate_layers([bindings[i] for i in missing])
+            for index, result in zip(missing, computed):
+                memo.put(keys[index], result)
+                results[index] = result
+        return tuple(results)
+
+    return layer_fn
+
+
 def execute_job(job: SimulationJob) -> GanResult:
     """Run one job to completion (used by every backend, picklable).
+
+    When the process-global layer memo is enabled (see
+    :func:`repro.runner.cache.get_layer_memo`), eligible simulators assemble
+    their network totals from per-layer memo hits, so distinct workloads that
+    share a layer shape share the work.
 
     Enforces the registry contract that a model reports its own registry
     name in its results: a delegating factory that forwards another entry's
     results unchanged would otherwise poison the cache under the wrong
     identity and crash the comparison assembly much later.
     """
-    simulator = get_accelerator(job.accelerator).create(
-        config=job.config, options=job.options
-    )
-    result = simulator.simulate_gan(job.model)
+    spec = get_accelerator(job.accelerator)
+    simulator = spec.create(config=job.config, options=job.options)
+    layer_fn = _memoized_layer_fn(spec, simulator, job)
+    if layer_fn is not None:
+        result = simulator.simulate_gan(job.model, layer_fn=layer_fn)
+    else:
+        result = simulator.simulate_gan(job.model)
     if result.accelerator != job.accelerator:
         raise AnalysisError(
             f"accelerator '{job.accelerator}' produced results labelled "

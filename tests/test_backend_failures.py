@@ -1,0 +1,164 @@
+"""Failure-path hardening of the execution backends and the disk cache.
+
+Covers the two bugfix satellites of the cache/backend sweep:
+
+* A dying process pool (workers killed, OOM-killed, or the pool shut down
+  mid-batch) must settle **every** in-flight :class:`JobFuture` with a
+  terminal failure instead of stranding ``as_completed()`` consumers, and
+  ``submit_jobs`` on a broken pool must return a full one-future-per-job
+  list rather than raising mid-loop.
+* ``DiskResultCache.get()`` must treat entries that vanish under a
+  concurrent ``prune()``/delete as clean misses — including when the
+  recency-refreshing ``os.utime`` is what hits the vanished file.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.runner import (
+    DiskResultCache,
+    JobFuture,
+    ProcessPoolBackend,
+    SimulationJob,
+    execute_job,
+)
+
+
+@pytest.fixture
+def jobs(dcgan_model, paper_config, options):
+    return [
+        SimulationJob(dcgan_model, accelerator, paper_config, options)
+        for accelerator in ("eyeriss", "ganax")
+    ]
+
+
+def _wait_all_done(futures, timeout: float = 30.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if all(future.done() for future in futures):
+            return True
+        time.sleep(0.05)
+    return False
+
+
+def _kill_pool_workers(backend: ProcessPoolBackend) -> None:
+    assert backend._pool is not None
+    for pid in list(backend._pool._processes):
+        os.kill(pid, signal.SIGKILL)
+
+
+class TestJobFutureSettling:
+    def test_raising_done_callback_still_settles(self, jobs):
+        future = JobFuture()
+        future.add_done_callback(lambda f: (_ for _ in ()).throw(RuntimeError()))
+        result = execute_job(jobs[0])
+        assert future.set_result(result)
+        assert future.done()
+        assert future.result(timeout=1) == result
+
+    def test_baseexception_callback_cannot_strand_waiters(self, jobs):
+        """An interrupt escaping a callback must not leave the future unsettled."""
+        future = JobFuture()
+
+        def interrupting(_):
+            raise KeyboardInterrupt()
+
+        future.add_done_callback(interrupting)
+        with pytest.raises(KeyboardInterrupt):
+            future.set_result(execute_job(jobs[0]))
+        assert future.done()  # terminal despite the escaping callback
+        assert future.result(timeout=1) is not None
+
+
+class TestBrokenPool:
+    def test_killed_workers_settle_every_inflight_future(self, jobs):
+        """SIGKILLing the workers mid-batch terminates every future."""
+        backend = ProcessPoolBackend(max_workers=2)
+        try:
+            # Prime the pool so worker processes exist, then race a batch
+            # against their death.
+            backend.submit_jobs(jobs[:1])[0].result(timeout=60)
+            futures = backend.submit_jobs(jobs * 16)
+            _kill_pool_workers(backend)
+            assert _wait_all_done(futures), "pool death stranded futures"
+            for future in futures:
+                # Terminal either way: a result if the job landed before the
+                # kill, a BrokenProcessPool-style failure otherwise.
+                assert future.done()
+                assert (future.peek_result() is not None) or (
+                    future.exception() is not None
+                )
+        finally:
+            backend.close()
+
+    def test_submit_on_broken_pool_returns_failed_futures(self, jobs):
+        """A broken pool fails the batch per-future instead of raising."""
+        backend = ProcessPoolBackend(max_workers=2)
+        try:
+            backend.submit_jobs(jobs[:1])[0].result(timeout=60)
+            first = backend.submit_jobs(jobs * 16)
+            _kill_pool_workers(backend)
+            assert _wait_all_done(first)
+            # The executor has now observed the dead workers; submitting
+            # again raises BrokenProcessPool inside submit_jobs, which must
+            # surface as settled-failed futures, not an exception.
+            second = backend.submit_jobs(jobs * 4)
+            assert len(second) == len(jobs) * 4
+            assert _wait_all_done(second, timeout=10)
+            assert all(future.exception() is not None for future in second)
+        finally:
+            backend.close()
+
+    def test_submit_on_closed_pool_returns_failed_futures(self, jobs):
+        """shutdown() racing submit_jobs settles the batch as failed."""
+        backend = ProcessPoolBackend(max_workers=1)
+        backend.submit_jobs(jobs[:1])[0].result(timeout=60)
+        pool = backend._pool
+        assert pool is not None
+        pool.shutdown(wait=True)
+        futures = backend.submit_jobs(jobs)
+        assert len(futures) == len(jobs)
+        assert all(future.done() for future in futures)
+        assert all(future.exception() is not None for future in futures)
+        backend._pool = None  # the pool is already shut down
+
+
+class TestDiskCacheRaces:
+    def _entry(self, tmp_path, jobs):
+        cache = DiskResultCache(tmp_path / "cache")
+        job = jobs[0]
+        result = execute_job(job)
+        cache.put(job.cache_key, result)
+        return job.cache_key, result
+
+    def test_vanished_entry_is_a_clean_miss(self, tmp_path, jobs):
+        key, _ = self._entry(tmp_path, jobs)
+        cold = DiskResultCache(tmp_path / "cache")  # empty overlay
+        path = cold._path_for(key)
+        path.unlink()  # concurrent prune()/delete between lookup and open
+        assert cold.get(key) is None
+
+    def test_utime_racing_prune_still_serves_the_result(
+        self, tmp_path, jobs, monkeypatch
+    ):
+        """Entry read OK but deleted before the recency touch: still a hit."""
+        key, result = self._entry(tmp_path, jobs)
+        cold = DiskResultCache(tmp_path / "cache")
+
+        def vanished(path, *args, **kwargs):
+            raise FileNotFoundError(path)
+
+        monkeypatch.setattr(os, "utime", vanished)
+        assert cold.get(key) == result
+
+    def test_prune_to_zero_then_get_misses_without_error(self, tmp_path, jobs):
+        key, _ = self._entry(tmp_path, jobs)
+        cold = DiskResultCache(tmp_path / "cache")
+        stats = cold.prune(max_bytes=0)
+        assert stats.remaining_entries == 0
+        assert cold.get(key) is None

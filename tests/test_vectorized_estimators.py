@@ -1,0 +1,156 @@
+"""Scalar vs. vectorized estimator parity.
+
+The analytic performance models now run as NumPy array programs over whole
+layer tables (``estimate_network`` in :mod:`repro.baseline.performance` and
+:mod:`repro.core.performance`, surfaced through ``simulate_layers``).  The
+vectorized path must be **bit-identical** to the per-layer scalar path — the
+golden regression numbers pin the absolute values; these tests pin the
+equivalence itself, over the six paper GANs, the registered accelerator
+variants, hypothesis-generated synthetic families, and the big-integer
+fallback that guards float64-inexact layer tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.accelerators.registry import get_accelerator
+from repro.baseline.performance import (
+    FLOAT64_EXACT_LIMIT,
+    estimate_layer as baseline_estimate_layer,
+    estimate_network as baseline_estimate_network,
+)
+from repro.config import ArchitectureConfig
+from repro.core.performance import (
+    estimate_layer as ganax_estimate_layer,
+    estimate_network as ganax_estimate_network,
+)
+from repro.nn.layers import TransposedConvLayer
+from repro.nn.network import LayerBinding
+from repro.nn.shapes import FeatureMapShape
+from repro.workloads.registry import get_workload, workload_names
+from repro.workloads.synthetic import build_synthetic
+
+ACCELERATORS = ("eyeriss", "ganax", "ganax-noskip", "ideal")
+
+
+def _networks(model):
+    return (model.generator, model.discriminator)
+
+
+class TestSimulatorParity:
+    @pytest.mark.parametrize("accelerator", ACCELERATORS)
+    @pytest.mark.parametrize("model_name", sorted(workload_names()))
+    def test_simulate_layers_matches_per_layer_loop(
+        self, accelerator, model_name, paper_config
+    ):
+        simulator = get_accelerator(accelerator).create(config=paper_config)
+        model = get_workload(model_name)
+        for network in _networks(model):
+            vectorized = simulator.simulate_layers(network.bindings)
+            scalar = tuple(
+                simulator.simulate_layer(binding) for binding in network.bindings
+            )
+            assert vectorized == scalar
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        depth=st.integers(min_value=1, max_value=6),
+        base_channels=st.sampled_from([8, 32, 128]),
+        kernel=st.integers(min_value=2, max_value=6),
+        stride=st.sampled_from([1, 2, 4]),
+        upsample_percent=st.sampled_from([0, 50, 100]),
+    )
+    def test_parity_on_synthetic_families(
+        self, depth, base_channels, kernel, stride, upsample_percent
+    ):
+        try:
+            model = build_synthetic(
+                depth=depth,
+                base_channels=base_channels,
+                kernel=kernel,
+                stride=stride,
+                upsample_percent=upsample_percent,
+            )
+        except Exception:
+            assume(False)  # no exact-upsampling geometry for these knobs
+        config = ArchitectureConfig.paper_default()
+        for accelerator in ("eyeriss", "ganax"):
+            simulator = get_accelerator(accelerator).create(config=config)
+            for network in _networks(model):
+                vectorized = simulator.simulate_layers(network.bindings)
+                scalar = tuple(
+                    simulator.simulate_layer(binding)
+                    for binding in network.bindings
+                )
+                assert vectorized == scalar
+
+
+class TestEstimatorTableParity:
+    @pytest.mark.parametrize("model_name", sorted(workload_names()))
+    def test_baseline_table_matches_scalar(self, model_name, paper_config):
+        model = get_workload(model_name)
+        for network in _networks(model):
+            table = baseline_estimate_network(network.bindings, paper_config)
+            for binding, estimate in zip(network.bindings, table):
+                assert estimate == baseline_estimate_layer(binding, paper_config)
+
+    @pytest.mark.parametrize("zero_skipping", (True, False))
+    @pytest.mark.parametrize("model_name", sorted(workload_names()))
+    def test_ganax_table_matches_scalar(self, model_name, zero_skipping, paper_config):
+        model = get_workload(model_name)
+        for network in _networks(model):
+            table = ganax_estimate_network(
+                network.bindings, paper_config, zero_skipping=zero_skipping
+            )
+            for binding, estimate in zip(network.bindings, table):
+                assert estimate == ganax_estimate_layer(
+                    binding, paper_config, zero_skipping=zero_skipping
+                )
+
+    def test_tables_preserve_binding_order(self, paper_config, dcgan_model):
+        bindings = dcgan_model.generator.bindings
+        reversed_bindings = tuple(reversed(bindings))
+        forward = baseline_estimate_network(bindings, paper_config)
+        backward = baseline_estimate_network(reversed_bindings, paper_config)
+        assert forward == tuple(reversed(backward))
+
+
+class TestFloat64Fallback:
+    """Layer tables beyond 2**53 fall back to exact big-integer scalars."""
+
+    def _huge_binding(self) -> LayerBinding:
+        layer = TransposedConvLayer(
+            name="huge_tconv",
+            out_channels=2**21,
+            kernel=7,
+            stride=2,
+            padding=3,
+            output_padding=1,
+        )
+        input_shape = FeatureMapShape.image(2**21, 32, 32)
+        return LayerBinding(
+            index=0,
+            layer=layer,
+            input_shape=input_shape,
+            output_shape=layer.output_shape(input_shape),
+        )
+
+    def test_work_exceeds_float64_exact_range(self):
+        assert self._huge_binding().total_macs > FLOAT64_EXACT_LIMIT
+
+    def test_baseline_fallback_is_exact(self, paper_config):
+        binding = self._huge_binding()
+        (table_estimate,) = baseline_estimate_network([binding], paper_config)
+        assert table_estimate == baseline_estimate_layer(binding, paper_config)
+
+    @pytest.mark.parametrize("zero_skipping", (True, False))
+    def test_ganax_fallback_is_exact(self, zero_skipping, paper_config):
+        binding = self._huge_binding()
+        (table_estimate,) = ganax_estimate_network(
+            [binding], paper_config, zero_skipping=zero_skipping
+        )
+        assert table_estimate == ganax_estimate_layer(
+            binding, paper_config, zero_skipping=zero_skipping
+        )
