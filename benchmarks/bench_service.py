@@ -1,0 +1,153 @@
+"""Benchmark of the simulation service's overhead vs direct submit().
+
+Runs a design-space sweep — the six-GAN (eyeriss, ganax) comparison grid
+at four PV counts, 48 distinct jobs — two ways and compares wall time:
+
+* **direct** — build the jobs and drive ``SimulationRunner.submit()`` +
+  ``as_completed()`` in-process (the PR-5 streaming path);
+* **served** — submit the same grid as wire job specs through a live
+  :class:`~repro.service.SimulationServer` over localhost TCP, streaming
+  the event records back through :class:`~repro.service.Client`.
+
+The service buys multi-client sharing, admission control and durability;
+it must not tax a single sweep much for it.  The contract enforced here:
+the served grid stays within **1.5x** of the direct path's wall time.
+Both paths run fully cold — fresh runner, cold job-level result cache,
+and the process-global layer memo disabled for the timed region — so each
+round performs the identical full simulation and the ratio isolates
+protocol + scheduling overhead.  Both sides are measured best-of-N to
+shave scheduler noise.  A second served submission against a warm server
+must then resolve entirely from cache (the multi-client dedup story),
+byte-agreeing with the direct path's numbers.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.runner import SerialBackend, SimulationRunner, configure_layer_memo
+from repro.service import Client, SimulationServer, grid_specs
+
+#: Maximum tolerated served wall time, as a fraction of the direct path.
+MAX_SERVED_OVERHEAD = 1.5
+
+#: Timing repetitions; the best run is compared to shave scheduler noise.
+ROUNDS = 3
+
+SIX_GANS = ("3D-GAN", "ArtGAN", "DCGAN", "DiscoGAN", "GP-GAN", "MAGAN")
+
+#: PV counts swept per (model, accelerator) pair: 4 x 12 = 48 distinct jobs.
+PV_SWEEP = (4, 8, 16, 32)
+
+
+def grid():
+    return [
+        spec
+        for num_pvs in PV_SWEEP
+        for spec in grid_specs(
+            SIX_GANS, ["eyeriss", "ganax"], config={"num_pvs": num_pvs}
+        )
+    ]
+
+
+def run_direct():
+    """The in-process streaming path on a fresh (cold result cache) runner."""
+    with SimulationRunner(backend=SerialBackend()) as runner:
+        jobs = [spec.build() for spec in grid()]
+        handle = runner.submit(jobs)
+        completions = list(handle.as_completed())
+        return {
+            (c.job.model_name, c.job.accelerator, c.job.config.num_pvs):
+                c.result.generator.cycles
+            for c in completions
+        }
+
+
+def timed_best(fn, rounds=ROUNDS):
+    best_result, best_seconds = None, float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        seconds = time.perf_counter() - start
+        if seconds < best_seconds:
+            best_result, best_seconds = result, seconds
+    return best_result, best_seconds
+
+
+def test_served_grid_overhead_within_budget(benchmark):
+    """The served six-GAN grid must stay within 1.5x of direct submit()."""
+
+    specs = grid()
+
+    def run_served():
+        # a fresh runner per round keeps the job-level cache cold; server
+        # and connection setup stay outside the timed region below
+        with SimulationRunner(backend=SerialBackend()) as runner:
+            with SimulationServer(port=0, runner=runner) as server:
+                with Client(port=server.port) as client:
+                    start = time.perf_counter()
+                    records = client.run(specs)
+                    seconds = time.perf_counter() - start
+        cycles = {
+            (
+                r["model"],
+                r["accelerator"],
+                specs[r["index"]].config["num_pvs"],
+            ): r["generator_cycles"]
+            for r in records
+        }
+        return cycles, seconds
+
+    # Disable the process-global layer memo so every round — direct and
+    # served alike — performs the full cold-grid simulation.
+    configure_layer_memo(enabled=False)
+    try:
+        direct_cycles, direct_seconds = benchmark.pedantic(
+            lambda: timed_best(run_direct), iterations=1, rounds=1
+        )
+
+        served_seconds = float("inf")
+        served_cycles = None
+        for _ in range(ROUNDS):
+            cycles, seconds = run_served()
+            if seconds < served_seconds:
+                served_cycles, served_seconds = cycles, seconds
+    finally:
+        configure_layer_memo()
+
+    # The wire records carry the same numbers the direct path computed.
+    assert served_cycles == direct_cycles
+
+    overhead = served_seconds / direct_seconds if direct_seconds > 0 else 1.0
+    assert overhead <= MAX_SERVED_OVERHEAD, (
+        f"served grid took {overhead:.2f}x the direct path; "
+        f"budget is {MAX_SERVED_OVERHEAD:.2f}x"
+    )
+
+    # Warm server: a duplicate sweep resolves entirely from cache.
+    with SimulationRunner(backend=SerialBackend()) as runner:
+        with SimulationServer(port=0, runner=runner) as server:
+            with Client(port=server.port) as first:
+                first.run(grid())
+            with Client(port=server.port) as second:
+                second_records = second.run(grid())
+                warm_counts = second.last_counts
+    assert all(r["event"] == "cache-hit" for r in second_records)
+    assert warm_counts["cache-hit"] == len(grid())
+    assert warm_counts["completed"] == 0
+
+    jobs = len(grid())
+    emit(
+        format_table(
+            ["Path", "Wall time (ms)", "vs direct"],
+            [
+                ["direct submit()", 1e3 * direct_seconds, 1.0],
+                ["served (TCP + JSONL)", 1e3 * served_seconds, overhead],
+            ],
+            title=f"Service overhead: {jobs}-job six-GAN PV sweep (serial backend)",
+            float_format="{:.2f}",
+        )
+    )

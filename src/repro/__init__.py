@@ -30,7 +30,13 @@ This package implements, from scratch:
   as they land, with a typed :class:`~repro.runner.RunnerEvent` stream for
   live progress, three pluggable backends (serial, process-pool, asyncio),
   and streaming consumers all the way up — ``Session.stream_compare``,
-  ``ParameterSweep.iter_points``, the CLI's ``--progress`` / ``--jsonl``.
+  ``ParameterSweep.iter_points``, the CLI's ``--progress`` / ``--jsonl``,
+* a **simulation service** (:mod:`repro.service`): a multi-client streaming
+  TCP server over one shared runner — versioned JSONL protocol, per-client
+  admission control, cross-client dedup, durable event journal with crash
+  resume — via ``repro-experiments serve`` / ``remote-compare`` or
+  :class:`repro.service.SimulationServer` / :class:`repro.service.Client`
+  in-process (see ``repro/service/README.md``).
 
 Quick start — the paper's two-point comparison::
 

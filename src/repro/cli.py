@@ -23,6 +23,9 @@ Installed as ``repro-experiments`` (see ``pyproject.toml``).  Examples::
     repro-experiments compare --progress --jsonl - # stream results as JSONL
     repro-experiments sweep --parameter num_pvs --values 4,8 --jsonl run.jsonl
     repro-experiments compare --backend asyncio    # pick a runner backend
+    repro-experiments serve --port 8642 --journal run.journal
+    repro-experiments serve --journal run.journal --resume  # crash recovery
+    repro-experiments remote-compare --port 8642 --workloads dcgan,artgan
 
 Every simulation runs through one shared
 :class:`~repro.runner.SimulationRunner`, so the whole invocation shares a
@@ -45,6 +48,14 @@ JSON record per job *as it terminates* — ``completed``, ``cache-hit``,
 two; PATH is rewritten each run).  Both work with every backend, because
 they subscribe to the runner's typed event stream rather than wrapping any
 particular mode.
+
+The ``serve`` mode hosts one shared runner as a long-running TCP service
+(see :mod:`repro.service`): multiple clients stream batches through the
+same content-addressed cache with per-client admission control, and
+``--journal``/``--resume`` make sweeps crash-recoverable.  The
+``remote-compare`` mode is the matching client: it submits the same
+(workload x accelerator) grid as ``compare`` to a running service and
+streams the results back.
 """
 
 from __future__ import annotations
@@ -77,6 +88,9 @@ from .runner import (
     get_backend,
     get_layer_memo,
 )
+from .service import Client, SimulationServer
+from .service.protocol import grid_specs
+from .service.server import DEFAULT_PORT
 from .session import Session
 from .workloads.registry import (
     describe_workload_families,
@@ -101,7 +115,9 @@ def build_parser() -> argparse.ArgumentParser:
             "experiment id (e.g. figure8, table3), 'all', 'list', "
             "'list-accelerators', 'list-workloads', 'compare' (N-way "
             "accelerator comparison), 'sweep' (one-parameter configuration "
-            "sweep), 'dse' (design-space exploration), or 'cache-prune'"
+            "sweep), 'dse' (design-space exploration), 'cache-prune', "
+            "'serve' (host the simulation service), or 'remote-compare' "
+            "(run a comparison grid against a running service)"
         ),
     )
     parser.add_argument(
@@ -248,6 +264,73 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-stats",
         action="store_true",
         help="print cache hit/miss accounting after the run",
+    )
+    parser.add_argument(
+        "--host",
+        metavar="ADDR",
+        default=None,
+        help=(
+            "service address for 'serve'/'remote-compare' "
+            "(default: 127.0.0.1)"
+        ),
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        metavar="N",
+        default=None,
+        help=(
+            "service TCP port for 'serve'/'remote-compare' "
+            f"(default: {DEFAULT_PORT}; 0 binds an ephemeral port)"
+        ),
+    )
+    parser.add_argument(
+        "--port-file",
+        metavar="PATH",
+        default=None,
+        help="'serve' writes its bound port to PATH (for scripted clients)",
+    )
+    parser.add_argument(
+        "--quota",
+        type=int,
+        metavar="N",
+        default=None,
+        help="'serve' per-client in-flight job quota",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        metavar="N",
+        default=None,
+        help="'serve' server-wide in-flight job bound",
+    )
+    parser.add_argument(
+        "--max-active",
+        type=int,
+        metavar="N",
+        default=None,
+        help="'serve' batches concurrently dispatched to the shared runner",
+    )
+    parser.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help="'serve' journals terminal job events to PATH (JSONL, fsync'd)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        default=None,
+        help=(
+            "'serve' replays the --journal into the result cache at startup "
+            "so a restarted sweep re-runs only missing jobs"
+        ),
+    )
+    parser.add_argument(
+        "--client-id",
+        metavar="ID",
+        default=None,
+        help="client identity 'remote-compare' announces to the service",
     )
     return parser
 
@@ -494,6 +577,140 @@ def _run_cache_prune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` mode: host the simulation service until interrupted."""
+    import signal
+
+    # The service's natural host is the event-driven backend; --backend /
+    # --parallel / --workers still override it the usual way.
+    if args.backend is None and not args.parallel and args.workers is None:
+        args.backend = "asyncio"
+    try:
+        runner = build_runner(args)
+    except Exception as exc:  # bad --workers / --backend / --cache-dir
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.progress:
+        runner.subscribe(_ProgressPrinter())
+    try:
+        server = SimulationServer(
+            host=args.host or "127.0.0.1",
+            port=args.port if args.port is not None else DEFAULT_PORT,
+            runner=runner,
+            quota=args.quota if args.quota is not None else 64,
+            queue_limit=args.queue_limit if args.queue_limit is not None else 1024,
+            max_active_requests=args.max_active if args.max_active is not None else 4,
+            journal_path=args.journal,
+            resume=bool(args.resume),
+        )
+        server.start_in_thread()
+    except (ReproError, OSError) as exc:  # bad knobs, port in use, bad journal
+        print(f"error: {exc}", file=sys.stderr)
+        runner.close()
+        return 2
+    # Operational chatter goes to stderr so scripts can own stdout.
+    if server.restored_entries:
+        print(
+            f"resumed {server.restored_entries} journaled results into the cache",
+            file=sys.stderr,
+        )
+    print(
+        f"serving on {server.host}:{server.port} "
+        f"(quota={server.admission.quota}, "
+        f"queue-limit={server.admission.queue_limit}); Ctrl-C stops",
+        file=sys.stderr,
+    )
+    if args.port_file:
+        with open(args.port_file, "w", encoding="utf-8") as handle:
+            handle.write(f"{server.port}\n")
+    stop = threading.Event()
+
+    def _request_stop(_signum: int, _frame: object) -> None:
+        stop.set()
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _request_stop)
+        except ValueError:  # not the main thread (e.g. under a test harness)
+            pass
+    try:
+        try:
+            stop.wait()
+        except KeyboardInterrupt:
+            pass
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        print("draining in-flight jobs...", file=sys.stderr)
+        server.shutdown()
+        runner.close()
+    print("server stopped", file=sys.stderr)
+    return 0
+
+
+def _run_remote_compare(args: argparse.Namespace) -> int:
+    """The ``remote-compare`` mode: the comparison grid, via a running service."""
+    try:
+        accelerators = parse_accelerator_list(args.accelerators) or accelerator_names()
+        workloads = parse_workload_list(args.workloads) or workload_names()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    specs = grid_specs(workloads, accelerators)
+    jsonl_handle: Optional[IO[str]] = None
+    if args.jsonl:
+        try:
+            jsonl_handle = (
+                sys.stdout
+                if args.jsonl == "-"
+                else open(args.jsonl, "w", encoding="utf-8")
+            )
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    records = []
+    try:
+        with Client(
+            host=args.host or "127.0.0.1",
+            port=args.port if args.port is not None else DEFAULT_PORT,
+            client_id=args.client_id,
+        ) as client:
+            for record in client.submit(specs):
+                records.append(record)
+                if jsonl_handle is not None:
+                    jsonl_handle.write(json.dumps(record, sort_keys=True) + "\n")
+                    jsonl_handle.flush()
+                if not args.quiet and not _owns_stdout(args):
+                    detail = record.get("provenance") or record.get("event")
+                    if record.get("event") == "failed":
+                        detail = f"failed: {record.get('error')}"
+                    print(
+                        f"[{len(records)}/{len(specs)}] "
+                        f"{record.get('model')} on {record.get('accelerator')}: "
+                        f"{detail}"
+                    )
+            counts = client.last_counts or {}
+        if not args.quiet and not _owns_stdout(args):
+            summary = ", ".join(
+                f"{kind}={counts[kind]}" for kind in sorted(counts) if counts[kind]
+            )
+            print(f"done ({summary or 'no jobs'})")
+        if args.json:
+            _write_json(
+                {"remote_compare": {"counts": counts, "records": records}},
+                args.json,
+                args.quiet,
+            )
+        return 1 if counts.get("failed") else 0
+    except (ReproError, OSError) as exc:  # rejected, unreachable, protocol
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if jsonl_handle is not None and jsonl_handle is not sys.stdout:
+            jsonl_handle.close()
+
+
 def _run_dse(args: argparse.Namespace, runner: SimulationRunner) -> int:
     """The ``dse`` mode: search one accelerator's design space, report the frontier."""
     try:
@@ -686,8 +903,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # Mode-specific flags are rejected elsewhere: a silently ignored selection
     # would report numbers for a run the user did not ask for.
     flag_gates = (
-        ("--accelerators", args.accelerators, {"compare", "sweep"}),
-        ("--workloads", args.workloads, {"compare", "sweep", "dse"}),
+        ("--accelerators", args.accelerators, {"compare", "sweep", "remote-compare"}),
+        ("--workloads", args.workloads, {"compare", "sweep", "dse", "remote-compare"}),
         ("--baseline", args.baseline, {"compare", "sweep", "dse"}),
         ("--parameter", args.parameter, {"sweep"}),
         ("--values", args.values, {"sweep"}),
@@ -697,7 +914,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ("--seed", args.seed, {"dse"}),
         ("--fields", args.fields, {"dse"}),
         ("--max-bytes", args.max_bytes, {"cache-prune"}),
-        ("--jsonl", args.jsonl, {"compare", "sweep", "dse"}),
+        ("--jsonl", args.jsonl, {"compare", "sweep", "dse", "remote-compare"}),
+        ("--host", args.host, {"serve", "remote-compare"}),
+        ("--port", args.port, {"serve", "remote-compare"}),
+        ("--port-file", args.port_file, {"serve"}),
+        ("--quota", args.quota, {"serve"}),
+        ("--queue-limit", args.queue_limit, {"serve"}),
+        ("--max-active", args.max_active, {"serve"}),
+        ("--journal", args.journal, {"serve"}),
+        ("--resume", args.resume, {"serve"}),
+        ("--client-id", args.client_id, {"remote-compare"}),
     )
     for flag, value, modes in flag_gates:
         if value is not None and args.experiment not in modes:
@@ -730,6 +956,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.experiment == "cache-prune":
         return _run_cache_prune(args)
+
+    if args.experiment == "serve":
+        return _run_serve(args)
+
+    if args.experiment == "remote-compare":
+        return _run_remote_compare(args)
 
     try:
         runner = build_runner(args)

@@ -34,6 +34,7 @@ from .events import (
     PROVENANCE_CACHE,
     PROVENANCE_DEDUPLICATED,
     PROVENANCE_EXECUTED,
+    RECORD_SCHEMA_VERSION,
     TERMINAL_EVENT_KINDS,
     JobCompletion,
     RunnerEvent,
@@ -56,6 +57,7 @@ __all__ = [
     "PROVENANCE_CACHE",
     "PROVENANCE_DEDUPLICATED",
     "PROVENANCE_EXECUTED",
+    "RECORD_SCHEMA_VERSION",
     "TERMINAL_EVENT_KINDS",
     "AsyncioBackend",
     "BatchHandle",

@@ -45,6 +45,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..analysis.results import GanResult
     from .job import SimulationJob
 
+#: Version of the machine-readable record grammar produced by
+#: :meth:`RunnerEvent.describe` — the format behind the CLI's ``--jsonl``
+#: stream, the service wire protocol (:mod:`repro.service.protocol`) and the
+#: service journal.  Bump it whenever a field changes meaning or disappears;
+#: consumers (journal replay, service clients) reject mismatched versions
+#: with an explicit message instead of silently misparsing old records.
+RECORD_SCHEMA_VERSION: int = 1
+
 #: Every event kind the runner emits, in life-cycle order.
 EVENT_KINDS: Tuple[str, ...] = (
     "scheduled",
@@ -100,8 +108,14 @@ class RunnerEvent:
         return self.kind in TERMINAL_EVENT_KINDS
 
     def describe(self) -> Dict[str, Any]:
-        """JSON-friendly record of the event (used by the CLI's ``--jsonl``)."""
+        """JSON-friendly record of the event (used by the CLI's ``--jsonl``).
+
+        Every record carries :data:`RECORD_SCHEMA_VERSION` so downstream
+        consumers — journal replay, service clients, old tooling reading new
+        streams — can reject records they do not understand.
+        """
         record: Dict[str, Any] = {
+            "schema_version": RECORD_SCHEMA_VERSION,
             "event": self.kind,
             "index": self.index,
             "model": self.job.model_name,

@@ -1,0 +1,250 @@
+"""Synchronous client for the simulation service.
+
+:class:`Client` speaks the JSONL protocol of :mod:`repro.service.protocol`
+over a plain TCP socket: connect (with retry + exponential backoff — servers
+are often still binding when the first worker asks), ``hello``/``welcome``
+handshake with schema-version checking on both sides, then one batch at a
+time via :meth:`submit`, a generator yielding each terminal job event as the
+server pushes it.  :meth:`run` collects a whole batch, :meth:`compare`
+submits the (workload x accelerator) comparison grid that mirrors the local
+``repro-experiments compare`` verb.
+
+The client is deliberately synchronous and single-request: a worker in a
+fleet submits a batch, streams its completions, and moves on.  Concurrency
+comes from running many clients — the server's shared runner, admission
+control, and cross-client dedup do the coordination.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+import uuid
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence
+
+from ..errors import AdmissionError, ProtocolError, ServiceError
+from . import protocol
+from .protocol import JobSpec, grid_specs
+
+#: Connection retry defaults: 5 attempts, 50 ms doubling backoff.
+DEFAULT_CONNECT_RETRIES = 5
+DEFAULT_BACKOFF_SECONDS = 0.05
+
+
+class Client:
+    """One connection to a :class:`~repro.service.SimulationServer`.
+
+    Usable as a context manager::
+
+        with Client(port=server.port) as client:
+            for record in client.submit(grid_specs(["dcgan"], ["ganax"])):
+                print(record["event"], record["model"])
+            print(client.last_counts)
+
+    A :meth:`submit` generator must be consumed to completion (or the
+    connection closed) before the next submit — the protocol is one
+    outstanding request per connection.  :meth:`run` does the consuming.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        client_id: Optional[str] = None,
+        connect_retries: int = DEFAULT_CONNECT_RETRIES,
+        backoff_seconds: float = DEFAULT_BACKOFF_SECONDS,
+        timeout: Optional[float] = 120.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.client_id = client_id or f"client-{uuid.uuid4().hex[:8]}"
+        self._connect_retries = max(0, connect_retries)
+        self._backoff = backoff_seconds
+        self._timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        #: Admission knobs advertised by the server's ``welcome`` record.
+        self.server_quota: Optional[int] = None
+        self.server_queue_limit: Optional[int] = None
+        #: ``counts`` of the most recent completed :meth:`submit` batch.
+        self.last_counts: Optional[Dict[str, int]] = None
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    def connect(self) -> "Client":
+        """Dial the server (retry + backoff) and perform the handshake."""
+        if self._sock is not None:
+            return self
+        delay = self._backoff
+        last_error: Optional[OSError] = None
+        for attempt in range(self._connect_retries + 1):
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self._timeout
+                )
+                break
+            except OSError as exc:
+                last_error = exc
+                if attempt < self._connect_retries:
+                    time.sleep(delay)
+                    delay *= 2
+        if self._sock is None:
+            raise ServiceError(
+                f"could not connect to {self.host}:{self.port} after "
+                f"{self._connect_retries + 1} attempts: {last_error}"
+            )
+        self._file = self._sock.makefile("rwb")
+        try:
+            self._send(protocol.hello_record(self.client_id))
+            record = self._read()
+        except ServiceError:
+            self.close()
+            raise
+        if record.get("type") == "rejected":
+            reason = str(record.get("reason", "handshake rejected"))
+            code = str(record.get("code", protocol.REJECT_BAD_REQUEST))
+            self.close()
+            raise AdmissionError(code, reason)
+        if record.get("type") != "welcome":
+            self.close()
+            raise ProtocolError(
+                f"expected a 'welcome' record, got {record.get('type')!r}"
+            )
+        quota = record.get("quota")
+        queue_limit = record.get("queue_limit")
+        self.server_quota = quota if isinstance(quota, int) else None
+        self.server_queue_limit = (
+            queue_limit if isinstance(queue_limit, int) else None
+        )
+        return self
+
+    def close(self) -> None:
+        """Say goodbye (best effort) and release the socket (idempotent)."""
+        if self._file is not None:
+            try:
+                self._send(protocol.bye_record())
+                while True:
+                    record = self._read()
+                    if record.get("type") in ("goodbye", "shutdown"):
+                        break
+            except (ServiceError, ProtocolError, OSError):
+                pass
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "Client":
+        return self.connect()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        job_specs: Sequence[JobSpec],
+        request_id: Optional[str] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        """Submit a batch; yield each terminal job event record as it lands.
+
+        Connects on first use.  Raises :class:`~repro.errors.AdmissionError`
+        when the server answers ``rejected`` (``error.code`` carries the wire
+        code — ``quota``, ``queue-full``, ``shutting-down``, ...), and
+        :class:`~repro.errors.ServiceError` if the server shuts down or the
+        connection drops mid-stream.  On normal exhaustion the batch is
+        complete and :attr:`last_counts` holds its ``counts``.
+        """
+        self.connect()
+        record = protocol.submit_record(job_specs, request_id=request_id)
+        sent_id = record["request_id"]
+        self._send(record)
+        accepted = False
+        while True:
+            response = self._read()
+            response_type = response.get("type")
+            if response_type == "rejected":
+                raise AdmissionError(
+                    str(response.get("code", "rejected")),
+                    str(response.get("reason", "request rejected")),
+                )
+            if response_type == "accepted":
+                accepted = True
+                continue
+            if response_type == "event":
+                yield response
+                continue
+            if response_type == "done" and response.get("request_id") == sent_id:
+                counts = response.get("counts")
+                self.last_counts = dict(counts) if isinstance(counts, Mapping) else None
+                return
+            if response_type == "shutdown":
+                raise ServiceError(
+                    "server shut down before the batch completed"
+                    if accepted
+                    else "server is shutting down"
+                )
+            if response_type == "error":
+                raise ProtocolError(
+                    f"server error: {response.get('reason', 'unknown')}"
+                )
+            raise ProtocolError(
+                f"unexpected record type {response_type!r} mid-stream"
+            )
+
+    def run(
+        self,
+        job_specs: Sequence[JobSpec],
+        request_id: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """Submit a batch and collect every event record (blocking)."""
+        return list(self.submit(job_specs, request_id=request_id))
+
+    def compare(
+        self,
+        workloads: Sequence[str],
+        accelerators: Sequence[str],
+        config: Optional[Mapping[str, Any]] = None,
+        options: Optional[Mapping[str, Any]] = None,
+    ) -> List[Dict[str, Any]]:
+        """Run the (workload x accelerator) grid remotely; all event records."""
+        return self.run(grid_specs(workloads, accelerators, config, options))
+
+    # ------------------------------------------------------------------
+    # Wire plumbing
+    # ------------------------------------------------------------------
+    def _send(self, record: Dict[str, Any]) -> None:
+        if self._file is None:
+            raise ServiceError("client is not connected")
+        try:
+            self._file.write(protocol.encode(record))
+            self._file.flush()
+        except (OSError, ValueError) as exc:
+            raise ServiceError(f"connection to server lost: {exc}") from exc
+
+    def _read(self) -> Dict[str, Any]:
+        if self._file is None:
+            raise ServiceError("client is not connected")
+        try:
+            line = self._file.readline()
+        except (OSError, ValueError) as exc:
+            raise ServiceError(f"connection to server lost: {exc}") from exc
+        if not line:
+            raise ServiceError("server closed the connection")
+        record = protocol.decode(line)
+        protocol.check_schema(record, source="server record")
+        return record

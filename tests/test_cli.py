@@ -506,3 +506,103 @@ class TestStreamingFlags:
         assert main([*self.COMPARE, "--jsonl", "-", "--quiet"]) == 0
         out = capsys.readouterr().out
         assert all(json.loads(line) for line in out.splitlines() if line.strip())
+
+    def test_jsonl_records_carry_the_schema_version(self, capsys):
+        """Wire compatibility: every --jsonl record is explicitly versioned."""
+        from repro.runner import RECORD_SCHEMA_VERSION
+
+        assert main([*self.COMPARE, "--jsonl", "-", "--quiet"]) == 0
+        records = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+        assert records
+        assert all(
+            record["schema_version"] == RECORD_SCHEMA_VERSION
+            for record in records
+        )
+
+
+class TestServiceVerbs:
+    """The service CLI surface: 'serve' / 'remote-compare' and their flags."""
+
+    def test_service_flags_rejected_outside_service_modes(self, capsys):
+        for flags in (
+            ["--host", "127.0.0.1"],
+            ["--port", "8642"],
+            ["--client-id", "w1"],
+        ):
+            assert main(["compare", *flags]) == 2
+            err = capsys.readouterr().err
+            assert flags[0] in err
+        for flags in (
+            ["--port-file", "p"],
+            ["--quota", "4"],
+            ["--queue-limit", "8"],
+            ["--max-active", "2"],
+            ["--journal", "j.jsonl"],
+            ["--resume"],
+        ):
+            assert main(["remote-compare", *flags]) == 2
+            err = capsys.readouterr().err
+            assert flags[0] in err and "'serve'" in err
+
+    def test_remote_compare_against_a_live_server(self, tmp_path, capsys):
+        from repro.service import SimulationServer
+
+        with SimulationServer(port=0) as server:
+            assert (
+                main(
+                    [
+                        "remote-compare",
+                        "--port",
+                        str(server.port),
+                        "--workloads",
+                        "dcgan@64x64",
+                        "--accelerators",
+                        "eyeriss,ganax",
+                        "--jsonl",
+                        "-",
+                        "--quiet",
+                    ]
+                )
+                == 0
+            )
+            records = [
+                json.loads(line)
+                for line in capsys.readouterr().out.splitlines()
+                if line.strip()
+            ]
+            assert len(records) == 2
+            assert {r["accelerator"] for r in records} == {"eyeriss", "ganax"}
+            assert all(r["type"] == "event" for r in records)
+            # a second invocation resolves entirely from the server's cache
+            assert (
+                main(
+                    [
+                        "remote-compare",
+                        "--port",
+                        str(server.port),
+                        "--workloads",
+                        "dcgan@64x64",
+                        "--accelerators",
+                        "eyeriss,ganax",
+                        "--quiet",
+                    ]
+                )
+                == 0
+            )
+            stats = server.runner.stats
+        assert stats.misses == 2
+        assert stats.hits == 2
+
+    def test_remote_compare_unreachable_server_is_a_clean_error(self, capsys):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        assert main(["remote-compare", "--port", str(port)]) == 2
+        assert "could not connect" in capsys.readouterr().err

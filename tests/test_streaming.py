@@ -669,3 +669,78 @@ class TestDiskCacheConcurrentWriters:
         final = DiskResultCache(tmp_path).get(_HAMMER_KEY)
         assert final in (PAYLOAD_A, PAYLOAD_B)
         assert observed > 0
+
+
+# ----------------------------------------------------------------------
+# Satellite: N server workers sharing one sharded DiskResultCache
+# ----------------------------------------------------------------------
+_FLEET_SIZE = 4
+_FLEET_PAYLOAD_BYTES = 20_000
+_LEGACY_FLEET_KEY = "ef" + "1" * 62
+
+
+def _fleet_payload(worker_id: int) -> bytes:
+    return bytes([worker_id % 256]) * _FLEET_PAYLOAD_BYTES
+
+
+def _fleet_key(worker_id: int, slot: int) -> str:
+    # distinct 2-char shard prefixes: the traffic spreads across shard dirs
+    return f"{worker_id:x}{slot:x}" + "2" * 62
+
+
+def _fleet_worker(root: str, worker_id: int, iterations: int) -> None:
+    """One simulated service worker: interleaved put/get/prune on the cache.
+
+    Any inconsistency (partial read, wrong payload, crash in prune) exits
+    nonzero and fails the parent's exitcode assertion.
+    """
+    cache = DiskResultCache(root)
+    payload = _fleet_payload(worker_id)
+    neighbour = (worker_id + 1) % _FLEET_SIZE
+    for i in range(iterations):
+        cache.put(_fleet_key(worker_id, i % 8), payload)
+        # a neighbour's entry is either absent (not written yet / pruned) or
+        # complete — atomic publication means never a torn value
+        value = DiskResultCache(root).get(_fleet_key(neighbour, i % 8))
+        assert value is None or value == _fleet_payload(neighbour)
+        # the legacy flat entry stays readable while workers race to
+        # migrate it into its shard (prune may legitimately evict it later)
+        legacy = DiskResultCache(root).get(_LEGACY_FLEET_KEY)
+        assert legacy is None or legacy == b"legacy"
+        if i % 10 == 7:
+            # concurrent prunes race over the same files: entries vanishing
+            # mid-pass must be tolerated, not raised
+            cache.prune(max_bytes=12 * _FLEET_PAYLOAD_BYTES)
+
+
+class TestDiskCacheWorkerFleet:
+    def test_n_workers_share_one_sharded_cache(self, tmp_path):
+        """A fleet of processes get/put/prune one cache without corruption."""
+        import pickle
+
+        # plant a pre-shard flat-layout entry for the fleet to read through
+        (tmp_path / f"{_LEGACY_FLEET_KEY}.pkl").write_bytes(
+            pickle.dumps(b"legacy", protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        context = multiprocessing.get_context()
+        workers = [
+            context.Process(
+                target=_fleet_worker, args=(str(tmp_path), worker_id, 60)
+            )
+            for worker_id in range(_FLEET_SIZE)
+        ]
+        for process in workers:
+            process.start()
+        for process in workers:
+            process.join()
+        assert all(process.exitcode == 0 for process in workers)
+        # the surviving cache is fully consistent: every entry readable,
+        # accounting agrees with the filesystem
+        cache = DiskResultCache(tmp_path)
+        entries = list(cache._entry_paths())
+        assert len(cache) == len(entries)
+        assert cache.size_bytes() == sum(p.stat().st_size for p in entries)
+        for worker_id in range(_FLEET_SIZE):
+            for slot in range(8):
+                value = cache.get(_fleet_key(worker_id, slot))
+                assert value is None or value == _fleet_payload(worker_id)
