@@ -27,7 +27,12 @@
 #      must leave exactly one simulation per distinct job, and SIGINT must
 #      shut the server down cleanly with a complete event journal (the
 #      service benchmark in step 2 separately enforces that the served
-#      sweep stays within 1.5x of direct submit()).
+#      sweep stays within 1.5x of direct submit());
+#   8. a telemetry smoke: `compare --trace --metrics` must write valid
+#      Chrome trace-event JSON (one batch span, one job span per job) and a
+#      metrics snapshot whose counters match the submitted grid (the
+#      telemetry benchmark in step 2 separately enforces the overhead
+#      budgets: disabled hooks <= 2%, full telemetry <= 10%).
 #
 # Usage: scripts/ci.sh [extra pytest args for the tier-1 step]
 set -eu
@@ -40,10 +45,11 @@ export PYTHONPATH
 echo "== tier-1 tests =="
 python -m pytest -x -q -p no:cacheprovider "$@"
 
-echo "== runner + layer-memo + DSE + workload + streaming + service benchmarks (parity + cache + overhead contracts) =="
+echo "== runner + layer-memo + DSE + workload + streaming + service + telemetry benchmarks (parity + cache + overhead contracts) =="
 python -m pytest benchmarks/bench_runner.py benchmarks/bench_layercache.py \
     benchmarks/bench_dse.py benchmarks/bench_workloads.py \
-    benchmarks/bench_streaming.py benchmarks/bench_service.py -q \
+    benchmarks/bench_streaming.py benchmarks/bench_service.py \
+    benchmarks/bench_telemetry.py -q \
     -p no:cacheprovider --benchmark-disable-gc
 
 echo "== accelerator registry smoke (Session over every registered model) =="
@@ -216,6 +222,44 @@ assert {(r["model"], r["accelerator"]) for r in journal} == {
 }
 print("service smoke OK: 2 clients x 4 jobs, 4 simulated + 4 dedup,",
       len(journal), "journal records, clean shutdown")
+PY
+
+echo "== telemetry smoke (compare --trace --metrics) =="
+python -m repro.cli compare \
+    --workloads dcgan@64x64,MAGAN --accelerators eyeriss,ganax \
+    --trace "$SMOKE_DIR/trace.json" --metrics "$SMOKE_DIR/metrics.json" \
+    --cache-stats --quiet > "$SMOKE_DIR/telemetry.out"
+python - "$SMOKE_DIR/trace.json" "$SMOKE_DIR/metrics.json" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1], encoding="utf-8") as handle:
+    trace = json.load(handle)
+events = trace["traceEvents"]
+assert trace["displayTimeUnit"] == "ms", trace.keys()
+names = [event["name"] for event in events]
+assert names.count("batch") == 1, names
+assert names.count("job") == 4, names
+for event in events:
+    assert event["ph"] == "X", event
+    assert event["ts"] >= 0 and event["dur"] >= 0, event
+    assert "span_id" in event["args"], event
+batch_id = next(e["args"]["span_id"] for e in events if e["name"] == "batch")
+job_parents = {e["args"]["parent_id"] for e in events if e["name"] == "job"}
+assert job_parents == {batch_id}, (batch_id, job_parents)
+
+with open(sys.argv[2], encoding="utf-8") as handle:
+    metrics = json.load(handle)
+counters = metrics["counters"]
+assert counters["runner.jobs.scheduled"] == 4, counters
+terminal = sum(
+    value for key, value in counters.items()
+    if key in ("runner.jobs.completed", "runner.jobs.cache-hit")
+)
+assert terminal == 4, counters
+assert metrics["histograms"]["runner.job.latency_seconds"]["count"] == 4
+print("telemetry smoke OK:", len(events), "trace events,",
+      len(counters), "counters")
 PY
 
 echo "CI OK"

@@ -36,7 +36,21 @@ This package implements, from scratch:
   admission control, cross-client dedup, durable event journal with crash
   resume — via ``repro-experiments serve`` / ``remote-compare`` or
   :class:`repro.service.SimulationServer` / :class:`repro.service.Client`
-  in-process (see ``repro/service/README.md``).
+  in-process (see ``repro/service/README.md``),
+* a **unified telemetry layer** (:mod:`repro.telemetry`): hierarchical
+  tracing spans (``batch -> job -> simulate_layers -> layer-memo``;
+  ``request -> admission -> dispatch`` in the service) exportable as Chrome
+  trace-event JSON or JSONL, an always-on process metrics registry
+  (counters/gauges/histograms with an atomic ``snapshot()``), and profiling
+  hooks — surfaced as ``--trace`` / ``--metrics`` / ``--cache-stats`` and
+  the ``stats`` verb on the CLI (see ``repro/telemetry/README.md``)::
+
+      from repro.telemetry import configure_tracing, get_metrics
+
+      tracer = configure_tracing()   # opt-in; metrics are on by default
+      # ... run comparisons ...
+      tracer.export("trace.json")    # open in Perfetto
+      print(get_metrics().snapshot()["counters"])
 
 Quick start — the paper's two-point comparison::
 

@@ -26,6 +26,9 @@ Installed as ``repro-experiments`` (see ``pyproject.toml``).  Examples::
     repro-experiments serve --port 8642 --journal run.journal
     repro-experiments serve --journal run.journal --resume  # crash recovery
     repro-experiments remote-compare --port 8642 --workloads dcgan,artgan
+    repro-experiments compare --trace trace.json   # Chrome trace (Perfetto)
+    repro-experiments sweep --parameter num_pvs --values 4,8 --metrics m.json
+    repro-experiments stats --port 8642            # telemetry of a service
 
 Every simulation runs through one shared
 :class:`~repro.runner.SimulationRunner`, so the whole invocation shares a
@@ -56,6 +59,14 @@ same content-addressed cache with per-client admission control, and
 ``remote-compare`` mode is the matching client: it submits the same
 (workload x accelerator) grid as ``compare`` to a running service and
 streams the results back.
+
+Observability rides on :mod:`repro.telemetry`: ``--trace PATH`` records
+hierarchical spans (batch -> job -> simulate_layers -> layer-memo) and
+writes Chrome trace-event JSON — or JSONL when PATH ends in ``.jsonl`` —
+after the run; ``--metrics PATH|-`` dumps the process metrics-registry
+snapshot as JSON; ``--cache-stats`` reads its accounting from the same
+registry; and the ``stats`` mode asks a running service for its live
+telemetry over the wire.
 """
 
 from __future__ import annotations
@@ -65,6 +76,7 @@ import json
 import os
 import sys
 import threading
+import time
 from typing import IO, List, Optional, Sequence, Tuple
 
 from .accelerators.registry import accelerator_names, create_accelerator, get_accelerator
@@ -92,6 +104,7 @@ from .service import Client, SimulationServer
 from .service.protocol import grid_specs
 from .service.server import DEFAULT_PORT
 from .session import Session
+from .telemetry import configure_metrics, configure_tracing, get_metrics
 from .workloads.registry import (
     describe_workload_families,
     describe_workloads,
@@ -116,8 +129,9 @@ def build_parser() -> argparse.ArgumentParser:
             "'list-accelerators', 'list-workloads', 'compare' (N-way "
             "accelerator comparison), 'sweep' (one-parameter configuration "
             "sweep), 'dse' (design-space exploration), 'cache-prune', "
-            "'serve' (host the simulation service), or 'remote-compare' "
-            "(run a comparison grid against a running service)"
+            "'serve' (host the simulation service), 'remote-compare' "
+            "(run a comparison grid against a running service), or 'stats' "
+            "(query a running service for its telemetry snapshot)"
         ),
     )
     parser.add_argument(
@@ -332,6 +346,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="client identity 'remote-compare' announces to the service",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "record tracing spans for 'compare'/'sweep'/'dse' and write "
+            "Chrome trace-event JSON to PATH after the run (open in "
+            "Perfetto); a PATH ending in .jsonl gets one span per line"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the metrics-registry snapshot (counters/gauges/"
+            "histograms) as JSON to PATH ('-' for stdout) after "
+            "'compare'/'sweep'/'dse'"
+        ),
+    )
     return parser
 
 
@@ -414,17 +448,28 @@ def build_runner(args: argparse.Namespace) -> SimulationRunner:
 
 def _owns_stdout(args: argparse.Namespace) -> bool:
     """Whether a machine-readable stream claimed stdout (implies quiet text)."""
-    return args.json == "-" or args.jsonl == "-"
+    return args.json == "-" or args.jsonl == "-" or args.metrics == "-"
 
 
 class _ProgressPrinter:
-    """Live per-job progress on stderr, driven by the runner's event stream."""
+    """Live per-job progress on stderr, driven by the runner's event stream.
 
-    def __init__(self, stream: Optional[IO[str]] = None) -> None:
+    Alongside the per-job lines, a ``metrics:`` summary line (cache hit
+    counts, job-latency p50) is printed at most every ``metrics_interval``
+    seconds — long sweeps get a periodic pulse without per-job noise.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[IO[str]] = None,
+        metrics_interval: float = 5.0,
+    ) -> None:
         self._stream = stream if stream is not None else sys.stderr
         self._lock = threading.Lock()
         self._scheduled = 0
         self._finished = 0
+        self._metrics_interval = metrics_interval
+        self._last_metrics = time.monotonic()
 
     def __call__(self, event: RunnerEvent) -> None:
         with self._lock:
@@ -443,6 +488,29 @@ class _ProgressPrinter:
                 file=self._stream,
                 flush=True,
             )
+            now = time.monotonic()
+            if (
+                self._metrics_interval > 0
+                and now - self._last_metrics >= self._metrics_interval
+            ):
+                self._last_metrics = now
+                self._print_metrics_line()
+
+    def _print_metrics_line(self) -> None:
+        registry = get_metrics()
+        if registry is None:
+            return
+        snapshot = registry.snapshot()
+        counters = snapshot["counters"]
+        parts = [
+            f"metrics: {self._finished}/{self._scheduled} done",
+            f"cache {counters.get('runner.cache.hits', 0)} hits"
+            f"/{counters.get('runner.cache.misses', 0)} misses",
+        ]
+        latency = snapshot["histograms"].get("runner.job.latency_seconds")
+        if latency and latency.get("count"):
+            parts.append(f"job p50 {latency['p50'] * 1000:.0f} ms")
+        print(", ".join(parts), file=self._stream, flush=True)
 
 
 class _JsonlWriter:
@@ -476,28 +544,73 @@ class _JsonlWriter:
             self._handle.close()
 
 
+def _hit_rate(hits: int, misses: int) -> float:
+    lookups = hits + misses
+    return hits / lookups if lookups else 0.0
+
+
 def _print_cache_stats(runner: SimulationRunner, args: argparse.Namespace) -> None:
-    stats = runner.stats
+    # The accounting is read from the metrics registry (the same numbers every
+    # other telemetry surface reports); runner.stats / memo.stats remain the
+    # fallback when metrics are disabled.  Output format is pinned by
+    # tests/test_cli.py — keep it byte-stable.
+    registry = get_metrics()
+    if registry is not None:
+        counters = registry.snapshot()["counters"]
+        hits = counters.get("runner.cache.hits", 0)
+        misses = counters.get("runner.cache.misses", 0)
+        deduplicated = counters.get("runner.cache.deduplicated", 0)
+    else:
+        stats = runner.stats
+        hits, misses = stats.hits, stats.misses
+        deduplicated = stats.deduplicated
     # with '--json -' / '--jsonl -' stdout is the machine-readable payload,
     # so the accounting line goes to stderr instead of corrupting it
     stream = sys.stderr if _owns_stdout(args) else sys.stdout
     print(
         "cache: "
-        f"{stats.hits} hits, {stats.misses} misses, "
-        f"{stats.deduplicated} deduplicated "
-        f"(hit rate {100 * stats.hit_rate:.1f}%)",
+        f"{hits} hits, {misses} misses, "
+        f"{deduplicated} deduplicated "
+        f"(hit rate {100 * _hit_rate(hits, misses):.1f}%)",
         file=stream,
     )
     memo = get_layer_memo()
     if memo is not None:
-        layer_stats = memo.stats
+        if registry is not None:
+            counters = registry.snapshot()["counters"]
+            layer_hits = counters.get("runner.layer_memo.hits", 0)
+            layer_misses = counters.get("runner.layer_memo.misses", 0)
+        else:
+            layer_hits, layer_misses = memo.stats.hits, memo.stats.misses
         print(
             "layer memo: "
-            f"{layer_stats.hits} hits, {layer_stats.misses} misses "
-            f"(hit rate {100 * layer_stats.hit_rate:.1f}%, "
+            f"{layer_hits} hits, {layer_misses} misses "
+            f"(hit rate {100 * _hit_rate(layer_hits, layer_misses):.1f}%, "
             f"{len(memo)} resident entries)",
             file=stream,
         )
+
+
+def _export_telemetry(args: argparse.Namespace, tracer) -> None:
+    """Write the --trace and --metrics artifacts after a streaming-mode run."""
+    if tracer is not None and args.trace:
+        tracer.export(args.trace)
+        if not args.quiet:
+            kind = "span JSONL" if args.trace.endswith(".jsonl") else (
+                "Chrome trace-event JSON (open in Perfetto: "
+                "https://ui.perfetto.dev)"
+            )
+            print(f"wrote {kind} to {args.trace}", file=sys.stderr)
+    if args.metrics:
+        registry = get_metrics()
+        snapshot = registry.snapshot() if registry is not None else {}
+        if args.metrics == "-":
+            print(json.dumps(snapshot, indent=2, sort_keys=True))
+        else:
+            with open(args.metrics, "w", encoding="utf-8") as handle:
+                json.dump(snapshot, handle, indent=2, sort_keys=True)
+            if not args.quiet:
+                print(f"wrote metrics snapshot to {args.metrics}", file=sys.stderr)
 
 
 def _write_json(payload: dict, destination: str, quiet: bool) -> None:
@@ -711,6 +824,56 @@ def _run_remote_compare(args: argparse.Namespace) -> int:
             jsonl_handle.close()
 
 
+def _run_stats(args: argparse.Namespace) -> int:
+    """The ``stats`` mode: a running service's telemetry snapshot, over the wire."""
+    try:
+        with Client(
+            host=args.host or "127.0.0.1",
+            port=args.port if args.port is not None else DEFAULT_PORT,
+        ) as client:
+            payload = client.stats()
+    except (ReproError, OSError) as exc:  # unreachable, old server, shutdown
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not args.quiet and not _owns_stdout(args):
+        print(
+            f"server {payload.get('server', '?')}: "
+            f"up {payload.get('uptime_seconds', 0.0):.1f}s, "
+            f"{payload.get('requests_done', 0)} requests done, "
+            f"{payload.get('jobs_done', 0)} jobs done"
+        )
+        print(
+            f"queue depth {payload.get('queue_depth', 0)}, "
+            f"{payload.get('active_requests', 0)} active requests, "
+            f"{payload.get('connections', 0)} connections"
+        )
+        cache = payload.get("cache") or {}
+        print(
+            f"cache: {cache.get('hits', 0)} hits, {cache.get('misses', 0)} misses, "
+            f"{cache.get('deduplicated', 0)} deduplicated "
+            f"(hit rate {100 * cache.get('hit_rate', 0.0):.1f}%)"
+        )
+        memo = payload.get("layer_memo")
+        if memo:
+            print(
+                f"layer memo: {memo.get('hits', 0)} hits, "
+                f"{memo.get('misses', 0)} misses "
+                f"(hit rate {100 * memo.get('hit_rate', 0.0):.1f}%)"
+            )
+        metrics = payload.get("metrics") or {}
+        latency = metrics.get("histograms", {}).get("service.request_latency_seconds")
+        if latency and latency.get("count"):
+            print(
+                f"request latency: p50 {latency['p50'] * 1000:.1f} ms, "
+                f"p90 {latency['p90'] * 1000:.1f} ms, "
+                f"p99 {latency['p99'] * 1000:.1f} ms "
+                f"({latency['count']} requests)"
+            )
+    if args.json:
+        _write_json({"stats": payload}, args.json, args.quiet)
+    return 0
+
+
 def _run_dse(args: argparse.Namespace, runner: SimulationRunner) -> int:
     """The ``dse`` mode: search one accelerator's design space, report the frontier."""
     try:
@@ -915,8 +1078,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ("--fields", args.fields, {"dse"}),
         ("--max-bytes", args.max_bytes, {"cache-prune"}),
         ("--jsonl", args.jsonl, {"compare", "sweep", "dse", "remote-compare"}),
-        ("--host", args.host, {"serve", "remote-compare"}),
-        ("--port", args.port, {"serve", "remote-compare"}),
+        ("--host", args.host, {"serve", "remote-compare", "stats"}),
+        ("--port", args.port, {"serve", "remote-compare", "stats"}),
         ("--port-file", args.port_file, {"serve"}),
         ("--quota", args.quota, {"serve"}),
         ("--queue-limit", args.queue_limit, {"serve"}),
@@ -924,6 +1087,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ("--journal", args.journal, {"serve"}),
         ("--resume", args.resume, {"serve"}),
         ("--client-id", args.client_id, {"remote-compare"}),
+        ("--trace", args.trace, {"compare", "sweep", "dse"}),
+        ("--metrics", args.metrics, {"compare", "sweep", "dse"}),
     )
     for flag, value, modes in flag_gates:
         if value is not None and args.experiment not in modes:
@@ -934,10 +1099,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
             return 2
 
-    if args.json == "-" and args.jsonl == "-":
-        # both streams would interleave on stdout, corrupting each other
+    stdout_claims = [
+        flag
+        for flag, value in (
+            ("--json", args.json),
+            ("--jsonl", args.jsonl),
+            ("--metrics", args.metrics),
+        )
+        if value == "-"
+    ]
+    if len(stdout_claims) > 1:
+        # the streams would interleave on stdout, corrupting each other
         print(
-            "error: --json - and --jsonl - both claim stdout; "
+            f"error: {' - and '.join(stdout_claims)} - both claim stdout; "
             "write at least one of them to a file",
             file=sys.stderr,
         )
@@ -963,6 +1137,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.experiment == "remote-compare":
         return _run_remote_compare(args)
 
+    if args.experiment == "stats":
+        return _run_stats(args)
+
+    # Each invocation starts its telemetry from zero: a fresh metrics
+    # registry (metrics are on by default), and — only with --trace — a
+    # fresh tracer (tracing is off by default; spans cost allocations).
+    configure_metrics()
+    tracer = configure_tracing() if args.trace else None
+
     try:
         runner = build_runner(args)
     except Exception as exc:  # bad --workers / --backend / --cache-dir
@@ -983,17 +1166,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         runner.subscribe(jsonl_writer)
 
     try:
+        code: Optional[int] = None
         if args.experiment == "compare":
-            return _run_compare(args, runner)
-
-        if args.experiment == "sweep":
-            return _run_sweep(args, runner)
-
-        if args.experiment == "dse":
-            return _run_dse(args, runner)
+            code = _run_compare(args, runner)
+        elif args.experiment == "sweep":
+            code = _run_sweep(args, runner)
+        elif args.experiment == "dse":
+            code = _run_dse(args, runner)
+        if code is not None:
+            _export_telemetry(args, tracer)
+            return code
     finally:
         if jsonl_writer is not None:
             jsonl_writer.close()
+        if tracer is not None:
+            # don't leave the process-global tracer collecting spans after
+            # the invocation it was asked for
+            configure_tracing(enabled=False)
 
     context = ExperimentContext(runner=runner)
     try:

@@ -48,6 +48,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.results import GanResult
 from ..errors import ConfigurationError
+from ..telemetry import get_metrics
 from .job import SimulationJob, execute_job
 
 _PENDING = "pending"
@@ -337,6 +338,28 @@ class _WrappedJobFuture(JobFuture):
         return self.cancelled()
 
 
+def _record_dispatch(backend_name: str, futures: Sequence[JobFuture]) -> None:
+    """Account a dispatched batch: per-backend dispatch counter + in-flight gauge.
+
+    The in-flight gauge decrements from each future's done-callback, which a
+    :class:`JobFuture` guarantees runs before any ``result()`` returns — so
+    the gauge never under-counts work a consumer can still be waiting on.
+    No-op (one ``None`` check) when metrics are disabled.
+    """
+    if not futures:
+        return
+    registry = get_metrics()
+    if registry is None:
+        return
+    registry.counter("backend.jobs.dispatched", backend=backend_name).inc(
+        len(futures)
+    )
+    inflight = registry.gauge("backend.jobs.inflight", backend=backend_name)
+    inflight.inc(len(futures))
+    for future in futures:
+        future.add_done_callback(lambda _f, g=inflight: g.dec())
+
+
 class ExecutionBackend:
     """Interface of a runner execution backend (incremental protocol)."""
 
@@ -378,7 +401,9 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
 
     def submit_jobs(self, jobs: Sequence[SimulationJob]) -> List[JobFuture]:
-        return [DeferredJobFuture(job) for job in jobs]
+        futures: List[JobFuture] = [DeferredJobFuture(job) for job in jobs]
+        _record_dispatch(self.name, futures)
+        return futures
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -447,8 +472,10 @@ class ProcessPoolBackend(ExecutionBackend):
                     futures.extend(
                         self._failed_future(exc) for _ in range(index, len(jobs))
                     )
+                    _record_dispatch(self.name, futures)
                     return futures
                 futures.append(_WrappedJobFuture(inner))
+            _record_dispatch(self.name, futures)
             return futures
         members_list: List[JobFuture] = [_ChunkMemberFuture() for _ in jobs]
         for start in range(0, len(jobs), chunksize):
@@ -460,12 +487,14 @@ class ProcessPoolBackend(ExecutionBackend):
             except BaseException as exc:
                 for member in members_list[start:]:
                     member.set_exception(exc)
+                _record_dispatch(self.name, members_list)
                 return members_list
             for member in members:
                 member._bind(inner)
             inner.add_done_callback(
                 lambda f, members=members: _settle_chunk(members, f)
             )
+        _record_dispatch(self.name, members_list)
         return members_list
 
     def close(self) -> None:
@@ -564,6 +593,7 @@ class AsyncioBackend(ExecutionBackend):
                 self._inflight.add(inner)
             inner.add_done_callback(self._discard_inflight)
             futures.append(future)
+        _record_dispatch(self.name, futures)
         return futures
 
     def _discard_inflight(self, inner) -> None:

@@ -30,6 +30,7 @@ from typing import Dict, Optional, Union
 
 from ..analysis.results import GanResult, LayerResult
 from ..errors import AnalysisError
+from ..telemetry import get_metrics
 
 PathLike = Union[str, Path]
 
@@ -389,6 +390,11 @@ class LayerMemoStore:
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, LayerResult]" = OrderedDict()
         self._stats = LayerMemoStats()
+        # Cached registry instruments for the hot per-layer path: resolved
+        # once per installed registry instead of per lookup (the registry can
+        # be swapped by configure_metrics, hence the identity check).
+        self._metrics_for: Optional[object] = None
+        self._m_hits = self._m_misses = self._m_stores = self._m_resident = None
         self._root: Optional[Path] = None
         if root is not None:
             self._root = Path(root)
@@ -410,6 +416,19 @@ class LayerMemoStore:
         assert self._root is not None
         return self._root / key[:2] / f"{key}.pkl"
 
+    def _refresh_instruments(self) -> bool:
+        """Bind registry instruments for the current registry (if enabled)."""
+        registry = get_metrics()
+        if registry is None:
+            return False
+        if self._metrics_for is not registry:
+            self._metrics_for = registry
+            self._m_hits = registry.counter("runner.layer_memo.hits")
+            self._m_misses = registry.counter("runner.layer_memo.misses")
+            self._m_stores = registry.counter("runner.layer_memo.stores")
+            self._m_resident = registry.gauge("runner.layer_memo.resident")
+        return True
+
     def get(self, key: str) -> Optional[LayerResult]:
         """The memoized layer result for ``key``, or None on a miss."""
         with self._lock:
@@ -417,16 +436,24 @@ class LayerMemoStore:
             if result is not None:
                 self._entries.move_to_end(key)
                 self._stats.hits += 1
-                return result
+        if result is not None:
+            if self._refresh_instruments():
+                self._m_hits.inc()
+            return result
         if self._root is not None:
             result = self._disk_get(key)
             if result is not None:
                 with self._lock:
                     self._insert_locked(key, result)
                     self._stats.hits += 1
+                if self._refresh_instruments():
+                    self._m_hits.inc()
+                    self._m_resident.set(len(self._entries))
                 return result
         with self._lock:
             self._stats.misses += 1
+        if self._refresh_instruments():
+            self._m_misses.inc()
         return None
 
     def put(self, key: str, result: LayerResult) -> None:
@@ -434,6 +461,10 @@ class LayerMemoStore:
         with self._lock:
             self._insert_locked(key, result)
             self._stats.stores += 1
+            resident = len(self._entries)
+        if self._refresh_instruments():
+            self._m_stores.inc()
+            self._m_resident.set(resident)
         if self._root is not None:
             self._disk_put(key, result)
 

@@ -38,7 +38,8 @@ emits ``scheduled`` exactly once and then exactly one terminal event —
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, Iterator, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -51,7 +52,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 #: service journal.  Bump it whenever a field changes meaning or disappears;
 #: consumers (journal replay, service clients) reject mismatched versions
 #: with an explicit message instead of silently misparsing old records.
-RECORD_SCHEMA_VERSION: int = 1
+#:
+#: Version history:
+#:
+#: * **1** — the original grammar (event/index/model/accelerator plus
+#:   optional provenance, result fields and error).
+#: * **2** — adds a monotonic ``timestamp`` (seconds,
+#:   :func:`time.monotonic` clock) and a per-submission ``job_uid``
+#:   correlation id to every record.  Purely additive: every version-1 field
+#:   is unchanged, so version-2 readers accept version-1 records (see
+#:   ``MIN_COMPATIBLE_SCHEMA_VERSION`` in :mod:`repro.service.protocol`).
+RECORD_SCHEMA_VERSION: int = 2
 
 #: Every event kind the runner emits, in life-cycle order.
 EVENT_KINDS: Tuple[str, ...] = (
@@ -93,6 +104,18 @@ class RunnerEvent:
         ``completed`` events.
     error:
         The raised exception on ``failed`` events.
+    timestamp:
+        Monotonic time (:func:`time.monotonic` seconds) the event was
+        created.  Comparable across every event of one process — the CLI's
+        progress metrics and the telemetry subscriber derive per-job latency
+        from ``terminal.timestamp - scheduled.timestamp`` — but *not* wall
+        clock and not comparable across processes.
+    job_uid:
+        Correlation id of the submission slot this event narrates: every
+        event of one submitted job carries the same uid, unique within the
+        process.  Lets stream consumers (and trace viewers) join the
+        ``scheduled``/``started``/terminal records of a job without relying
+        on (batch, index) bookkeeping.
     """
 
     kind: str
@@ -101,6 +124,8 @@ class RunnerEvent:
     provenance: Optional[str] = None
     result: Optional["GanResult"] = None
     error: Optional[BaseException] = None
+    timestamp: float = field(default_factory=time.monotonic)
+    job_uid: Optional[str] = None
 
     @property
     def is_terminal(self) -> bool:
@@ -120,7 +145,10 @@ class RunnerEvent:
             "index": self.index,
             "model": self.job.model_name,
             "accelerator": self.job.accelerator,
+            "timestamp": self.timestamp,
         }
+        if self.job_uid is not None:
+            record["job_uid"] = self.job_uid
         if self.provenance is not None:
             record["provenance"] = self.provenance
         if self.result is not None:

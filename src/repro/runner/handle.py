@@ -28,9 +28,11 @@ observability, and a broken observer must not corrupt results.
 
 from __future__ import annotations
 
+import itertools
+import os
 import threading
 from collections import deque
-from typing import Callable, Deque, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from concurrent.futures import CancelledError
 
@@ -50,6 +52,11 @@ _KIND_COMPLETED = "completed"
 _KIND_FAILED = "failed"
 _KIND_CANCELLED = "cancelled"
 
+# Per-process source of job correlation ids (RunnerEvent.job_uid).  The pid
+# prefix keeps uids from different processes (a restarted CLI appending to
+# the same journal, pool parents vs. workers) from colliding.
+_job_uids = itertools.count(1)
+
 
 class _Entry:
     """Book-keeping for one submitted job (one submission slot)."""
@@ -57,6 +64,7 @@ class _Entry:
     __slots__ = (
         "job",
         "index",
+        "uid",
         "state",
         "result",
         "error",
@@ -65,11 +73,13 @@ class _Entry:
         "primary",
         "duplicates",
         "driven",
+        "span",
     )
 
     def __init__(self, job: SimulationJob, index: int) -> None:
         self.job = job
         self.index = index
+        self.uid = f"job-{os.getpid()}-{next(_job_uids)}"
         self.state: Optional[str] = None  # terminal event kind once resolved
         self.result: Optional[GanResult] = None
         self.error: Optional[BaseException] = None
@@ -78,6 +88,7 @@ class _Entry:
         self.primary: Optional["_Entry"] = None  # set on batch duplicates
         self.duplicates: List["_Entry"] = []
         self.driven = False  # handed to a consumer for passive driving
+        self.span: Optional[Any] = None  # open tracing span (tracing on only)
 
 
 class BatchHandle:
@@ -106,6 +117,12 @@ class BatchHandle:
             _KIND_FAILED: 0,
             _KIND_CANCELLED: 0,
         }
+        # Tracing state, wired by SimulationRunner.submit when tracing is on:
+        # one batch span parenting one job span per entry.  The handle closes
+        # each job span at its terminal event and the batch span when the
+        # last entry terminates.
+        self._tracer: Optional[Any] = None
+        self._batch_span: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -231,7 +248,11 @@ class BatchHandle:
 
     def _emit_lifecycle(self, kind: str, entry: _Entry) -> None:
         """Emit a non-terminal event (scheduled / deduped / started)."""
-        self._emit(RunnerEvent(kind=kind, job=entry.job, index=entry.index))
+        self._emit(
+            RunnerEvent(
+                kind=kind, job=entry.job, index=entry.index, job_uid=entry.uid
+            )
+        )
 
     def _attach_future(self, entry: _Entry, future: JobFuture) -> None:
         entry.future = future
@@ -277,7 +298,18 @@ class BatchHandle:
             self._ready.append(entry)
             self._terminal += 1
             self._counts[kind] += 1
+            # The entry that completes the batch also closes the batch span;
+            # taking it under the lock makes the close exactly-once even when
+            # backend threads race the submitting thread to the last slot.
+            batch_span = None
+            if self._batch_span is not None and self._terminal >= len(self._entries):
+                batch_span = self._batch_span
+                self._batch_span = None
+                final_counts = dict(self._counts)
             self._cond.notify_all()
+        if entry.span is not None and self._tracer is not None:
+            self._tracer.end(entry.span, outcome=kind, provenance=provenance)
+            entry.span = None
         self._emit(
             RunnerEvent(
                 kind=kind,
@@ -286,6 +318,7 @@ class BatchHandle:
                 provenance=provenance,
                 result=result,
                 error=error,
+                job_uid=entry.uid,
             )
         )
         for duplicate in duplicates:
@@ -296,6 +329,8 @@ class BatchHandle:
                 error=error,
                 provenance=PROVENANCE_DEDUPLICATED,
             )
+        if batch_span is not None and self._tracer is not None:
+            self._tracer.end(batch_span, counts=final_counts)
         return True
 
     # ------------------------------------------------------------------

@@ -44,6 +44,7 @@ from ..analysis.serialization import (
 )
 from ..config import ArchitectureConfig, SimulationOptions
 from ..nn.network import GANModel
+from ..telemetry import get_tracer
 from ..workloads.registry import get_workload, resolve_workload, workload_version_for
 
 #: The paper's two-point comparison, kept as the legacy default pair.  The
@@ -195,6 +196,12 @@ def _memoized_layer_fn(
     canonical = spec.canonical_options(job.options)
 
     def layer_fn(bindings: Sequence[object]) -> Tuple[LayerResult, ...]:
+        tracer = get_tracer()
+        span = None
+        if tracer is not None:
+            # Nests under the simulate_layers span via the thread-local span
+            # stack pushed by execute_job's context manager.
+            span = tracer.begin("layer-memo", layers=len(bindings))
         keys = [
             layer_fingerprint(b, spec.name, spec.version, job.config, canonical)
             for b in bindings
@@ -214,9 +221,23 @@ def _memoized_layer_fn(
             for index, result in zip(missing, computed):
                 memo.put(keys[index], result)
                 results[index] = result
+        if span is not None:
+            tracer.end(
+                span, hits=len(bindings) - len(missing), misses=len(missing)
+            )
         return tuple(results)
 
     return layer_fn
+
+
+def _simulate(
+    simulator: object,
+    job: SimulationJob,
+    layer_fn: Optional[Callable[[Sequence[object]], Tuple[LayerResult, ...]]],
+) -> GanResult:
+    if layer_fn is not None:
+        return simulator.simulate_gan(job.model, layer_fn=layer_fn)
+    return simulator.simulate_gan(job.model)
 
 
 def execute_job(job: SimulationJob) -> GanResult:
@@ -235,10 +256,25 @@ def execute_job(job: SimulationJob) -> GanResult:
     spec = get_accelerator(job.accelerator)
     simulator = spec.create(config=job.config, options=job.options)
     layer_fn = _memoized_layer_fn(spec, simulator, job)
-    if layer_fn is not None:
-        result = simulator.simulate_gan(job.model, layer_fn=layer_fn)
+    tracer = get_tracer()
+    if tracer is not None:
+        # Jobs may execute on a backend worker thread where the submitting
+        # thread's span stack is invisible; the runner published cache_key ->
+        # job-span-id at dispatch so the simulate span lands under its job.
+        # The span() context manager also pushes this thread's span stack,
+        # nesting the layer-memo lookup spans underneath.  (Pool workers are
+        # separate *processes* with a fresh, disabled tracer — worker-side
+        # spans are not recorded there; see the telemetry README.)
+        with tracer.span(
+            "simulate_layers",
+            parent_id=tracer.parent_for(job.cache_key),
+            model=job.model_name,
+            accelerator=job.accelerator,
+            memoized=layer_fn is not None,
+        ):
+            result = _simulate(simulator, job, layer_fn)
     else:
-        result = simulator.simulate_gan(job.model)
+        result = _simulate(simulator, job, layer_fn)
     if result.accelerator != job.accelerator:
         raise AnalysisError(
             f"accelerator '{job.accelerator}' produced results labelled "

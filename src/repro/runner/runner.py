@@ -48,6 +48,7 @@ from ..analysis.results import ComparisonResult, GanResult, MultiComparison
 from ..config import ArchitectureConfig, SimulationOptions
 from ..errors import AnalysisError
 from ..nn.network import GANModel
+from ..telemetry import MetricsSubscriber, get_metrics, get_tracer
 from .backends import ExecutionBackend, JobFuture, SerialBackend
 from .cache import CacheStats, InMemoryResultCache, ResultCache
 from .events import PROVENANCE_CACHE, PROVENANCE_EXECUTED
@@ -119,7 +120,9 @@ class SimulationRunner:
         # Streaming completions land on backend callback threads; the cache
         # and the stats counters are shared with the submitting thread.
         self._lock = threading.Lock()
-        self._listeners: List[EventListener] = []
+        # Job outcome counters and latency histograms come for free on every
+        # runner; the subscriber no-ops when metrics are disabled.
+        self._listeners: List[EventListener] = [MetricsSubscriber()]
 
     # ------------------------------------------------------------------
     # Introspection
@@ -194,6 +197,22 @@ class SimulationRunner:
         if on_event is not None:
             listeners += (on_event,)
         handle = BatchHandle(jobs, listeners)
+        registry = get_metrics()
+        tracer = get_tracer()
+        if tracer is not None and jobs:
+            # One batch span parenting one job span per entry; the handle
+            # closes each job span at its terminal event and the batch span
+            # when the last entry terminates (see BatchHandle._resolve).
+            handle._tracer = tracer
+            handle._batch_span = tracer.begin("batch", jobs=len(jobs))
+            for entry in handle._entries:
+                entry.span = tracer.begin(
+                    "job",
+                    parent_id=handle._batch_span.span_id,
+                    model=entry.job.model_name,
+                    accelerator=entry.job.accelerator,
+                    index=entry.index,
+                )
         # Every job announces itself before anything resolves, so listeners
         # (e.g. the CLI's progress line) see the true batch size up front
         # even when cache hits would otherwise terminate instantly.
@@ -207,6 +226,8 @@ class SimulationRunner:
             if primary is not None:
                 with self._lock:
                     self._stats.deduplicated += 1
+                if registry is not None:
+                    registry.counter("runner.cache.deduplicated").inc()
                 handle._emit_lifecycle("deduped", entry)
                 handle._register_duplicate(entry, primary)
                 continue
@@ -218,15 +239,27 @@ class SimulationRunner:
             if cached is not None:
                 with self._lock:
                     self._stats.hits += 1
+                if registry is not None:
+                    registry.counter("runner.cache.hits").inc()
                 handle._resolve(
                     entry, "cache-hit", result=cached, provenance=PROVENANCE_CACHE
                 )
                 continue
             with self._lock:
                 self._stats.misses += 1
+            if registry is not None:
+                registry.counter("runner.cache.misses").inc()
             pending.append(entry)
 
         if pending:
+            if tracer is not None:
+                # The pool/asyncio backends execute jobs on other threads
+                # where the submit-time span stack is invisible; publishing
+                # cache_key -> job-span-id lets execute_job() parent its
+                # simulate spans onto the right job regardless of thread.
+                for entry in pending:
+                    if entry.span is not None:
+                        tracer.register_job(entry.job.cache_key, entry.span.span_id)
             futures = self._backend.submit_jobs([entry.job for entry in pending])
             if len(futures) != len(pending):
                 raise AnalysisError(
@@ -247,6 +280,9 @@ class SimulationRunner:
         self, handle: BatchHandle, entry: _Entry, future: JobFuture
     ) -> None:
         """Done-callback for one executed job: account, cache, publish."""
+        tracer = handle._tracer
+        if tracer is not None:
+            tracer.unregister_job(entry.job.cache_key)
         if future.cancelled():
             handle._resolve(entry, "cancelled")
             return
@@ -258,13 +294,19 @@ class SimulationRunner:
             return
         result = future.peek_result()
         assert result is not None
+        stored = False
         with self._lock:
             if self._cache is not None:
                 try:
                     self._cache.put(entry.job.cache_key, result)
                     self._stats.stores += 1
+                    stored = True
                 except Exception:
                     pass  # a failed store must not lose the computed result
+        if stored:
+            registry = get_metrics()
+            if registry is not None:
+                registry.counter("runner.cache.stores").inc()
         handle._resolve(
             entry, "completed", result=result, provenance=PROVENANCE_EXECUTED
         )

@@ -26,6 +26,7 @@ from collections import OrderedDict, deque
 from typing import Deque, Dict, Generic, Optional, Tuple, TypeVar
 
 from ..errors import ServiceError
+from ..telemetry import get_metrics
 
 T = TypeVar("T")
 
@@ -83,25 +84,39 @@ class AdmissionController:
         """
         if jobs <= 0:
             raise ServiceError(f"cannot admit a batch of {jobs} jobs")
+        refusal: Optional[Tuple[str, str]] = None
         with self._lock:
             held = self._inflight.get(client, 0)
             if held + jobs > self._quota:
-                return (
+                refusal = (
                     CODE_QUOTA,
                     f"client '{client}' holds {held} in-flight jobs; admitting "
                     f"{jobs} more would exceed the per-client quota of "
                     f"{self._quota}",
                 )
-            if self._total + jobs > self._queue_limit:
-                return (
+            elif self._total + jobs > self._queue_limit:
+                refusal = (
                     CODE_QUEUE_FULL,
                     f"server holds {self._total} in-flight jobs; admitting "
                     f"{jobs} more would exceed the queue limit of "
                     f"{self._queue_limit}",
                 )
-            self._inflight[client] = held + jobs
-            self._total += jobs
-        return None
+            else:
+                self._inflight[client] = held + jobs
+                self._total += jobs
+                total = self._total
+        # Metric updates sit outside self._lock: the registry has its own
+        # locking and the admission lock is on the request hot path.
+        registry = get_metrics()
+        if registry is not None:
+            if refusal is None:
+                registry.counter("service.admission.accepted", client=client).inc()
+                registry.gauge("service.admission.inflight_jobs").set(total)
+            else:
+                registry.counter(
+                    "service.admission.rejected", client=client, code=refusal[0]
+                ).inc()
+        return refusal
 
     def release(self, client: str, jobs: int) -> None:
         """Return ``jobs`` previously admitted for ``client``."""
@@ -113,6 +128,10 @@ class AdmissionController:
             else:
                 self._inflight.pop(client, None)
             self._total = max(0, self._total - jobs)
+            total = self._total
+        registry = get_metrics()
+        if registry is not None:
+            registry.gauge("service.admission.inflight_jobs").set(total)
 
 
 class RoundRobinQueue(Generic[T]):

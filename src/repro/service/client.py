@@ -224,6 +224,35 @@ class Client:
         """Run the (workload x accelerator) grid remotely; all event records."""
         return self.run(grid_specs(workloads, accelerators, config, options))
 
+    def stats(self) -> Dict[str, Any]:
+        """The server's telemetry snapshot (the ``stats`` exchange, schema v2).
+
+        Returns the ``stats`` record's payload: uptime, queue depth, lifetime
+        request/job counters, cache accounting, and — when the server has
+        metrics enabled — the full metrics-registry snapshot under
+        ``"metrics"``.  Raises :class:`~repro.errors.ProtocolError` when the
+        server predates the ``stats`` request (it answers ``error``).
+        """
+        self.connect()
+        self._send(protocol.stats_request_record())
+        while True:
+            response = self._read()
+            response_type = response.get("type")
+            if response_type == "stats":
+                payload = dict(response)
+                payload.pop("type", None)
+                payload.pop("schema_version", None)
+                return payload
+            if response_type == "shutdown":
+                raise ServiceError("server is shutting down")
+            if response_type == "error":
+                raise ProtocolError(
+                    f"server error: {response.get('reason', 'unknown')}"
+                )
+            raise ProtocolError(
+                f"unexpected record type {response_type!r} awaiting stats"
+            )
+
     # ------------------------------------------------------------------
     # Wire plumbing
     # ------------------------------------------------------------------

@@ -21,6 +21,11 @@ Client -> server requests:
 ``bye``
     ``{"type": "bye", "schema_version": 1}`` — orderly goodbye; the server
     answers ``goodbye`` and closes the connection.
+``stats``
+    ``{"type": "stats", "schema_version": 2}`` — ask the server for its
+    telemetry snapshot.  The server answers a ``stats`` record carrying
+    uptime, job/queue counters, cache accounting and the metrics-registry
+    snapshot.  Added in schema version 2.
 
 A **job spec** is the wire form of one
 :class:`~repro.runner.SimulationJob` — the same (workload, accelerator,
@@ -74,6 +79,13 @@ from ..runner import RECORD_SCHEMA_VERSION, RunnerEvent, SimulationJob
 #: version because ``event`` records *are* that grammar.
 SCHEMA_VERSION: int = RECORD_SCHEMA_VERSION
 
+#: Oldest record version this side still accepts.  Version 2 only *added*
+#: fields (``timestamp``/``job_uid`` on events, the ``stats`` exchange), so
+#: version-1 records parse unchanged — old clients keep talking to new
+#: servers and journals written by version-1 releases still replay.  Bump
+#: this only when a version actually changes or removes a field.
+MIN_COMPATIBLE_SCHEMA_VERSION: int = 1
+
 #: Server identity string advertised in ``welcome`` records.
 SERVER_ID = f"repro-service/{SCHEMA_VERSION}"
 
@@ -111,18 +123,26 @@ def decode(line: Union[str, bytes]) -> Dict[str, Any]:
 
 
 def check_schema(record: Mapping[str, Any], source: str = "record") -> None:
-    """Reject a record whose ``schema_version`` is absent or mismatched.
+    """Reject a record whose ``schema_version`` is absent or incompatible.
 
-    The error message names both versions and the record's origin, so a
-    stale client (or a journal written by a different release) fails with an
-    actionable message instead of a silent misparse.
+    Versions in ``[MIN_COMPATIBLE_SCHEMA_VERSION, SCHEMA_VERSION]`` are
+    accepted — newer grammar versions have only added fields so far, so
+    records from older peers (and journals written by older releases) parse
+    unchanged.  Anything outside the range fails with a message naming both
+    versions and the record's origin, so a stale side gets an actionable
+    error instead of a silent misparse.
     """
     version = record.get("schema_version")
-    if version != SCHEMA_VERSION:
+    if (
+        not isinstance(version, int)
+        or isinstance(version, bool)
+        or not MIN_COMPATIBLE_SCHEMA_VERSION <= version <= SCHEMA_VERSION
+    ):
         raise ProtocolError(
             f"{source} has schema_version {version!r}, but this side speaks "
-            f"schema_version {SCHEMA_VERSION}; upgrade the older side "
-            "(records are not cross-version compatible)"
+            f"schema_version {SCHEMA_VERSION} (accepting "
+            f"{MIN_COMPATIBLE_SCHEMA_VERSION}..{SCHEMA_VERSION}); upgrade "
+            "the older side"
         )
 
 
@@ -260,6 +280,11 @@ def bye_record() -> Dict[str, Any]:
     return stamp({"type": "bye"})
 
 
+def stats_request_record() -> Dict[str, Any]:
+    """Ask the server for its telemetry snapshot (added in schema v2)."""
+    return stamp({"type": "stats"})
+
+
 def parse_submit(record: Mapping[str, Any]) -> Tuple[str, List[JobSpec]]:
     """Validate a ``submit`` record into its (request_id, job specs)."""
     request_id = record.get("request_id")
@@ -316,6 +341,13 @@ def event_record(event: RunnerEvent, request_id: str) -> Dict[str, Any]:
 
 def done_record(request_id: str, counts: Mapping[str, int]) -> Dict[str, Any]:
     return stamp({"type": "done", "request_id": request_id, "counts": dict(counts)})
+
+
+def stats_record(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """The server's telemetry snapshot as a wire record (schema v2)."""
+    record: Dict[str, Any] = {"type": "stats"}
+    record.update(payload)
+    return stamp(record)
 
 
 def goodbye_record() -> Dict[str, Any]:

@@ -45,6 +45,7 @@ import asyncio
 import itertools
 import sys
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -52,6 +53,8 @@ from typing import Any, Dict, List, Optional, Set, Union
 
 from ..errors import ProtocolError, ReproError, ServiceError
 from ..runner import RunnerEvent, SimulationJob, SimulationRunner, get_backend
+from ..runner.cache import get_layer_memo
+from ..telemetry import get_metrics, get_tracer
 from . import protocol
 from .admission import (
     DEFAULT_QUEUE_LIMIT,
@@ -82,6 +85,7 @@ class _PendingRequest:
     client_id: str
     request_id: str
     jobs: List[SimulationJob] = field(default_factory=list)
+    span: Optional[Any] = None  # open "request" tracing span (tracing on only)
 
 
 class _Connection:
@@ -159,6 +163,10 @@ class SimulationServer:
         JSONL journal of terminal job events (durability + resume).  With
         ``resume=True`` an existing journal is replayed into the result
         cache before serving (:attr:`restored_entries` reports how many).
+    heartbeat_seconds:
+        Interval of the periodic heartbeat line on stderr (uptime, jobs
+        done, queue depth).  ``0`` disables the heartbeat (and the startup
+        banner stays — it prints once from :meth:`start`).
     """
 
     def __init__(
@@ -174,6 +182,7 @@ class SimulationServer:
         journal_path: Optional[PathLike] = None,
         resume: bool = False,
         rotate_bytes: int = DEFAULT_ROTATE_BYTES,
+        heartbeat_seconds: float = 60.0,
     ) -> None:
         if max_active_requests <= 0:
             raise ServiceError(
@@ -223,6 +232,14 @@ class SimulationServer:
         self._active = 0
         self._stopping = False
         self._stopped = False
+        # Telemetry: lifetime counters (jobs_done updated from backend
+        # threads, hence the lock) and the heartbeat task.
+        self._heartbeat_seconds = heartbeat_seconds
+        self._heartbeat_task: Optional[asyncio.Task] = None
+        self._started_at: Optional[float] = None
+        self._counts_lock = threading.Lock()
+        self._jobs_done = 0
+        self._requests_done = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -259,7 +276,22 @@ class SimulationServer:
             self._handle_connection, self._host, self._requested_port
         )
         self._bound_port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+        restored = (
+            f", restored {self.restored_entries} journal entries"
+            if self.restored_entries
+            else ""
+        )
+        print(
+            f"repro-service: listening on {self._host}:{self._bound_port} "
+            f"(schema v{protocol.SCHEMA_VERSION}, backend="
+            f"{self._runner.backend.name}, quota={self._admission.quota}, "
+            f"queue-limit={self._admission.queue_limit}{restored})",
+            file=sys.stderr,
+        )
         self._dispatch_task = asyncio.create_task(self._dispatch_loop())
+        if self._heartbeat_seconds > 0:
+            self._heartbeat_task = asyncio.create_task(self._heartbeat_loop())
 
     async def serve_forever(self) -> None:
         """Convenience: :meth:`start` then serve until cancelled."""
@@ -284,6 +316,13 @@ class SimulationServer:
             )
         if self._dispatch_task is not None:
             await self._dispatch_task
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            try:
+                await self._heartbeat_task
+            except asyncio.CancelledError:
+                pass
+            self._heartbeat_task = None
         if self._request_tasks:
             await asyncio.gather(*self._request_tasks, return_exceptions=True)
         for conn in list(self._connections):
@@ -418,6 +457,9 @@ class SimulationServer:
             if request_type == "bye":
                 conn.push(protocol.goodbye_record())
                 return
+            if request_type == "stats":
+                conn.push(protocol.stats_record(self._stats_payload()))
+                continue
             if request_type == "submit":
                 await self._handle_submit(conn, record)
             else:
@@ -442,6 +484,15 @@ class SimulationServer:
                 )
             )
             return
+        tracer = get_tracer()
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                "request",
+                client=conn.client_id,
+                request_id=request_id,
+                jobs=len(jobs),
+            )
         if self._stopping:
             conn.push(
                 protocol.rejected_record(
@@ -450,17 +501,29 @@ class SimulationServer:
                     request_id,
                 )
             )
+            if span is not None:
+                tracer.end(span, outcome="rejected", code=protocol.REJECT_SHUTTING_DOWN)
             return
+        admission_span = (
+            tracer.begin("admission", parent_id=span.span_id)
+            if tracer is not None
+            else None
+        )
         refusal = self._admission.try_admit(conn.client_id, len(jobs))
+        if admission_span is not None:
+            tracer.end(admission_span, admitted=refusal is None)
         if refusal is not None:
             code, reason = refusal
             conn.push(protocol.rejected_record(code, reason, request_id))
+            if span is not None:
+                tracer.end(span, outcome="rejected", code=code)
             return
         conn.push(protocol.accepted_record(request_id, len(jobs)))
-        pending = _PendingRequest(conn, conn.client_id, request_id, jobs)
+        pending = _PendingRequest(conn, conn.client_id, request_id, jobs, span=span)
         assert self._dispatch_cond is not None
         async with self._dispatch_cond:
             self._rr.push(conn.client_id, pending)
+            self._update_queue_gauges()
             self._dispatch_cond.notify_all()
 
     # ------------------------------------------------------------------
@@ -478,6 +541,7 @@ class SimulationServer:
                     return  # stopping, queue fully drained
                 _client, pending = self._rr.pop()
                 self._active += 1
+                self._update_queue_gauges()
             task = asyncio.create_task(self._run_request(pending))
             self._request_tasks.add(task)
             task.add_done_callback(self._request_tasks.discard)
@@ -485,6 +549,18 @@ class SimulationServer:
     async def _run_request(self, pending: _PendingRequest) -> None:
         loop = asyncio.get_running_loop()
         keys = {job.cache_key for job in pending.jobs}
+        tracer = get_tracer()
+        dispatch_span = (
+            tracer.begin(
+                "dispatch",
+                parent_id=pending.span.span_id if pending.span else None,
+                jobs=len(pending.jobs),
+            )
+            if tracer is not None
+            else None
+        )
+        started = time.monotonic()
+        outcome = "done"
         try:
             # Cross-client dedup for *concurrent* identical work: while
             # another request is executing any of our cache keys, hold this
@@ -521,6 +597,7 @@ class SimulationServer:
                     if event is not None:
                         event.set()
         except Exception as exc:  # defensive: a batch must always conclude
+            outcome = "error"
             pending.conn.push(
                 protocol.error_record(
                     f"request '{pending.request_id}' failed internally: {exc}"
@@ -528,10 +605,86 @@ class SimulationServer:
             )
         finally:
             self._admission.release(pending.client_id, len(pending.jobs))
+            if tracer is not None:
+                if dispatch_span is not None:
+                    tracer.end(dispatch_span, outcome=outcome)
+                if pending.span is not None:
+                    tracer.end(pending.span, outcome=outcome)
+            registry = get_metrics()
+            if registry is not None:
+                registry.counter("service.requests.done").inc()
+                registry.histogram("service.request_latency_seconds").observe(
+                    time.monotonic() - started
+                )
+            with self._counts_lock:
+                self._requests_done += 1
             assert self._dispatch_cond is not None
             async with self._dispatch_cond:
                 self._active -= 1
+                self._update_queue_gauges()
                 self._dispatch_cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Telemetry surfacing
+    # ------------------------------------------------------------------
+    def _update_queue_gauges(self) -> None:
+        """Refresh the queue/active gauges (call with dispatch state settled)."""
+        registry = get_metrics()
+        if registry is None:
+            return
+        registry.gauge("service.queue_depth").set(len(self._rr))
+        registry.gauge("service.active_requests").set(self._active)
+
+    def _stats_payload(self) -> Dict[str, Any]:
+        """The server's telemetry snapshot (the ``stats`` record's payload).
+
+        Everything in one atomic-ish read: identity and uptime, live
+        queue/connection state, lifetime request/job counters, the shared
+        runner's cache accounting, the layer memo's accounting (when
+        enabled), and the full metrics-registry snapshot (when metrics are
+        enabled).  Consumed by the wire ``stats`` request and the CLI's
+        ``stats`` verb.
+        """
+        with self._counts_lock:
+            jobs_done = self._jobs_done
+            requests_done = self._requests_done
+        payload: Dict[str, Any] = {
+            "server": protocol.SERVER_ID,
+            "uptime_seconds": (
+                time.monotonic() - self._started_at
+                if self._started_at is not None
+                else 0.0
+            ),
+            "connections": len(self._connections),
+            "queue_depth": len(self._rr),
+            "active_requests": self._active,
+            "requests_done": requests_done,
+            "jobs_done": jobs_done,
+            "restored_entries": self.restored_entries,
+            "cache": self._runner.stats.as_dict(),
+        }
+        memo = get_layer_memo()
+        if memo is not None:
+            payload["layer_memo"] = memo.stats.as_dict()
+        registry = get_metrics()
+        if registry is not None:
+            payload["metrics"] = registry.snapshot()
+        return payload
+
+    async def _heartbeat_loop(self) -> None:
+        """Print a one-line liveness heartbeat to stderr every interval."""
+        assert self._started_at is not None
+        while True:
+            await asyncio.sleep(self._heartbeat_seconds)
+            with self._counts_lock:
+                jobs_done = self._jobs_done
+            uptime = time.monotonic() - self._started_at
+            print(
+                f"repro-service: heartbeat uptime={uptime:.0f}s "
+                f"jobs_done={jobs_done} queue_depth={len(self._rr)} "
+                f"active={self._active} connections={len(self._connections)}",
+                file=sys.stderr,
+            )
 
     def _execute(self, jobs: List[SimulationJob], listener) -> Dict[str, int]:
         """Submit and drain one batch (executor thread; drives serial futures)."""
@@ -557,6 +710,11 @@ class SimulationServer:
         def listener(event: RunnerEvent) -> None:
             if not event.is_terminal:
                 return
+            with self._counts_lock:
+                self._jobs_done += 1
+            registry = get_metrics()
+            if registry is not None:
+                registry.counter("service.jobs.done").inc()
             if self._journal is not None:
                 try:
                     self._journal.append(

@@ -606,3 +606,78 @@ class TestServiceVerbs:
         probe.close()
         assert main(["remote-compare", "--port", str(port)]) == 2
         assert "could not connect" in capsys.readouterr().err
+
+
+class TestTelemetryFlags:
+    """The observability CLI surface: --trace, --metrics and the stats verb."""
+
+    COMPARE = [
+        "compare",
+        "--workloads",
+        "dcgan@64x64",
+        "--accelerators",
+        "eyeriss,ganax",
+    ]
+
+    def test_trace_writes_chrome_trace_event_json(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main([*self.COMPARE, "--trace", str(path), "--quiet"]) == 0
+        payload = json.loads(path.read_text())
+        names = [event["name"] for event in payload["traceEvents"]]
+        assert names.count("batch") == 1
+        assert names.count("job") == 2
+        for event in payload["traceEvents"]:
+            assert event["ph"] == "X"
+            assert event["dur"] >= 0
+
+    def test_trace_jsonl_extension_selects_span_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert main([*self.COMPARE, "--trace", str(path), "--quiet"]) == 0
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert {record["name"] for record in records} >= {"batch", "job"}
+
+    def test_metrics_dash_writes_the_snapshot_to_stdout(self, capsys):
+        assert main([*self.COMPARE, "--metrics", "-"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["counters"]["runner.jobs.scheduled"] == 2
+        assert snapshot["counters"]["backend.jobs.dispatched{backend=serial}"] == 2
+        assert snapshot["histograms"]["runner.job.latency_seconds"]["count"] == 2
+
+    def test_metrics_file_and_cache_stats_agree(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        assert main([*self.COMPARE, "--metrics", str(path), "--cache-stats"]) == 0
+        snapshot = json.loads(path.read_text())
+        out = capsys.readouterr().out
+        misses = snapshot["counters"]["runner.cache.misses"]
+        assert f"cache: 0 hits, {misses} misses" in out
+
+    def test_trace_and_metrics_rejected_outside_streaming_modes(self, capsys):
+        assert main(["figure8", "--trace", "t.json"]) == 2
+        assert "--trace" in capsys.readouterr().err
+        assert main(["all", "--metrics", "-"]) == 2
+        assert "--metrics" in capsys.readouterr().err
+
+    def test_metrics_dash_cannot_share_stdout_with_json_dash(self, capsys):
+        assert main([*self.COMPARE, "--json", "-", "--metrics", "-"]) == 2
+        assert "claim stdout" in capsys.readouterr().err
+
+    def test_stats_verb_queries_a_running_service(self, capsys):
+        from repro.service import Client, SimulationServer, grid_specs
+
+        with SimulationServer(port=0) as server:
+            with Client(port=server.port) as client:
+                list(client.submit(grid_specs(["DCGAN"], ["eyeriss", "ganax"])))
+            assert main(["stats", "--port", str(server.port)]) == 0
+        out = capsys.readouterr().out
+        assert "2 jobs done" in out
+        assert "cache:" in out
+
+    def test_stats_verb_unreachable_server_is_a_clean_error(self, capsys):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        assert main(["stats", "--port", str(port)]) == 2
+        assert "error:" in capsys.readouterr().err

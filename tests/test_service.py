@@ -636,3 +636,106 @@ class TestServer:
         with pytest.raises(ServiceError) as excinfo:
             client.connect()
         assert "2 attempts" in str(excinfo.value)
+
+
+# ----------------------------------------------------------------------
+# Schema compatibility shim (v1 -> v2)
+# ----------------------------------------------------------------------
+class TestSchemaCompatShim:
+    def test_current_and_previous_versions_are_accepted(self):
+        for version in range(protocol.MIN_COMPATIBLE_SCHEMA_VERSION, SCHEMA_VERSION + 1):
+            protocol.check_schema({"schema_version": version})  # no raise
+
+    def test_v1_records_still_interoperate(self):
+        """The v2 grammar is additive, so a v1 peer's records pass the gate."""
+        record = protocol.hello_record("old-worker")
+        record["schema_version"] = 1
+        protocol.check_schema(record, source="client hello")  # no raise
+
+    def test_out_of_range_versions_are_rejected(self):
+        for version in (0, SCHEMA_VERSION + 1, -3):
+            with pytest.raises(ProtocolError) as excinfo:
+                protocol.check_schema({"schema_version": version})
+            message = str(excinfo.value)
+            assert str(protocol.MIN_COMPATIBLE_SCHEMA_VERSION) in message
+            assert str(SCHEMA_VERSION) in message
+
+    def test_non_integer_versions_are_rejected(self):
+        for version in ("2", 2.0, True, None):
+            with pytest.raises(ProtocolError):
+                protocol.check_schema({"schema_version": version})
+
+    def test_stats_records_are_stamped(self):
+        assert protocol.stats_request_record()["schema_version"] == SCHEMA_VERSION
+        record = protocol.stats_record({"jobs_done": 3})
+        assert record["schema_version"] == SCHEMA_VERSION
+        assert record["type"] == "stats"
+        assert record["jobs_done"] == 3
+
+
+# ----------------------------------------------------------------------
+# The stats exchange and operational chatter
+# ----------------------------------------------------------------------
+class TestServerTelemetry:
+    @pytest.fixture(autouse=True)
+    def fresh_metrics(self):
+        # the registry is process-global; start each test's accounting at zero
+        from repro.telemetry import configure_metrics
+
+        configure_metrics()
+        yield
+        configure_metrics()
+
+    def test_stats_request_answers_live_counters(self):
+        with SimulationServer(port=0) as server:
+            with Client(port=server.port, client_id="stats-worker") as client:
+                list(client.submit(small_grid()))
+                payload = client.stats()
+        assert payload["server"]
+        assert payload["uptime_seconds"] >= 0
+        assert payload["jobs_done"] == len(small_grid())
+        assert payload["requests_done"] == 1
+        assert payload["queue_depth"] == 0
+        assert payload["cache"]["misses"] >= 0
+        metrics = payload["metrics"]
+        accepted = metrics["counters"].get(
+            "service.admission.accepted{client=stats-worker}"
+        )
+        assert accepted == 1
+        assert metrics["histograms"]["service.request_latency_seconds"]["count"] == 1
+
+    def test_stats_before_any_work_is_all_zero(self):
+        with SimulationServer(port=0) as server:
+            with Client(port=server.port) as client:
+                payload = client.stats()
+        assert payload["jobs_done"] == 0
+        assert payload["requests_done"] == 0
+        assert payload["active_requests"] == 0
+
+    def test_startup_banner_goes_to_stderr(self, capfd):
+        with SimulationServer(port=0) as server:
+            port = server.port
+        err = capfd.readouterr().err
+        assert "repro-service: listening on" in err
+        assert str(port) in err
+        assert f"schema v{SCHEMA_VERSION}" in err
+
+    def test_heartbeat_line_reports_progress(self, capfd):
+        import time as _time
+
+        with SimulationServer(port=0, heartbeat_seconds=0.05) as server:
+            with Client(port=server.port) as client:
+                list(client.submit(small_grid()[:1]))
+            _time.sleep(0.2)
+        err = capfd.readouterr().err
+        assert "repro-service: heartbeat" in err
+        assert "jobs_done=1" in err
+
+    def test_heartbeat_can_be_disabled(self, capfd):
+        import time as _time
+
+        with SimulationServer(port=0, heartbeat_seconds=0.0):
+            _time.sleep(0.15)
+        err = capfd.readouterr().err
+        assert "repro-service: listening on" in err  # banner stays
+        assert "heartbeat" not in err
