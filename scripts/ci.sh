@@ -32,7 +32,13 @@
 #      Chrome trace-event JSON (one batch span, one job span per job) and a
 #      metrics snapshot whose counters match the submitted grid (the
 #      telemetry benchmark in step 2 separately enforces the overhead
-#      budgets: disabled hooks <= 2%, full telemetry <= 10%).
+#      budgets: disabled hooks <= 2%, full telemetry <= 10%);
+#   9. a staticcheck smoke: `lint` over the package source must be clean,
+#      `check` over the six paper workloads x {eyeriss, ganax} x both
+#      skip_zeros modes must verify every compiled program with zero
+#      findings, and a seeded single-µop corruption of a clean program
+#      must be caught by the verifier (the mutation tests in
+#      tests/test_staticcheck.py separately prove every catalog id fires).
 #
 # Usage: scripts/ci.sh [extra pytest args for the tier-1 step]
 set -eu
@@ -260,6 +266,69 @@ assert terminal == 4, counters
 assert metrics["histograms"]["runner.job.latency_seconds"]["count"] == 4
 print("telemetry smoke OK:", len(events), "trace events,",
       len(counters), "counters")
+PY
+
+echo "== staticcheck smoke (lint + full verification grid + seeded mutation) =="
+python -m repro.cli lint --quiet --json "$SMOKE_DIR/lint.json"
+python - "$SMOKE_DIR/lint.json" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1], encoding="utf-8") as handle:
+    payload = json.load(handle)["lint"]
+assert payload["ok"], payload["findings"]
+print("lint OK: package source is clean")
+PY
+
+python -m repro.cli check --accelerators eyeriss,ganax \
+    --json "$SMOKE_DIR/check.json" --quiet
+python - "$SMOKE_DIR/check.json" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1], encoding="utf-8") as handle:
+    payload = json.load(handle)["check"]
+assert payload["ok"], payload
+assert payload["findings"] == 0, payload
+# six workloads x two accelerators x two skip_zeros modes, every
+# compilable layer: the grid must not silently shrink.
+assert payload["cells"] >= 200, payload["cells"]
+assert payload["programs"] >= payload["cells"], payload
+print("check OK:", payload["programs"], "programs across",
+      payload["cells"], "cells, zero findings")
+PY
+
+python - <<'PY'
+from repro.staticcheck import MachineModel, Severity, verify_program
+from repro.workloads.registry import get_workload
+from repro.core.compiler import compile_layer_programs
+from repro.isa.uops import AccessCfg, ConfigRegister
+
+model = get_workload("dcgan")
+binding = next(b for b in model.generator.bindings if b.is_transposed)
+program = compile_layer_programs(
+    binding, num_pvs=16, pes_per_pv=16, skip_zeros=True,
+    max_waves=1, max_columns=4,
+)[0]
+machine = MachineModel.from_config(num_pvs=16, pes_per_pv=16)
+assert not verify_program(program, machine), "clean program flagged"
+
+# Seed a single-µop corruption: point the first access.cfg at a PV the
+# program never declared.  The verifier must catch it.
+corrupt = list(program.global_uops)
+at, uop = next(
+    (i, u) for i, u in enumerate(corrupt) if isinstance(u, AccessCfg)
+)
+corrupt[at] = AccessCfg(
+    pv_index=31, generator=uop.generator,
+    register=uop.register, immediate=uop.immediate,
+)
+object.__setattr__(program, "global_uops", tuple(corrupt))
+findings = verify_program(program, machine)
+assert findings, "seeded corruption went undetected"
+assert any(f.severity is Severity.ERROR for f in findings), findings
+print("mutation smoke OK:", len(findings), "finding(s) on the seeded",
+      "corruption, e.g.", findings[0].check_id)
 PY
 
 echo "CI OK"

@@ -52,6 +52,24 @@ This package implements, from scratch:
       tracer.export("trace.json")    # open in Perfetto
       print(get_metrics().snapshot()["counters"])
 
+* a **static µop-program verifier** (:mod:`repro.staticcheck`): an abstract
+  interpreter over compiled :class:`~repro.isa.MicroProgram` streams that
+  models the access µ-engine state machines and PE buffers (16 checks:
+  config definition-before-use, start/stop pairing, address/buffer bounds,
+  repeat pairing, encode→decode round-trips, the mode flag, ...), a
+  FileCheck-style golden-program harness pinning representative layer
+  disassemblies under ``tests/filecheck/``, and repo-invariant AST lints —
+  surfaced as the ``check`` / ``lint`` / ``disasm`` CLI verbs and wired
+  into ``scripts/ci.sh`` (see ``repro/staticcheck/README.md``).
+
+Verified compilation, in one line — every program of every compilable
+layer, both zero-skipping modes, must verify clean::
+
+    from repro.staticcheck import run_check_grid
+
+    report = run_check_grid(accelerators=("eyeriss", "ganax"))
+    assert report.ok, report.findings
+
 Quick start — the paper's two-point comparison::
 
     from repro import compare_model, get_workload

@@ -130,8 +130,12 @@ def build_parser() -> argparse.ArgumentParser:
             "accelerator comparison), 'sweep' (one-parameter configuration "
             "sweep), 'dse' (design-space exploration), 'cache-prune', "
             "'serve' (host the simulation service), 'remote-compare' "
-            "(run a comparison grid against a running service), or 'stats' "
-            "(query a running service for its telemetry snapshot)"
+            "(run a comparison grid against a running service), 'stats' "
+            "(query a running service for its telemetry snapshot), 'check' "
+            "(statically verify compiled µop programs over a workload x "
+            "accelerator grid), 'lint' (repo-invariant lints over the "
+            "source tree), or 'disasm' (compile one layer and print its "
+            "µop program)"
         ),
     )
     parser.add_argument(
@@ -364,6 +368,56 @@ def build_parser() -> argparse.ArgumentParser:
             "write the metrics-registry snapshot (counters/gauges/"
             "histograms) as JSON to PATH ('-' for stdout) after "
             "'compare'/'sweep'/'dse'"
+        ),
+    )
+    parser.add_argument(
+        "--workload",
+        metavar="NAME",
+        default=None,
+        help="workload whose layer 'disasm' compiles (e.g. dcgan)",
+    )
+    parser.add_argument(
+        "--layer",
+        metavar="NAME",
+        default=None,
+        help=(
+            "layer name for 'disasm' (exact) or 'check' (substring filter "
+            "over binding names)"
+        ),
+    )
+    parser.add_argument(
+        "--max-columns",
+        type=int,
+        metavar="N",
+        default=None,
+        help=(
+            "output columns compiled per wave for 'check'/'disasm' "
+            "(default: 8 for check, 4 for disasm — the golden-test tile)"
+        ),
+    )
+    parser.add_argument(
+        "--max-waves",
+        type=int,
+        metavar="N",
+        default=None,
+        help="waves compiled per layer for 'check'/'disasm' (default: 1)",
+    )
+    parser.add_argument(
+        "--no-skip-zeros",
+        action="store_true",
+        default=None,
+        help=(
+            "'disasm' compiles the dense (EYERISS-style) lowering instead "
+            "of the zero-skipping GANAX one; 'check' always verifies both"
+        ),
+    )
+    parser.add_argument(
+        "--paths",
+        metavar="PATHS",
+        default=None,
+        help=(
+            "comma-separated files/directories 'lint' scans "
+            "(default: the installed repro package source)"
         ),
     )
     return parser
@@ -874,6 +928,142 @@ def _run_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_check(args: argparse.Namespace) -> int:
+    """The ``check`` mode: statically verify compiled µop programs.
+
+    Compiles every compilable layer of the requested workloads in both
+    ``skip_zeros`` modes and runs the full verifier catalog; exits non-zero
+    if any error-severity finding survives.
+    """
+    from .staticcheck import Severity, run_check_grid
+
+    workloads = parse_workload_list(args.workloads)
+    accelerators = (
+        [token.strip() for token in args.accelerators.split(",") if token.strip()]
+        if args.accelerators
+        else ["eyeriss", "ganax"]
+    )
+    try:
+        report = run_check_grid(
+            workloads,
+            accelerators,
+            max_waves=args.max_waves if args.max_waves is not None else 1,
+            max_columns=args.max_columns if args.max_columns is not None else 8,
+            layer=args.layer,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not args.quiet and not _owns_stdout(args):
+        for entry in report.entries:
+            for finding in entry.findings:
+                mode = "skip" if entry.skip_zeros else "dense"
+                print(
+                    f"{entry.workload}/{entry.layer} [{entry.accelerator}, "
+                    f"{mode}] {finding}"
+                )
+        errors = sum(
+            1 for f in report.findings if f.severity is Severity.ERROR
+        )
+        warnings = len(report.findings) - errors
+        print(
+            f"checked {report.programs} programs across {len(report.entries)} "
+            f"cells: {errors} errors, {warnings} warnings"
+        )
+    if args.json:
+        _write_json({"check": report.describe()}, args.json, args.quiet)
+    return 0 if report.ok else 1
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    """The ``lint`` mode: repo-invariant AST lints over the source tree."""
+    from pathlib import Path
+
+    from .staticcheck import run_lints
+
+    if args.paths:
+        paths = [Path(token.strip()) for token in args.paths.split(",") if token.strip()]
+    else:
+        paths = [Path(__file__).parent]
+    try:
+        findings = run_lints(paths)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not args.quiet and not _owns_stdout(args):
+        for finding in findings:
+            print(str(finding))
+        scanned = ", ".join(str(path) for path in paths)
+        print(f"linted {scanned}: {len(findings)} finding(s)")
+    if args.json:
+        payload = {
+            "ok": not findings,
+            "findings": [
+                {
+                    "path": f.path,
+                    "line": f.line,
+                    "check_id": f.check_id,
+                    "message": f.message,
+                }
+                for f in findings
+            ],
+        }
+        _write_json({"lint": payload}, args.json, args.quiet)
+    return 0 if not findings else 1
+
+
+def _run_disasm(args: argparse.Namespace) -> int:
+    """The ``disasm`` mode: compile one layer and print its µop program(s)."""
+    from .core.compiler import compile_layer_programs
+    from .staticcheck import iter_compilable_bindings
+    from .workloads.registry import get_workload
+
+    if not args.workload or not args.layer:
+        print("error: disasm requires --workload and --layer", file=sys.stderr)
+        return 2
+    try:
+        model = get_workload(args.workload)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    bindings = {b.name: b for _, b in iter_compilable_bindings(model)}
+    binding = bindings.get(args.layer)
+    if binding is None:
+        print(
+            f"error: no compilable layer '{args.layer}' in {model.name} "
+            f"(available: {', '.join(sorted(bindings))})",
+            file=sys.stderr,
+        )
+        return 2
+    config = ArchitectureConfig.paper_default()
+    try:
+        programs = compile_layer_programs(
+            binding,
+            num_pvs=config.num_pvs,
+            pes_per_pv=config.pes_per_pv,
+            skip_zeros=not args.no_skip_zeros,
+            max_waves=args.max_waves if args.max_waves is not None else 1,
+            max_columns=args.max_columns if args.max_columns is not None else 4,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not args.quiet and not _owns_stdout(args):
+        for index, program in enumerate(programs):
+            if index:
+                print()  # blank line between waves
+            print(program.disassemble(), end="")
+    if args.json:
+        payload = {
+            "workload": model.name,
+            "layer": binding.name,
+            "skip_zeros": not args.no_skip_zeros,
+            "programs": [program.uop_records() for program in programs],
+        }
+        _write_json({"disasm": payload}, args.json, args.quiet)
+    return 0
+
+
 def _run_dse(args: argparse.Namespace, runner: SimulationRunner) -> int:
     """The ``dse`` mode: search one accelerator's design space, report the frontier."""
     try:
@@ -1066,8 +1256,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # Mode-specific flags are rejected elsewhere: a silently ignored selection
     # would report numbers for a run the user did not ask for.
     flag_gates = (
-        ("--accelerators", args.accelerators, {"compare", "sweep", "remote-compare"}),
-        ("--workloads", args.workloads, {"compare", "sweep", "dse", "remote-compare"}),
+        ("--accelerators", args.accelerators, {"compare", "sweep", "remote-compare", "check"}),
+        ("--workloads", args.workloads, {"compare", "sweep", "dse", "remote-compare", "check"}),
         ("--baseline", args.baseline, {"compare", "sweep", "dse"}),
         ("--parameter", args.parameter, {"sweep"}),
         ("--values", args.values, {"sweep"}),
@@ -1089,6 +1279,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ("--client-id", args.client_id, {"remote-compare"}),
         ("--trace", args.trace, {"compare", "sweep", "dse"}),
         ("--metrics", args.metrics, {"compare", "sweep", "dse"}),
+        ("--workload", args.workload, {"disasm"}),
+        ("--layer", args.layer, {"check", "disasm"}),
+        ("--max-columns", args.max_columns, {"check", "disasm"}),
+        ("--max-waves", args.max_waves, {"check", "disasm"}),
+        ("--no-skip-zeros", args.no_skip_zeros, {"disasm"}),
+        ("--paths", args.paths, {"lint"}),
     )
     for flag, value, modes in flag_gates:
         if value is not None and args.experiment not in modes:
@@ -1139,6 +1335,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.experiment == "stats":
         return _run_stats(args)
+
+    if args.experiment == "check":
+        return _run_check(args)
+
+    if args.experiment == "lint":
+        return _run_lint(args)
+
+    if args.experiment == "disasm":
+        return _run_disasm(args)
 
     # Each invocation starts its telemetry from zero: a fresh metrics
     # registry (metrics are on by default), and — only with --trace — a

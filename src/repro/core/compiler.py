@@ -194,33 +194,7 @@ class GanaxLayerExecutor:
                 f"executor has only {self._pes_per_pv}"
             )
         in_rows, in_cols = x.shape
-        tasks: List[RowTask] = []
-        pv = 0
-        for group in schedule.row_groups:
-            for output_row in group.output_rows:
-                columns = tuple(
-                    ColumnWork(
-                        taps=taps,
-                        input_base=input_base,
-                        weight_base=kernel_cols[0],
-                        weight_step=layer.stride[1],
-                        output_column=out_col,
-                    )
-                    for out_col in range(schedule.output_cols)
-                    for taps, kernel_cols, input_base in [
-                        _column_window(out_col, layer, in_cols)
-                    ]
-                    if taps > 0
-                )
-                tasks.append(
-                    RowTask(
-                        pv_index=pv % self._num_pvs,
-                        output_row=output_row,
-                        filter_rows=group.filter_rows,
-                        columns=columns,
-                    )
-                )
-                pv += 1
+        tasks = plan_ganax_row_tasks(layer, in_cols, schedule, self._num_pvs)
 
         def load_operands(machine: GanaxMachine, task: RowTask) -> int:
             active = len(task.filter_rows)
@@ -285,26 +259,9 @@ class GanaxLayerExecutor:
                 f"{binding.name}: kernel height {k_rows} exceeds {self._pes_per_pv} PEs per PV"
             )
         out_rows, out_cols = binding.output_shape.spatial
-        tasks: List[RowTask] = []
-        for i, row in enumerate(range(out_rows)):
-            columns = tuple(
-                ColumnWork(
-                    taps=k_cols,
-                    input_base=out_col * stride,
-                    weight_base=0,
-                    weight_step=1,
-                    output_column=out_col,
-                )
-                for out_col in range(out_cols)
-            )
-            tasks.append(
-                RowTask(
-                    pv_index=i % self._num_pvs,
-                    output_row=row,
-                    filter_rows=tuple(range(k_rows)),
-                    columns=columns,
-                )
-            )
+        tasks = plan_dense_row_tasks(
+            out_rows, out_cols, k_rows, k_cols, stride, self._num_pvs
+        )
         # Dense tasks carry their operands implicitly via the padded array /
         # weight captured in the default loader below.
         self._dense_operands = (padded, weight, stride)
@@ -347,7 +304,7 @@ class GanaxLayerExecutor:
             active_by_pv: Dict[int, int] = {}
             for task in wave:
                 active_by_pv[task.pv_index] = load_operands(machine, task)
-            program = self._build_wave_program(binding.name, wave)
+            program = build_wave_program(binding.name, wave, self._num_pvs)
             machine.load_program(program)
             run = machine.run()
             stats.append(run)
@@ -368,87 +325,6 @@ class GanaxLayerExecutor:
             skip_zeros=skip_zeros,
         )
 
-    def _build_wave_program(self, name: str, wave: Sequence[RowTask]) -> MicroProgram:
-        """Column-synchronised micro-program for one wave of row tasks.
-
-        All tasks advance column index in lockstep: per column, each active PV
-        receives its own access configuration (per-PV µops) and then three
-        ``mimd.exe`` µops dispatch ``repeat``/``mac``/``act`` to every PV.
-        PVs that have exhausted their columns receive a ``nop``.
-        """
-        builder = MicroProgramBuilder(name=name, num_pvs=self._num_pvs)
-        mac = ExecuteUop(op=ExecuteOp.MAC)
-        act = ExecuteUop(op=ExecuteOp.ACT, activation="identity")
-        rep = RepeatUop()
-        nop = ExecuteUop(op=ExecuteOp.NOP)
-        mac_idx = builder.preload_local_everywhere(mac)
-        act_idx = builder.preload_local_everywhere(act)
-        rep_idx = builder.preload_local_everywhere(rep)
-        nop_idx = builder.preload_local_everywhere(nop)
-
-        by_pv = {task.pv_index: task for task in wave}
-        max_columns = max(len(task.columns) for task in wave)
-
-        for column_index in range(max_columns):
-            active_pvs = []
-            for pv in range(self._num_pvs):
-                task = by_pv.get(pv)
-                if task is None or column_index >= len(task.columns):
-                    continue
-                work = task.columns[column_index]
-                self._emit_generator(
-                    builder, pv, AddressGenerator.INPUT,
-                    offset=work.input_base, end=work.taps, repeat=1,
-                )
-                self._emit_generator(
-                    builder, pv, AddressGenerator.WEIGHT,
-                    offset=work.weight_base,
-                    end=(work.taps - 1) * work.weight_step + 1,
-                    repeat=1,
-                    step=work.weight_step,
-                )
-                self._emit_generator(
-                    builder, pv, AddressGenerator.OUTPUT,
-                    offset=work.output_column, end=1, repeat=1,
-                )
-                builder.emit_mimd_load(pv, "repeat", work.taps)
-                active_pvs.append(pv)
-            if not active_pvs:
-                continue
-
-            def indices(active_map, idle_map):
-                return [
-                    active_map[pv] if pv in active_pvs else idle_map[pv]
-                    for pv in range(self._num_pvs)
-                ]
-
-            builder.emit_mimd(indices(rep_idx, nop_idx))
-            builder.emit_mimd(indices(mac_idx, nop_idx))
-            builder.emit_mimd(indices(act_idx, nop_idx))
-        return builder.build()
-
-    def _emit_generator(
-        self,
-        builder: MicroProgramBuilder,
-        pv: int,
-        generator: AddressGenerator,
-        *,
-        offset: int,
-        end: int,
-        repeat: int,
-        step: int = 1,
-        addr: int = 0,
-    ) -> None:
-        # A single-address pattern (End=1) degenerates to step 1: the hardware
-        # constrains Step <= End.
-        step = min(step, end)
-        builder.emit_access_cfg(pv, generator, ConfigRegister.ADDR, addr)
-        builder.emit_access_cfg(pv, generator, ConfigRegister.OFFSET, offset)
-        builder.emit_access_cfg(pv, generator, ConfigRegister.STEP, step)
-        builder.emit_access_cfg(pv, generator, ConfigRegister.END, end)
-        builder.emit_access_cfg(pv, generator, ConfigRegister.REPEAT, repeat)
-        builder.emit_access_start(pv, generator)
-
     def _new_machine(self, input_words: int, weight_words: int, output_words: int) -> GanaxMachine:
         return GanaxMachine(
             num_pvs=self._num_pvs,
@@ -460,6 +336,261 @@ class GanaxLayerExecutor:
                 "output": max(16, output_words),
             },
         )
+
+
+# ----------------------------------------------------------------------
+# Static compilation (operand-free planning and program emission)
+# ----------------------------------------------------------------------
+def plan_ganax_row_tasks(
+    layer: TransposedConvLayer,
+    in_cols: int,
+    schedule: DataflowSchedule,
+    num_pvs: int,
+) -> List[RowTask]:
+    """Plan the GANAX (zero-skipping) row tasks for one 2-D layer slice.
+
+    Pure geometry: the plan depends only on the layer's kernel/stride/padding
+    and the input width, never on operand values, so the same tasks drive both
+    the cycle-level executor and static program compilation.
+    """
+    tasks: List[RowTask] = []
+    pv = 0
+    for group in schedule.row_groups:
+        for output_row in group.output_rows:
+            columns = tuple(
+                ColumnWork(
+                    taps=taps,
+                    input_base=input_base,
+                    weight_base=kernel_cols[0],
+                    weight_step=layer.stride[1],
+                    output_column=out_col,
+                )
+                for out_col in range(schedule.output_cols)
+                for taps, kernel_cols, input_base in [
+                    _column_window(out_col, layer, in_cols)
+                ]
+                if taps > 0
+            )
+            tasks.append(
+                RowTask(
+                    pv_index=pv % num_pvs,
+                    output_row=output_row,
+                    filter_rows=group.filter_rows,
+                    columns=columns,
+                )
+            )
+            pv += 1
+    return tasks
+
+
+def plan_dense_row_tasks(
+    out_rows: int,
+    out_cols: int,
+    k_rows: int,
+    k_cols: int,
+    stride: int,
+    num_pvs: int,
+) -> List[RowTask]:
+    """Plan the conventional (dense) row tasks: every tap of every window."""
+    tasks: List[RowTask] = []
+    for i, row in enumerate(range(out_rows)):
+        columns = tuple(
+            ColumnWork(
+                taps=k_cols,
+                input_base=out_col * stride,
+                weight_base=0,
+                weight_step=1,
+                output_column=out_col,
+            )
+            for out_col in range(out_cols)
+        )
+        tasks.append(
+            RowTask(
+                pv_index=i % num_pvs,
+                output_row=row,
+                filter_rows=tuple(range(k_rows)),
+                columns=columns,
+            )
+        )
+    return tasks
+
+
+def build_wave_program(name: str, wave: Sequence[RowTask], num_pvs: int) -> MicroProgram:
+    """Column-synchronised micro-program for one wave of row tasks.
+
+    All tasks advance column index in lockstep: per column, each active PV
+    receives its own access configuration (per-PV µops) and then three
+    ``mimd.exe`` µops dispatch ``repeat``/``mac``/``act`` to every PV.  PVs
+    that have exhausted their columns receive a ``nop``.  Each PV's local
+    buffer is preloaded with exactly the µops it will be dispatched — active
+    PVs get ``mac``/``act``/``repeat`` (plus ``nop`` if some column leaves
+    them idle), PVs with no work in the wave get only ``nop`` — so compiled
+    programs carry no dead local µops.
+    """
+    builder = MicroProgramBuilder(name=name, num_pvs=num_pvs)
+    mac = ExecuteUop(op=ExecuteOp.MAC)
+    act = ExecuteUop(op=ExecuteOp.ACT, activation="identity")
+    rep = RepeatUop()
+    nop = ExecuteUop(op=ExecuteOp.NOP)
+
+    by_pv = {task.pv_index: task for task in wave}
+    max_columns = max(len(task.columns) for task in wave)
+    column_active: List[List[int]] = [
+        [
+            pv
+            for pv in range(num_pvs)
+            if by_pv.get(pv) is not None and column_index < len(by_pv[pv].columns)
+        ]
+        for column_index in range(max_columns)
+    ]
+    emitted = [active for active in column_active if active]
+    mac_idx: Dict[int, int] = {}
+    act_idx: Dict[int, int] = {}
+    rep_idx: Dict[int, int] = {}
+    nop_idx: Dict[int, int] = {}
+    for pv in range(num_pvs):
+        if any(pv in active for active in emitted):
+            mac_idx[pv] = builder.preload_local(pv, mac)
+            act_idx[pv] = builder.preload_local(pv, act)
+            rep_idx[pv] = builder.preload_local(pv, rep)
+        if any(pv not in active for active in emitted):
+            nop_idx[pv] = builder.preload_local(pv, nop)
+
+    for column_index in range(max_columns):
+        active_pvs = column_active[column_index]
+        for pv in active_pvs:
+            work = by_pv[pv].columns[column_index]
+            _emit_generator(
+                builder, pv, AddressGenerator.INPUT,
+                offset=work.input_base, end=work.taps, repeat=1,
+            )
+            _emit_generator(
+                builder, pv, AddressGenerator.WEIGHT,
+                offset=work.weight_base,
+                end=(work.taps - 1) * work.weight_step + 1,
+                repeat=1,
+                step=work.weight_step,
+            )
+            _emit_generator(
+                builder, pv, AddressGenerator.OUTPUT,
+                offset=work.output_column, end=1, repeat=1,
+            )
+            builder.emit_mimd_load(pv, "repeat", work.taps)
+        if not active_pvs:
+            continue
+
+        def indices(active_map, idle_map):
+            return [
+                active_map[pv] if pv in active_pvs else idle_map[pv]
+                for pv in range(num_pvs)
+            ]
+
+        builder.emit_mimd(indices(rep_idx, nop_idx))
+        builder.emit_mimd(indices(mac_idx, nop_idx))
+        builder.emit_mimd(indices(act_idx, nop_idx))
+    return builder.build()
+
+
+def _emit_generator(
+    builder: MicroProgramBuilder,
+    pv: int,
+    generator: AddressGenerator,
+    *,
+    offset: int,
+    end: int,
+    repeat: int,
+    step: int = 1,
+    addr: int = 0,
+) -> None:
+    # A single-address pattern (End=1) degenerates to step 1: the hardware
+    # constrains Step <= End.
+    step = min(step, end)
+    builder.emit_access_cfg(pv, generator, ConfigRegister.ADDR, addr)
+    builder.emit_access_cfg(pv, generator, ConfigRegister.OFFSET, offset)
+    builder.emit_access_cfg(pv, generator, ConfigRegister.STEP, step)
+    builder.emit_access_cfg(pv, generator, ConfigRegister.END, end)
+    builder.emit_access_cfg(pv, generator, ConfigRegister.REPEAT, repeat)
+    builder.emit_access_start(pv, generator)
+
+
+def compile_layer_programs(
+    binding: LayerBinding,
+    *,
+    num_pvs: int,
+    pes_per_pv: int,
+    skip_zeros: bool = True,
+    max_waves: Optional[int] = None,
+    max_columns: Optional[int] = None,
+) -> Tuple[MicroProgram, ...]:
+    """Statically compile a convolutional layer binding to micro-programs.
+
+    Emits the exact per-wave programs the cycle-level executor would run for a
+    single-channel 2-D slice of the layer (rank-3 layers compile their spatial
+    slice; the channel dimension is covered by the analytical model).  No
+    operand data is needed — planning and emission are pure geometry — which
+    makes this the entry point for static verification and disassembly.
+
+    ``max_waves`` / ``max_columns`` bound the emitted program to a
+    representative tile so whole-workload grids stay cheap; the µop *pattern*
+    of the truncated program is identical to the full one.
+    """
+    if num_pvs <= 0 or pes_per_pv <= 0:
+        raise CompilationError("compile dimensions must be positive")
+    layer = binding.layer
+    if not isinstance(layer, (ConvLayer, TransposedConvLayer)):
+        raise CompilationError(
+            f"{binding.name}: only convolutional layers compile to micro-programs, "
+            f"got {type(layer).__name__}"
+        )
+    in_rows, in_cols = binding.input_shape.spatial[-2:]
+    slice_cls = TransposedConvLayer if isinstance(layer, TransposedConvLayer) else ConvLayer
+    slice_layer = slice_cls(
+        name=layer.name,
+        out_channels=1,
+        kernel=(layer.kernel[-2], layer.kernel[-1]),
+        stride=(layer.stride[-2], layer.stride[-1]),
+        padding=(layer.padding[-2], layer.padding[-1]),
+    )
+    slice_binding = _bind(slice_layer, FeatureMapShape.image(1, in_rows, in_cols))
+    out_rows, out_cols = slice_binding.output_shape.spatial
+    k_rows, k_cols = slice_layer.kernel
+
+    if isinstance(slice_layer, TransposedConvLayer) and skip_zeros:
+        schedule = build_schedule(slice_binding)
+        max_active = max(len(g.filter_rows) for g in schedule.row_groups)
+        if max_active > pes_per_pv:
+            raise CompilationError(
+                f"{binding.name}: needs {max_active} active PEs per PV but the "
+                f"target has only {pes_per_pv}"
+            )
+        tasks = plan_ganax_row_tasks(slice_layer, in_cols, schedule, num_pvs)
+    else:
+        if k_rows > pes_per_pv:
+            raise CompilationError(
+                f"{binding.name}: kernel height {k_rows} exceeds {pes_per_pv} PEs per PV"
+            )
+        stride = 1 if isinstance(slice_layer, TransposedConvLayer) else slice_layer.stride[1]
+        tasks = plan_dense_row_tasks(out_rows, out_cols, k_rows, k_cols, stride, num_pvs)
+
+    if max_columns is not None:
+        tasks = [
+            RowTask(
+                pv_index=task.pv_index,
+                output_row=task.output_row,
+                filter_rows=task.filter_rows,
+                columns=task.columns[:max_columns],
+            )
+            for task in tasks
+        ]
+    tasks = [task for task in tasks if task.columns]
+    if not tasks:
+        return ()
+    waves = _chunk(tasks, num_pvs)
+    if max_waves is not None:
+        waves = waves[:max_waves]
+    return tuple(
+        build_wave_program(binding.name, wave, num_pvs) for wave in waves
+    )
 
 
 # ----------------------------------------------------------------------

@@ -78,6 +78,27 @@ class ProgramError(IsaError):
     """A micro-program is structurally invalid."""
 
 
+class ProgramEncodingError(IsaError):
+    """Encoding or decoding failed at a specific µop of a micro-program.
+
+    Carries the program name, the offset of the offending µop (as a
+    human-readable ``location`` like ``"global µop 12"`` or
+    ``"PV 3 local µop 1"``) and the µop's repr, so an encode failure deep in a
+    compiled program is clickable instead of anonymous."""
+
+    def __init__(self, program: str, location: str, uop_repr: str, reason: str) -> None:
+        self.program = program
+        self.location = location
+        self.uop_repr = uop_repr
+        self.reason = reason
+        super().__init__(f"program '{program}', {location} ({uop_repr}): {reason}")
+
+    def __reduce__(self):
+        # args holds the formatted message, not the four fields; without this,
+        # unpickling re-wraps the message through __init__ and garbles it.
+        return (type(self), (self.program, self.location, self.uop_repr, self.reason))
+
+
 class HardwareError(ReproError):
     """A hardware primitive (FIFO, buffer, DRAM, NoC) was misused."""
 

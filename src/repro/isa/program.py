@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence, Tuple
 
-from ..errors import ProgramError
+from ..errors import IsaError, ProgramEncodingError, ProgramError
+from .assembler import disassemble_uop
 from .encoding import GLOBAL_UOP_BITS, LOCAL_UOP_BITS, encode_global_uop, encode_local_uop
 from .uops import (
     AccessCfg,
@@ -159,13 +160,90 @@ class MicroProgram:
 
     def encoded_global_words(self) -> Tuple[int, ...]:
         """The encoded 64-bit words of the global stream (for fetch costing)."""
-        return tuple(encode_global_uop(uop, num_pvs=self.num_pvs) for uop in self.global_uops)
+        words = []
+        for index, uop in enumerate(self.global_uops):
+            try:
+                words.append(encode_global_uop(uop, num_pvs=self.num_pvs))
+            except IsaError as exc:
+                raise ProgramEncodingError(
+                    self.name, f"global µop {index}", repr(uop), str(exc)
+                ) from exc
+        return tuple(words)
 
     def encoded_local_words(self) -> Tuple[Tuple[int, ...], ...]:
         """The encoded 16-bit words of every local buffer."""
-        return tuple(
-            tuple(encode_local_uop(uop) for uop in buffer) for buffer in self.local_uops
-        )
+        encoded = []
+        for pv, buffer in enumerate(self.local_uops):
+            words = []
+            for index, uop in enumerate(buffer):
+                try:
+                    words.append(encode_local_uop(uop))
+                except IsaError as exc:
+                    raise ProgramEncodingError(
+                        self.name, f"PV {pv} local µop {index}", repr(uop), str(exc)
+                    ) from exc
+            encoded.append(tuple(words))
+        return tuple(encoded)
+
+    # ------------------------------------------------------------------
+    # Disassembly
+    # ------------------------------------------------------------------
+    def disassemble(self) -> str:
+        """Stable sectioned textual disassembly of the whole program.
+
+        The format is what the FileCheck harness and the ``disasm`` CLI verb
+        consume: a ``.program``/``.pvs`` header, one ``.local`` section per run
+        of PVs with identical buffer contents, then the ordered ``.global``
+        stream, each µop rendered by the canonical assembler text prefixed
+        with its buffer index.
+        """
+        lines = [f".program {self.name}", f".pvs {self.num_pvs}"]
+        pv = 0
+        while pv < self.num_pvs:
+            end = pv
+            while (
+                end + 1 < self.num_pvs
+                and self.local_uops[end + 1] == self.local_uops[pv]
+            ):
+                end += 1
+            header = f".local %pv{pv}" if end == pv else f".local %pv{pv}..%pv{end}"
+            lines.append(header)
+            for index, uop in enumerate(self.local_uops[pv]):
+                lines.append(f"  {index}: {disassemble_uop(uop)}")
+            pv = end + 1
+        lines.append(".global")
+        for index, uop in enumerate(self.global_uops):
+            lines.append(f"  {index}: {disassemble_uop(uop)}")
+        lines.append(".end")
+        return "\n".join(lines) + "\n"
+
+    def uop_records(self) -> Dict[str, object]:
+        """JSON-ready structured disassembly (the CLI's ``disasm --json``)."""
+        return {
+            "program": self.name,
+            "num_pvs": self.num_pvs,
+            "local": [
+                [
+                    {
+                        "index": index,
+                        "mnemonic": uop.mnemonic,
+                        "text": disassemble_uop(uop),
+                        "word": encode_local_uop(uop),
+                    }
+                    for index, uop in enumerate(buffer)
+                ]
+                for buffer in self.local_uops
+            ],
+            "global": [
+                {
+                    "index": index,
+                    "mnemonic": uop.mnemonic,
+                    "text": disassemble_uop(uop),
+                    "word": encode_global_uop(uop, num_pvs=self.num_pvs),
+                }
+                for index, uop in enumerate(self.global_uops)
+            ],
+        }
 
 
 class MicroProgramBuilder:

@@ -1,0 +1,280 @@
+"""The verifier's check registry and entry points.
+
+Every check has a stable id and severity (the catalog below is the reference
+the README documents and the mutation tests enumerate).  :func:`verify_program`
+runs every pass over one compiled :class:`~repro.isa.program.MicroProgram`;
+:func:`verify_words` runs the word-level passes over an already-encoded global
+stream (which is how a flipped mode bit in a stored program image is caught).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..config import ArchitectureConfig
+from ..isa.encoding import (
+    decode_global_uop,
+    decode_local_uop,
+    encode_global_uop,
+    encode_local_uop,
+    is_mimd_word,
+)
+from ..isa.program import MicroProgram
+from .ir import Finding, MachineModel, ProgramInterpreter, Severity
+
+
+@dataclass(frozen=True)
+class CheckSpec:
+    """One registered verifier pass: id, severity and what it catches."""
+
+    check_id: str
+    severity: Severity
+    description: str
+
+
+#: The full check catalog, keyed by check id.  Severities are fixed per id.
+CATALOG: Dict[str, CheckSpec] = {
+    spec.check_id: spec
+    for spec in (
+        CheckSpec(
+            "cfg-def-before-use", Severity.ERROR,
+            "access.start fired with configuration registers never written "
+            "since program start",
+        ),
+        CheckSpec(
+            "cfg-invalid-at-start", Severity.ERROR,
+            "generator configuration at access.start violates the hardware "
+            "constraints (Step/End/Addr/Repeat ranges)",
+        ),
+        CheckSpec(
+            "reconfigure-running", Severity.ERROR,
+            "access.cfg/access.start addressed to a generator whose previous "
+            "pattern still has unconsumed addresses",
+        ),
+        CheckSpec(
+            "stop-without-start", Severity.ERROR,
+            "access.stop addressed to a generator that was never started",
+        ),
+        CheckSpec(
+            "addr-range-overflow", Severity.ERROR,
+            "strided pattern reaches past the PE operand buffer capacity",
+        ),
+        CheckSpec(
+            "pv-index-range", Severity.ERROR,
+            "µop addresses a PV outside the program's PV count",
+        ),
+        CheckSpec(
+            "local-index-range", Severity.ERROR,
+            "mimd.exe index outside the preloaded local buffer or the "
+            "4-bit index field range",
+        ),
+        CheckSpec(
+            "local-buffer-overflow", Severity.ERROR,
+            "preloaded local µop buffer exceeds the hardware entry count",
+        ),
+        CheckSpec(
+            "repeat-count", Severity.ERROR,
+            "repeat count of zero loaded via mimd.ld, or a count too large "
+            "for the 12-bit encoding",
+        ),
+        CheckSpec(
+            "repeat-default", Severity.WARNING,
+            "count-0 repeat dispatched without a prior mimd.ld of the repeat "
+            "register (silently repeats once)",
+        ),
+        CheckSpec(
+            "repeat-pairing", Severity.ERROR,
+            "repeat prefix not followed by a plain execute µop",
+        ),
+        CheckSpec(
+            "execute-starved", Severity.ERROR,
+            "execute µop consumes more addresses than its generators produce",
+        ),
+        CheckSpec(
+            "unconsumed-addresses", Severity.ERROR,
+            "program ends with produced addresses never consumed",
+        ),
+        CheckSpec(
+            "dead-uop", Severity.WARNING,
+            "preloaded local µop never dispatched by any mimd.exe",
+        ),
+        CheckSpec(
+            "roundtrip-divergence", Severity.ERROR,
+            "encode→decode of a µop diverges from the original or fails",
+        ),
+        CheckSpec(
+            "mode-flag", Severity.ERROR,
+            "encoded word's SIMD/MIMD mode bit contradicts its opcode group",
+        ),
+    )
+}
+
+
+def check_ids() -> Tuple[str, ...]:
+    """All registered check ids (stable, sorted)."""
+    return tuple(sorted(CATALOG))
+
+
+class _Collector:
+    def __init__(self, program_name: str, select: Optional[Sequence[str]]) -> None:
+        self._program = program_name
+        self._select = set(select) if select is not None else None
+        self.findings: List[Finding] = []
+
+    def __call__(self, check_id: str, index: int, mnemonic: str, message: str) -> None:
+        if check_id not in CATALOG:  # pragma: no cover - registry discipline
+            raise KeyError(f"unregistered check id '{check_id}'")
+        if self._select is not None and check_id not in self._select:
+            return
+        self.findings.append(
+            Finding(
+                check_id=check_id,
+                severity=CATALOG[check_id].severity,
+                index=index,
+                mnemonic=mnemonic,
+                message=message,
+                program=self._program,
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# Individual passes
+# ----------------------------------------------------------------------
+def _pass_structure(program: MicroProgram, model: MachineModel, emit) -> None:
+    for pv, buffer in enumerate(program.local_uops):
+        if len(buffer) > model.local_uop_entries:
+            emit(
+                "local-buffer-overflow", -1, f"local[pv{pv}]",
+                f"PV {pv} preloads {len(buffer)} local µops but the hardware "
+                f"provides {model.local_uop_entries} entries",
+            )
+
+
+def _pass_interpret(program: MicroProgram, model: MachineModel, emit) -> set:
+    interpreter = ProgramInterpreter(program, model, emit)
+    interpreter.run()
+    return interpreter.dispatched_local_indices
+
+
+def _pass_dead_uops(program: MicroProgram, dispatched: set, emit) -> None:
+    for pv, buffer in enumerate(program.local_uops):
+        for index, uop in enumerate(buffer):
+            if (pv, index) not in dispatched:
+                emit(
+                    "dead-uop", -1, f"local[pv{pv}][{index}]",
+                    f"PV {pv} local µop {index} ({uop.mnemonic}) is preloaded "
+                    "but never dispatched by any mimd.exe",
+                )
+
+
+def _pass_roundtrip(program: MicroProgram, emit) -> None:
+    for index, uop in enumerate(program.global_uops):
+        try:
+            word = encode_global_uop(uop, num_pvs=program.num_pvs)
+            decoded = decode_global_uop(word, num_pvs=program.num_pvs)
+        except Exception as exc:
+            emit(
+                "roundtrip-divergence", index, uop.mnemonic,
+                f"encode→decode failed: {exc}",
+            )
+            continue
+        if decoded != uop:
+            emit(
+                "roundtrip-divergence", index, uop.mnemonic,
+                f"decode({{encode}}) returned {decoded!r} instead of {uop!r}",
+            )
+    for pv, buffer in enumerate(program.local_uops):
+        for index, uop in enumerate(buffer):
+            try:
+                decoded = decode_local_uop(encode_local_uop(uop))
+            except Exception as exc:
+                emit(
+                    "roundtrip-divergence", -1, f"local[pv{pv}][{index}]",
+                    f"encode→decode failed: {exc}",
+                )
+                continue
+            if decoded != uop:
+                emit(
+                    "roundtrip-divergence", -1, f"local[pv{pv}][{index}]",
+                    f"decode({{encode}}) returned {decoded!r} instead of {uop!r}",
+                )
+
+
+def _pass_mode_flags(words: Sequence[int], num_pvs: int, emit) -> None:
+    for index, word in enumerate(words):
+        try:
+            decoded = decode_global_uop(word, num_pvs=num_pvs)
+        except Exception as exc:
+            emit(
+                "roundtrip-divergence", index, f"word {word:#x}",
+                f"encoded word does not decode: {exc}",
+            )
+            continue
+        if is_mimd_word(word) != decoded.is_mimd:
+            emit(
+                "mode-flag", index, decoded.mnemonic,
+                f"word {word:#x} has mode bit {int(is_mimd_word(word))} but "
+                f"opcode group "
+                f"{'MIMD' if decoded.is_mimd else 'SIMD/access'}",
+            )
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def verify_program(
+    program: MicroProgram,
+    model: Optional[MachineModel] = None,
+    *,
+    config: Optional[ArchitectureConfig] = None,
+    select: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Run every registered pass over one micro-program.
+
+    ``model`` defaults to the paper-default geometry (via ``config``).
+    ``select`` restricts the returned findings to a subset of check ids.
+    Findings come back ordered by global µop index (program-level findings
+    first carry index -1).
+    """
+    if model is None:
+        model = MachineModel.from_config(config, num_pvs=program.num_pvs)
+    collect = _Collector(program.name, select)
+    _pass_structure(program, model, collect)
+    dispatched = _pass_interpret(program, model, collect)
+    _pass_dead_uops(program, dispatched, collect)
+    _pass_roundtrip(program, collect)
+    try:
+        words = program.encoded_global_words()
+    except Exception:
+        words = None  # already reported by the round-trip pass
+    if words is not None:
+        _pass_mode_flags(words, program.num_pvs, collect)
+    return sorted(collect.findings, key=lambda f: (f.index, f.check_id))
+
+
+def verify_words(
+    words: Sequence[int],
+    *,
+    num_pvs: int,
+    program_name: str = "<words>",
+    select: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Word-level verification of an encoded global stream.
+
+    Catches corrupted stored program images: undecodable words and
+    SIMD/MIMD mode bits inconsistent with the word's opcode group.
+    """
+    collect = _Collector(program_name, select)
+    _pass_mode_flags(words, num_pvs, collect)
+    return collect.findings
+
+
+def max_severity(findings: Sequence[Finding]) -> Optional[Severity]:
+    """The worst severity present, or None for an empty list."""
+    if any(f.severity is Severity.ERROR for f in findings):
+        return Severity.ERROR
+    if findings:
+        return Severity.WARNING
+    return None

@@ -1,0 +1,232 @@
+"""A FileCheck-style matcher over stable textual disassembly.
+
+Implements the LLVM idiom (``# RUN: ... | FileCheck %s``) in miniature so
+golden-program tests can pin an emitted µop stream in a readable ``.chk`` file
+instead of a Python literal.  Supported directives (``CHECK`` is the default
+prefix; pass ``prefix=`` to use another)::
+
+    CHECK: <pattern>          first line at/after the current position matching
+    CHECK-NEXT: <pattern>     the line immediately after the previous match
+    CHECK-DAG: <pattern>      group of consecutive DAG directives matches in
+                              any order at/after the current position
+    CHECK-COUNT-n: <pattern>  n consecutive lines each matching the pattern
+
+Patterns are matched as substrings after whitespace normalisation; a
+``{{regex}}`` segment embeds a raw regular expression.  Directives may appear
+anywhere in a line (so ``.chk`` files can carry comments), and any line of the
+check file without a directive is ignored.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+
+
+class FileCheckError(ReproError):
+    """The input text does not satisfy the check file's directives."""
+
+
+@dataclass(frozen=True)
+class Directive:
+    """One parsed check directive."""
+
+    kind: str  # "check" | "next" | "dag" | "count"
+    pattern: str
+    count: int
+    line: int  # 1-based line number in the check file
+
+
+@dataclass(frozen=True)
+class FileCheckResult:
+    """Outcome of a :func:`run_filecheck` invocation."""
+
+    ok: bool
+    failures: Tuple[str, ...]
+    matched: int  # directives satisfied before the first failure
+
+
+def parse_check_file(text: str, prefix: str = "CHECK") -> List[Directive]:
+    """Extract directives from a check file (non-directive lines are ignored)."""
+    if not re.fullmatch(r"[A-Za-z0-9_-]+", prefix):
+        raise FileCheckError(f"invalid check prefix '{prefix}'")
+    directive_re = re.compile(
+        rf"{re.escape(prefix)}(?P<kind>-NEXT|-DAG|-COUNT-(?P<count>\d+))?:\s?(?P<pattern>.*)$"
+    )
+    directives: List[Directive] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        match = directive_re.search(line)
+        if not match:
+            continue
+        kind = match.group("kind") or ""
+        pattern = match.group("pattern").strip()
+        if not pattern:
+            raise FileCheckError(f"check file line {number}: empty {prefix} pattern")
+        if kind == "-NEXT":
+            directives.append(Directive("next", pattern, 1, number))
+        elif kind == "-DAG":
+            directives.append(Directive("dag", pattern, 1, number))
+        elif kind.startswith("-COUNT-"):
+            count = int(match.group("count"))
+            if count <= 0:
+                raise FileCheckError(
+                    f"check file line {number}: COUNT must be positive"
+                )
+            directives.append(Directive("count", pattern, count, number))
+        else:
+            directives.append(Directive("check", pattern, 1, number))
+    if not directives:
+        raise FileCheckError(f"check file contains no {prefix} directives")
+    return directives
+
+
+def _compile_pattern(pattern: str) -> "re.Pattern[str]":
+    """Substring match with ``{{...}}`` embedding raw regex segments."""
+    parts: List[str] = []
+    pos = 0
+    for match in re.finditer(r"\{\{(.*?)\}\}", pattern):
+        parts.append(_escape_fixed(pattern[pos : match.start()]))
+        parts.append(match.group(1))
+        pos = match.end()
+    parts.append(_escape_fixed(pattern[pos:]))
+    return re.compile("".join(parts))
+
+
+def _escape_fixed(text: str) -> str:
+    """Escape a literal segment, collapsing whitespace runs to single spaces
+    (matching :func:`_normalise`) while preserving boundary spaces so a space
+    next to a ``{{...}}`` segment still requires one in the input."""
+    return re.escape(re.sub(r"\s+", " ", text))
+
+
+def _normalise(text: str) -> str:
+    return " ".join(text.split())
+
+
+def _matches(compiled: "re.Pattern[str]", line: str) -> bool:
+    return compiled.search(_normalise(line)) is not None
+
+
+def _context(lines: Sequence[str], pos: int, window: int = 3) -> str:
+    lo = max(0, pos - window)
+    hi = min(len(lines), pos + window + 1)
+    rendered = []
+    for i in range(lo, hi):
+        marker = ">>" if i == pos else "  "
+        rendered.append(f"  {marker} {i + 1}: {lines[i]}")
+    return "\n".join(rendered) if rendered else "  <empty input>"
+
+
+def run_filecheck(
+    input_text: str, check_text: str, prefix: str = "CHECK"
+) -> FileCheckResult:
+    """Match ``input_text`` against the directives of ``check_text``.
+
+    Stops at the first unsatisfied directive and reports it with the check
+    file line, the pattern, and the input context around the scan position.
+    """
+    directives = parse_check_file(check_text, prefix)
+    lines = input_text.splitlines()
+    pos = 0  # index of the next input line eligible for matching
+    matched = 0
+    i = 0
+    while i < len(directives):
+        directive = directives[i]
+        if directive.kind == "dag":
+            group = []
+            while i < len(directives) and directives[i].kind == "dag":
+                group.append(directives[i])
+                i += 1
+            claimed: List[int] = []
+            for member in group:
+                compiled = _compile_pattern(member.pattern)
+                found: Optional[int] = None
+                for j in range(pos, len(lines)):
+                    if j in claimed:
+                        continue
+                    if _matches(compiled, lines[j]):
+                        found = j
+                        break
+                if found is None:
+                    return FileCheckResult(
+                        ok=False,
+                        failures=(
+                            f"{prefix}-DAG (check file line {member.line}): "
+                            f"pattern '{member.pattern}' not found at or after "
+                            f"input line {pos + 1}\n{_context(lines, pos)}",
+                        ),
+                        matched=matched,
+                    )
+                claimed.append(found)
+                matched += 1
+            pos = max(claimed) + 1
+            continue
+
+        compiled = _compile_pattern(directive.pattern)
+        if directive.kind == "next" and matched > 0:
+            if pos >= len(lines) or not _matches(compiled, lines[pos]):
+                got = lines[pos] if pos < len(lines) else "<end of input>"
+                return FileCheckResult(
+                    ok=False,
+                    failures=(
+                        f"{prefix}-NEXT (check file line {directive.line}): "
+                        f"expected '{directive.pattern}' on input line "
+                        f"{pos + 1}, got '{got.strip()}'\n{_context(lines, pos)}",
+                    ),
+                    matched=matched,
+                )
+            pos += 1
+            matched += 1
+            i += 1
+            continue
+
+        # check / count (and a leading NEXT, which degrades to check):
+        # forward-search for the first match, then require count-1 more
+        # consecutive matching lines.
+        found = None
+        for j in range(pos, len(lines)):
+            if _matches(compiled, lines[j]):
+                found = j
+                break
+        if found is None:
+            label = prefix if directive.kind != "count" else f"{prefix}-COUNT-{directive.count}"
+            return FileCheckResult(
+                ok=False,
+                failures=(
+                    f"{label} (check file line {directive.line}): pattern "
+                    f"'{directive.pattern}' not found at or after input line "
+                    f"{pos + 1}\n{_context(lines, pos)}",
+                ),
+                matched=matched,
+            )
+        for extra in range(1, directive.count):
+            j = found + extra
+            if j >= len(lines) or not _matches(compiled, lines[j]):
+                got = lines[j] if j < len(lines) else "<end of input>"
+                return FileCheckResult(
+                    ok=False,
+                    failures=(
+                        f"{prefix}-COUNT-{directive.count} (check file line "
+                        f"{directive.line}): occurrence {extra + 1} of "
+                        f"'{directive.pattern}' expected on input line "
+                        f"{j + 1}, got '{got.strip()}'\n{_context(lines, j if j < len(lines) else len(lines) - 1)}",
+                    ),
+                    matched=matched,
+                )
+        pos = found + directive.count
+        matched += 1
+        i += 1
+
+    return FileCheckResult(ok=True, failures=(), matched=matched)
+
+
+def filecheck(input_text: str, check_text: str, prefix: str = "CHECK") -> None:
+    """Assert-style wrapper: raise :class:`FileCheckError` on mismatch."""
+    result = run_filecheck(input_text, check_text, prefix)
+    if not result.ok:
+        raise FileCheckError(
+            f"{result.matched} directive(s) matched, then:\n" + "\n".join(result.failures)
+        )

@@ -1,0 +1,178 @@
+"""The FileCheck harness itself, and the golden-program tests built on it.
+
+The `.chk` files under ``tests/filecheck/`` pin the disassembly of
+representative compiled layers (both ``skip_zeros`` modes); the mutation
+tests at the bottom prove the goldens actually fail when the µop stream is
+reordered or an extra µop is inserted.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.compiler import compile_layer_programs
+from repro.staticcheck import (
+    FileCheckError,
+    filecheck,
+    parse_check_file,
+    run_filecheck,
+)
+from repro.workloads.registry import get_workload
+
+CHK_DIR = Path(__file__).parent / "filecheck"
+
+#: golden file -> (workload, layer, skip_zeros).  All goldens compile one
+#: wave of at most 4 output columns (the harness's representative tile).
+GOLDENS = {
+    "dcgan_tconv1_skip.chk": ("dcgan", "tconv1", True),
+    "dcgan_tconv1_dense.chk": ("dcgan", "tconv1", False),
+    "dcgan_conv1_skip.chk": ("dcgan", "conv1", True),
+    "dcgan_conv5_dense.chk": ("dcgan", "conv5", False),
+}
+
+
+def _compile_disassembly(workload: str, layer: str, skip_zeros: bool) -> str:
+    model = get_workload(workload)
+    bindings = {
+        b.name: b
+        for b in list(model.generator.bindings) + list(model.discriminator.bindings)
+    }
+    programs = compile_layer_programs(
+        bindings[layer],
+        num_pvs=16,
+        pes_per_pv=16,
+        skip_zeros=skip_zeros,
+        max_waves=1,
+        max_columns=4,
+    )
+    assert programs, f"{workload}/{layer} compiled to no programs"
+    return programs[0].disassemble()
+
+
+# ----------------------------------------------------------------------
+# Harness semantics
+# ----------------------------------------------------------------------
+class TestDirectiveParsing:
+    def test_all_directive_kinds_parse(self):
+        text = (
+            "; comment line\n"
+            "CHECK: a\n"
+            "CHECK-NEXT: b\n"
+            "CHECK-DAG: c\n"
+            "CHECK-COUNT-3: d\n"
+        )
+        kinds = [(d.kind, d.count) for d in parse_check_file(text)]
+        assert kinds == [("check", 1), ("next", 1), ("dag", 1), ("count", 3)]
+
+    def test_non_directive_lines_are_comments(self):
+        directives = parse_check_file("anything at all\nCHECK: x\nmore prose\n")
+        assert len(directives) == 1
+
+    def test_custom_prefix(self):
+        directives = parse_check_file("GOLD: x\nCHECK: ignored?\n", prefix="GOLD")
+        assert [d.pattern for d in directives] == ["x"]
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(FileCheckError):
+            parse_check_file("CHECK:\n")
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(FileCheckError):
+            parse_check_file("CHECK-COUNT-0: x\n")
+
+    def test_directive_free_file_rejected(self):
+        with pytest.raises(FileCheckError):
+            parse_check_file("just prose\n")
+
+
+class TestMatchingSemantics:
+    INPUT = "\n".join(
+        ["header", "alpha 1", "beta 2", "beta 3", "gamma 4", "footer"]
+    )
+
+    def test_check_is_a_forward_search(self):
+        assert run_filecheck(self.INPUT, "CHECK: alpha\nCHECK: gamma\n").ok
+
+    def test_check_cannot_go_backwards(self):
+        assert not run_filecheck(self.INPUT, "CHECK: gamma\nCHECK: alpha\n").ok
+
+    def test_next_requires_adjacency(self):
+        assert run_filecheck(self.INPUT, "CHECK: alpha\nCHECK-NEXT: beta 2\n").ok
+        assert not run_filecheck(self.INPUT, "CHECK: alpha\nCHECK-NEXT: gamma\n").ok
+
+    def test_dag_group_matches_in_any_order(self):
+        check = "CHECK-DAG: beta 2\nCHECK-DAG: alpha\nCHECK: gamma\n"
+        assert run_filecheck(self.INPUT, check).ok
+
+    def test_dag_lines_are_claimed_once(self):
+        # Two DAG directives matching the same single line must fail.
+        assert not run_filecheck("only once", "CHECK-DAG: once\nCHECK-DAG: once\n").ok
+
+    def test_count_requires_consecutive_matches(self):
+        assert run_filecheck(self.INPUT, "CHECK-COUNT-2: beta\n").ok
+        assert not run_filecheck(self.INPUT, "CHECK-COUNT-3: beta\n").ok
+
+    def test_regex_segments(self):
+        assert run_filecheck(self.INPUT, "CHECK: beta {{[0-9]+}}\n").ok
+        assert not run_filecheck(self.INPUT, "CHECK: beta {{[a-z]+}}\n").ok
+
+    def test_whitespace_is_normalised(self):
+        assert run_filecheck("a    b\tc", "CHECK: a b c\n").ok
+
+    def test_space_adjacent_to_regex_segment_is_preserved(self):
+        assert not run_filecheck("ab", "CHECK: a {{b}}\n").ok
+        assert run_filecheck("a b", "CHECK: a {{b}}\n").ok
+
+    def test_failure_reports_check_line_and_context(self):
+        result = run_filecheck(self.INPUT, "CHECK: alpha\nCHECK-NEXT: nope\n")
+        assert not result.ok
+        assert "check file line 2" in result.failures[0]
+        assert ">>" in result.failures[0]
+
+    def test_filecheck_wrapper_raises(self):
+        with pytest.raises(FileCheckError):
+            filecheck(self.INPUT, "CHECK: missing-line\n")
+
+
+# ----------------------------------------------------------------------
+# Golden programs
+# ----------------------------------------------------------------------
+class TestGoldenPrograms:
+    @pytest.fixture(scope="class")
+    def disassemblies(self):
+        return {
+            name: _compile_disassembly(*spec) for name, spec in GOLDENS.items()
+        }
+
+    @pytest.mark.parametrize("golden", sorted(GOLDENS))
+    def test_golden_matches(self, disassemblies, golden):
+        filecheck(disassemblies[golden], (CHK_DIR / golden).read_text())
+
+    @staticmethod
+    def _first_start(lines):
+        return next(i for i, line in enumerate(lines) if "access.start" in line)
+
+    @pytest.mark.parametrize("golden", sorted(GOLDENS))
+    def test_golden_fails_on_reordered_stream(self, disassemblies, golden):
+        """Hoisting access.start above its last cfg must break the golden."""
+        lines = disassemblies[golden].splitlines()
+        at = self._first_start(lines)
+        lines[at - 1], lines[at] = lines[at], lines[at - 1]
+        with pytest.raises(FileCheckError):
+            filecheck("\n".join(lines), (CHK_DIR / golden).read_text())
+
+    @pytest.mark.parametrize("golden", sorted(GOLDENS))
+    def test_golden_fails_on_inserted_uop(self, disassemblies, golden):
+        """Inserting a µop before the first start must break the golden."""
+        lines = disassemblies[golden].splitlines()
+        lines.insert(self._first_start(lines), "  x: access.stop %pv9, %gen0")
+        with pytest.raises(FileCheckError):
+            filecheck("\n".join(lines), (CHK_DIR / golden).read_text())
+
+    def test_goldens_cover_both_modes_and_three_layers(self):
+        modes = {spec[2] for spec in GOLDENS.values()}
+        layers = {(spec[0], spec[1]) for spec in GOLDENS.values()}
+        assert modes == {True, False}
+        assert len(layers) >= 3

@@ -24,8 +24,11 @@ from repro.isa.encoding import (
     encode_global_uop,
     encode_local_uop,
 )
+from repro.errors import IsaError
 from repro.isa.uops import (
     AccessCfg,
+    AccessStart,
+    AccessStop,
     AddressGenerator,
     ConfigRegister,
     ExecuteOp,
@@ -65,24 +68,36 @@ local_uops = st.one_of(
     st.integers(min_value=0, max_value=4095).map(lambda n: RepeatUop(count=n)),
 )
 
+_pv_indices = st.integers(min_value=0, max_value=15)
+_generators = st.sampled_from(list(AddressGenerator))
+
 global_uops = st.one_of(
     local_uops,
     st.builds(
         AccessCfg,
-        pv_index=st.integers(min_value=0, max_value=15),
-        generator=st.sampled_from(list(AddressGenerator)),
+        pv_index=_pv_indices,
+        generator=_generators,
         register=st.sampled_from(list(ConfigRegister)),
         immediate=st.integers(min_value=0, max_value=(1 << 16) - 1),
     ),
+    st.builds(AccessStart, pv_index=_pv_indices, generator=_generators),
+    st.builds(AccessStop, pv_index=_pv_indices, generator=_generators),
     st.builds(
         MimdLoad,
-        pv_index=st.integers(min_value=0, max_value=15),
-        destination=st.just("repeat"),
+        pv_index=_pv_indices,
+        destination=st.sampled_from(MimdLoad._REGISTERS),
         immediate=st.integers(min_value=0, max_value=(1 << 16) - 1),
     ),
     st.lists(st.integers(min_value=0, max_value=15), min_size=16, max_size=16).map(
         lambda idx: MimdExecute(local_indices=tuple(idx))
     ),
+)
+
+#: (num_pvs, mimd.exe) pairs for every PV count the 64-bit index block admits.
+_sized_mimd_executes = st.integers(min_value=1, max_value=16).flatmap(
+    lambda n: st.lists(
+        st.integers(min_value=0, max_value=15), min_size=n, max_size=n
+    ).map(lambda idx: (n, MimdExecute(local_indices=tuple(idx))))
 )
 
 
@@ -176,6 +191,51 @@ class TestIsaProperties:
     @settings(max_examples=100, deadline=None)
     def test_assembler_roundtrip(self, uop):
         assert assemble_line(disassemble_uop(uop)) == uop
+
+    @given(_sized_mimd_executes)
+    @settings(max_examples=100, deadline=None)
+    def test_mimd_execute_roundtrips_for_every_pv_count(self, sized):
+        num_pvs, uop = sized
+        word = encode_global_uop(uop, num_pvs=num_pvs)
+        assert decode_global_uop(word, num_pvs=num_pvs) == uop
+
+    @given(st.integers(min_value=16, max_value=64), st.integers(min_value=0, max_value=15))
+    @settings(max_examples=50, deadline=None)
+    def test_out_of_range_local_index_is_rejected(self, bad_index, position):
+        """A mimd.exe index past the 4-bit per-PV field must not encode."""
+        indices = [0] * 16
+        indices[position] = bad_index + 16  # >= 1 << PV_INDEX_FIELD_BITS
+        with pytest.raises(IsaError):
+            encode_global_uop(MimdExecute(local_indices=tuple(indices)), num_pvs=16)
+
+    @given(st.integers(min_value=1, max_value=15))
+    @settings(max_examples=30, deadline=None)
+    def test_mimd_execute_wider_than_pv_count_is_rejected(self, num_pvs):
+        """More per-PV indices than the encoding's PV count must not encode."""
+        uop = MimdExecute(local_indices=tuple([0] * (num_pvs + 1)))
+        with pytest.raises(IsaError):
+            encode_global_uop(uop, num_pvs=num_pvs)
+
+    @given(st.integers(min_value=1 << 12, max_value=1 << 20))
+    @settings(max_examples=30, deadline=None)
+    def test_oversized_repeat_count_is_rejected(self, count):
+        with pytest.raises(IsaError):
+            encode_local_uop(RepeatUop(count=count))
+
+    @given(
+        st.one_of(
+            st.integers(min_value=-64, max_value=0),
+            st.integers(min_value=17, max_value=64),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_unencodable_pv_counts_are_rejected(self, num_pvs):
+        """PV counts whose index block exceeds 64 bits (or is empty) fail."""
+        with pytest.raises(IsaError):
+            encode_global_uop(
+                MimdExecute(local_indices=tuple([0] * max(num_pvs, 0))),
+                num_pvs=num_pvs,
+            )
 
 
 # ----------------------------------------------------------------------
