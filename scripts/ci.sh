@@ -38,7 +38,15 @@
 #      skip_zeros modes must verify every compiled program with zero
 #      findings, and a seeded single-µop corruption of a clean program
 #      must be caught by the verifier (the mutation tests in
-#      tests/test_staticcheck.py separately prove every catalog id fires).
+#      tests/test_staticcheck.py separately prove every catalog id fires);
+#  10. a schedule smoke: `list-schedules --json` must cover the builtin
+#      specs and families, `check --schedule <name>` over every registered
+#      schedule must verify the full grid with zero findings, the tuned
+#      `hoisted` schedule must emit measurably fewer µops than `default`
+#      on a pinned layer, and `dse --fields num_pvs,schedule` must rank
+#      (geometry x schedule) points with schedule-aware cache keys (the
+#      schedule benchmarks in benchmarks/bench_schedule.py separately
+#      enforce the same contracts under timing).
 #
 # Usage: scripts/ci.sh [extra pytest args for the tier-1 step]
 set -eu
@@ -51,11 +59,11 @@ export PYTHONPATH
 echo "== tier-1 tests =="
 python -m pytest -x -q -p no:cacheprovider "$@"
 
-echo "== runner + layer-memo + DSE + workload + streaming + service + telemetry benchmarks (parity + cache + overhead contracts) =="
+echo "== runner + layer-memo + DSE + workload + streaming + service + telemetry + schedule benchmarks (parity + cache + overhead contracts) =="
 python -m pytest benchmarks/bench_runner.py benchmarks/bench_layercache.py \
     benchmarks/bench_dse.py benchmarks/bench_workloads.py \
     benchmarks/bench_streaming.py benchmarks/bench_service.py \
-    benchmarks/bench_telemetry.py -q \
+    benchmarks/bench_telemetry.py benchmarks/bench_schedule.py -q \
     -p no:cacheprovider --benchmark-disable-gc
 
 echo "== accelerator registry smoke (Session over every registered model) =="
@@ -329,6 +337,92 @@ assert findings, "seeded corruption went undetected"
 assert any(f.severity is Severity.ERROR for f in findings), findings
 print("mutation smoke OK:", len(findings), "finding(s) on the seeded",
       "corruption, e.g.", findings[0].check_id)
+PY
+
+echo "== schedule smoke (list-schedules + per-schedule check grid + tuned win + dse axis) =="
+python -m repro.cli list-schedules --json "$SMOKE_DIR/schedules.json" --quiet
+python - "$SMOKE_DIR/schedules.json" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1], encoding="utf-8") as handle:
+    payload = json.load(handle)
+names = [entry["name"] for entry in payload["schedules"]]
+assert "default" in names and "hoisted" in names, names
+families = [entry["family"] for entry in payload["families"]]
+assert "colmajor" in families and "unroll" in families, families
+for entry in payload["schedules"]:
+    assert entry["fingerprint"] and entry["knobs"], entry
+print("list-schedules OK:", len(names), "schedules,", len(families), "families")
+PY
+
+for SCHEDULE in $(python - "$SMOKE_DIR/schedules.json" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1], encoding="utf-8") as handle:
+    payload = json.load(handle)
+print(" ".join(entry["name"] for entry in payload["schedules"]))
+PY
+); do
+    python -m repro.cli check --schedule "$SCHEDULE" \
+        --json "$SMOKE_DIR/check-schedule.json" --quiet
+    python - "$SMOKE_DIR/check-schedule.json" "$SCHEDULE" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1], encoding="utf-8") as handle:
+    payload = json.load(handle)["check"]
+assert payload["ok"], (sys.argv[2], payload)
+assert payload["findings"] == 0, (sys.argv[2], payload)
+assert payload["programs"] > 0, (sys.argv[2], payload)
+print(f"check --schedule {sys.argv[2]} OK:",
+      payload["programs"], "programs, zero findings")
+PY
+done
+
+python - <<'PY'
+from repro.core.compiler import compile_layer_programs
+from repro.workloads.registry import get_workload
+
+model = get_workload("dcgan")
+binding = next(b for b in model.generator.bindings if b.is_transposed)
+counts = {}
+for schedule in ("default", "hoisted"):
+    programs = compile_layer_programs(
+        binding, num_pvs=16, pes_per_pv=16, skip_zeros=True,
+        max_waves=1, schedule=schedule,
+    )
+    counts[schedule] = sum(len(p.global_uops) for p in programs)
+assert counts["hoisted"] < counts["default"] * 0.9, counts
+print("tuned schedule OK: hoisted emits",
+      f"{counts['hoisted']}/{counts['default']} uops",
+      f"({1 - counts['hoisted'] / counts['default']:.0%} fewer) on dcgan/{binding.name}")
+PY
+
+python -m repro.cli dse --workloads magan --fields num_pvs,schedule \
+    --json "$SMOKE_DIR/dse-schedule.json" --cache-stats --quiet \
+    > "$SMOKE_DIR/dse-schedule.out"
+python - "$SMOKE_DIR/dse-schedule.json" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1], encoding="utf-8") as handle:
+    payload = json.load(handle)["dse"]
+points = payload["frontier"] + payload["dominated"]
+assert len(points) == payload["evaluations"], payload["evaluations"]
+schedules = {point["point"]["schedule"] for point in points}
+assert len(schedules) >= 2, schedules
+assert "default" in schedules, schedules
+# the schedule axis must move the objectives at fixed geometry
+by_geometry = {}
+for point in points:
+    by_geometry.setdefault(point["point"]["num_pvs"], set()).add(
+        json.dumps(point["metrics"], sort_keys=True)
+    )
+assert any(len(metrics) > 1 for metrics in by_geometry.values()), by_geometry
+print("dse schedule axis OK:", len(points), "points across",
+      len(schedules), "schedules,", len(payload["frontier"]), "on the frontier")
 PY
 
 echo "CI OK"

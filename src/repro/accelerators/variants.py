@@ -91,5 +91,5 @@ class IdealRooflineSimulator(GanSimulatorBase):
 
     @classmethod
     def canonical_options(cls, options: SimulationOptions) -> SimulationOptions:
-        """The roofline never reads the GANAX zero-skipping flag."""
-        return options.with_updates(ganax_zero_skipping=True)
+        """The roofline reads neither the zero-skipping flag nor the schedule."""
+        return options.with_updates(ganax_zero_skipping=True, schedule="default")

@@ -32,6 +32,7 @@ from ..errors import AnalysisError
 from ..nn.layers import LayerSpec
 from ..nn.network import GANModel, LayerBinding, Network
 from ..nn.shapes import FeatureMapShape
+from ..schedule import resolve_schedule, schedule_fingerprint
 from .results import ComparisonResult, GanResult, MultiComparison, NetworkResult
 
 PathLike = Union[str, Path]
@@ -129,12 +130,19 @@ def _simulation_context_fingerprint(
     config: ArchitectureConfig,
     options: SimulationOptions,
 ) -> str:
-    """Content hash of everything about a simulation *except* the layer."""
+    """Content hash of everything about a simulation *except* the layer.
+
+    The schedule enters twice, deliberately: the canonical spec string rides
+    in ``options.to_mapping()``, and the resolved spec's knob fingerprint is
+    folded in explicitly so a re-registered schedule name with *different*
+    knobs can never collide with results computed under the old knobs.
+    """
     return fingerprint_data(
         {
             "accelerator": {"name": accelerator_name, "version": accelerator_version},
             "config": config.to_mapping(),
             "options": options.to_mapping(),
+            "schedule": schedule_fingerprint(resolve_schedule(options.schedule)),
         }
     )
 

@@ -61,5 +61,9 @@ class EyerissSimulator(GanSimulatorBase):
 
     @classmethod
     def canonical_options(cls, options: SimulationOptions) -> SimulationOptions:
-        """The baseline never reads the GANAX zero-skipping flag."""
-        return options.with_updates(ganax_zero_skipping=True)
+        """The baseline reads neither the zero-skipping flag nor the schedule.
+
+        Both collapse to their defaults so e.g. every (geometry × schedule)
+        DSE point shares one baseline cache entry per geometry.
+        """
+        return options.with_updates(ganax_zero_skipping=True, schedule="default")

@@ -5,6 +5,7 @@ Installed as ``repro-experiments`` (see ``pyproject.toml``).  Examples::
     repro-experiments list                # list available experiments
     repro-experiments list-accelerators   # list registered accelerator models
     repro-experiments list-workloads      # list registered workloads + families
+    repro-experiments list-schedules      # list registered µop schedules
     repro-experiments figure8             # regenerate Figure 8
     repro-experiments all                 # regenerate everything
     repro-experiments compare             # N-way comparison, all accelerators
@@ -16,6 +17,9 @@ Installed as ``repro-experiments`` (see ``pyproject.toml``).  Examples::
     repro-experiments all --cache-dir .sim-cache   # warm-start reruns
     repro-experiments dse --accelerator ganax --strategy random --budget 8
     repro-experiments dse --workloads synthetic@d4c64,synthetic@d6c128z100
+    repro-experiments dse --fields num_pvs,schedule  # geometry x schedule
+    repro-experiments disasm --workload dcgan --layer tconv1 --schedule hoisted
+    repro-experiments check --schedule colmajor@tile64
     repro-experiments cache-prune --cache-dir .sim-cache --max-bytes 10000000
     repro-experiments list-accelerators --json -   # machine-readable registry
     repro-experiments list-workloads --json -      # machine-readable registry
@@ -82,7 +86,7 @@ from typing import IO, List, Optional, Sequence, Tuple
 from .accelerators.registry import accelerator_names, create_accelerator, get_accelerator
 from .analysis.charts import frontier_chart, multi_comparison_chart
 from .analysis.report import format_table
-from .config import ArchitectureConfig
+from .config import ArchitectureConfig, SimulationOptions
 from .analysis.serialization import multi_comparison_rows
 from .dse.engine import DesignSpaceExplorer
 from .dse.strategies import get_strategy
@@ -126,7 +130,8 @@ def build_parser() -> argparse.ArgumentParser:
         default="all",
         help=(
             "experiment id (e.g. figure8, table3), 'all', 'list', "
-            "'list-accelerators', 'list-workloads', 'compare' (N-way "
+            "'list-accelerators', 'list-workloads', 'list-schedules', "
+            "'compare' (N-way "
             "accelerator comparison), 'sweep' (one-parameter configuration "
             "sweep), 'dse' (design-space exploration), 'cache-prune', "
             "'serve' (host the simulation service), 'remote-compare' "
@@ -209,8 +214,18 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAMES",
         default=None,
         help=(
-            "comma-separated ArchitectureConfig fields spanning the 'dse' "
-            "space (default: num_pvs,pes_per_pv,dram_bandwidth_bytes_per_cycle)"
+            "comma-separated axes spanning the 'dse' space: "
+            "ArchitectureConfig fields plus the special 'schedule' axis "
+            "(default: num_pvs,pes_per_pv,dram_bandwidth_bytes_per_cycle)"
+        ),
+    )
+    parser.add_argument(
+        "--schedule",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "µop schedule spec string for 'check'/'disasm'/'compare'/'dse' "
+            "(e.g. default, hoisted, colmajor@tile64; see 'list-schedules')"
         ),
     )
     parser.add_argument(
@@ -719,6 +734,26 @@ def _list_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _list_schedules(args: argparse.Namespace) -> int:
+    """The ``list-schedules`` mode: plain text, or machine-readable JSON."""
+    from .schedule import describe_schedules
+
+    catalog = describe_schedules()
+    if args.json:
+        _write_json(catalog, args.json, args.quiet)
+    else:
+        for entry in catalog["schedules"]:
+            print(
+                f"{entry['name']}  [{entry['fingerprint'][:12]}]  "
+                f"{entry['description']}"
+            )
+        print()
+        print("families (usable as '<family>@<args>'):")
+        for entry in catalog["families"]:
+            print(f"{entry['grammar']}  {entry['description']}")
+    return 0
+
+
 def _run_cache_prune(args: argparse.Namespace) -> int:
     """The ``cache-prune`` mode: evict oldest disk-cache entries to a budget."""
     if not args.cache_dir:
@@ -950,6 +985,7 @@ def _run_check(args: argparse.Namespace) -> int:
             max_waves=args.max_waves if args.max_waves is not None else 1,
             max_columns=args.max_columns if args.max_columns is not None else 8,
             layer=args.layer,
+            schedule=args.schedule,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -1044,6 +1080,7 @@ def _run_disasm(args: argparse.Namespace) -> int:
             skip_zeros=not args.no_skip_zeros,
             max_waves=args.max_waves if args.max_waves is not None else 1,
             max_columns=args.max_columns if args.max_columns is not None else 4,
+            schedule=args.schedule,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -1054,10 +1091,13 @@ def _run_disasm(args: argparse.Namespace) -> int:
                 print()  # blank line between waves
             print(program.disassemble(), end="")
     if args.json:
+        from .schedule import canonical_schedule_name
+
         payload = {
             "workload": model.name,
             "layer": binding.name,
             "skip_zeros": not args.no_skip_zeros,
+            "schedule": canonical_schedule_name(args.schedule or "default"),
             "programs": [program.uop_records() for program in programs],
         }
         _write_json({"disasm": payload}, args.json, args.quiet)
@@ -1067,10 +1107,14 @@ def _run_disasm(args: argparse.Namespace) -> int:
 def _run_dse(args: argparse.Namespace, runner: SimulationRunner) -> int:
     """The ``dse`` mode: search one accelerator's design space, report the frontier."""
     try:
+        options = None
+        if args.schedule is not None:
+            options = SimulationOptions(schedule=args.schedule)
         explorer = DesignSpaceExplorer(
             accelerator=args.accelerator or "ganax",
             baseline=args.baseline or "eyeriss",
             models=parse_workload_list(args.workloads),
+            options=options,
             runner=runner,
         )
         fields = None
@@ -1108,8 +1152,14 @@ def _run_compare(args: argparse.Namespace, runner: SimulationRunner) -> int:
     try:
         accelerators = parse_accelerator_list(args.accelerators) or accelerator_names()
         workloads = parse_workload_list(args.workloads)
+        options = None
+        if args.schedule is not None:
+            options = SimulationOptions(schedule=args.schedule)
         session = Session(
-            accelerators=accelerators, baseline=args.baseline, runner=runner
+            accelerators=accelerators,
+            baseline=args.baseline,
+            options=options,
+            runner=runner,
         )
         comparisons = session.compare(workloads)
 
@@ -1284,6 +1334,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ("--max-columns", args.max_columns, {"check", "disasm"}),
         ("--max-waves", args.max_waves, {"check", "disasm"}),
         ("--no-skip-zeros", args.no_skip_zeros, {"disasm"}),
+        ("--schedule", args.schedule, {"check", "disasm", "compare", "dse"}),
         ("--paths", args.paths, {"lint"}),
     )
     for flag, value, modes in flag_gates:
@@ -1323,6 +1374,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.experiment == "list-workloads":
         return _list_workloads(args)
+
+    if args.experiment == "list-schedules":
+        return _list_schedules(args)
 
     if args.experiment == "cache-prune":
         return _run_cache_prune(args)

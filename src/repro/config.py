@@ -228,16 +228,34 @@ class SimulationOptions:
         executes the zero-inserted input like the baseline while still paying
         the MIMD µop dispatch — the ``"ganax-noskip"`` entry of
         :mod:`repro.accelerators` forces this flag off.
+    schedule:
+        Canonical spec string of the :class:`~repro.schedule.ScheduleSpec`
+        lowering each layer (see :mod:`repro.schedule`).  Resolved and
+        canonicalized at construction, so unknown spec strings fail here and
+        aliases of the same registered schedule compare (and fingerprint)
+        equal.  Models without µop machinery collapse it to ``"default"``
+        via ``canonical_options``.
     """
 
     batch_size: int = 1
     include_discriminator: bool = True
     magan_discriminator_conv_only: bool = True
     ganax_zero_skipping: bool = True
+    schedule: str = "default"
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
             raise ConfigurationError("batch_size must be positive")
+        if not isinstance(self.schedule, str) or not self.schedule.strip():
+            raise ConfigurationError("schedule must be a non-empty spec string")
+        if self.schedule != "default":
+            # Late import: repro.schedule depends only on repro.errors, so
+            # this cannot cycle; resolving here canonicalizes family points
+            # (``colmajor`` -> ``colmajor@tile64``) and rejects typos at the
+            # options boundary instead of deep inside a simulation.
+            from .schedule import canonical_schedule_name
+
+            object.__setattr__(self, "schedule", canonical_schedule_name(self.schedule))
 
     def with_updates(self, **changes: Any) -> "SimulationOptions":
         """Return a copy of these options with ``changes`` applied."""

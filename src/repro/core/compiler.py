@@ -57,6 +57,7 @@ from ..nn.functional import insert_zeros_2d
 from ..nn.layers import ConvLayer, TransposedConvLayer
 from ..nn.network import LayerBinding
 from ..nn.shapes import FeatureMapShape
+from ..schedule import ScheduleLike, ScheduleSpec, resolve_schedule
 from .dataflow import DataflowSchedule, build_schedule
 from .machine import GanaxMachine, MachineRunStatistics
 
@@ -111,6 +112,7 @@ class GanaxLayerExecutor:
         pes_per_pv: int = 4,
         config: Optional[ArchitectureConfig] = None,
         skip_zeros: bool = True,
+        schedule: ScheduleLike = None,
     ) -> None:
         if num_pvs <= 0 or pes_per_pv <= 0:
             raise CompilationError("executor dimensions must be positive")
@@ -118,6 +120,7 @@ class GanaxLayerExecutor:
         self._pes_per_pv = pes_per_pv
         self._config = config or ArchitectureConfig.paper_default()
         self._skip_zeros = skip_zeros
+        self._schedule = resolve_schedule(schedule)
 
     # ------------------------------------------------------------------
     # Public entry points
@@ -186,7 +189,7 @@ class GanaxLayerExecutor:
     ) -> LayerExecution:
         layer = binding.layer
         assert isinstance(layer, TransposedConvLayer)
-        schedule = build_schedule(binding)
+        schedule = build_schedule(binding, self._schedule)
         max_active = max(len(g.filter_rows) for g in schedule.row_groups)
         if max_active > self._pes_per_pv:
             raise CompilationError(
@@ -194,7 +197,9 @@ class GanaxLayerExecutor:
                 f"executor has only {self._pes_per_pv}"
             )
         in_rows, in_cols = x.shape
-        tasks = plan_ganax_row_tasks(layer, in_cols, schedule, self._num_pvs)
+        tasks = plan_ganax_row_tasks(
+            layer, in_cols, schedule, self._num_pvs, schedule_spec=self._schedule
+        )
 
         def load_operands(machine: GanaxMachine, task: RowTask) -> int:
             active = len(task.filter_rows)
@@ -260,7 +265,13 @@ class GanaxLayerExecutor:
             )
         out_rows, out_cols = binding.output_shape.spatial
         tasks = plan_dense_row_tasks(
-            out_rows, out_cols, k_rows, k_cols, stride, self._num_pvs
+            out_rows,
+            out_cols,
+            k_rows,
+            k_cols,
+            stride,
+            self._num_pvs,
+            schedule_spec=self._schedule,
         )
         # Dense tasks carry their operands implicitly via the padded array /
         # weight captured in the default loader below.
@@ -304,7 +315,9 @@ class GanaxLayerExecutor:
             active_by_pv: Dict[int, int] = {}
             for task in wave:
                 active_by_pv[task.pv_index] = load_operands(machine, task)
-            program = build_wave_program(binding.name, wave, self._num_pvs)
+            program = build_wave_program(
+                binding.name, wave, self._num_pvs, schedule_spec=self._schedule
+            )
             machine.load_program(program)
             run = machine.run()
             stats.append(run)
@@ -346,40 +359,51 @@ def plan_ganax_row_tasks(
     in_cols: int,
     schedule: DataflowSchedule,
     num_pvs: int,
+    schedule_spec: ScheduleLike = None,
 ) -> List[RowTask]:
     """Plan the GANAX (zero-skipping) row tasks for one 2-D layer slice.
 
     Pure geometry: the plan depends only on the layer's kernel/stride/padding
     and the input width, never on operand values, so the same tasks drive both
     the cycle-level executor and static program compilation.
+
+    ``schedule_spec`` applies the ordering knobs of a
+    :class:`~repro.schedule.ScheduleSpec` — row walk, PV policy and column
+    traversal — over the fixed work the :class:`DataflowSchedule` describes.
+    Each task always covers one *full* output row (the executor commits whole
+    rows), so no spec can split a row across tasks.
     """
+    spec = resolve_schedule(schedule_spec)
+    planned: List[Tuple[int, Tuple[int, ...], Tuple[ColumnWork, ...]]] = []
+    for output_row, group in schedule.row_plan(spec):
+        columns = tuple(
+            ColumnWork(
+                taps=taps,
+                input_base=input_base,
+                weight_base=kernel_cols[0],
+                weight_step=layer.stride[1],
+                output_column=out_col,
+            )
+            for out_col in range(schedule.output_cols)
+            for taps, kernel_cols, input_base in [
+                _column_window(out_col, layer, in_cols)
+            ]
+            if taps > 0
+        )
+        planned.append(
+            (output_row, group.filter_rows, spec.permute_columns(columns))
+        )
     tasks: List[RowTask] = []
-    pv = 0
-    for group in schedule.row_groups:
-        for output_row in group.output_rows:
-            columns = tuple(
-                ColumnWork(
-                    taps=taps,
-                    input_base=input_base,
-                    weight_base=kernel_cols[0],
-                    weight_step=layer.stride[1],
-                    output_column=out_col,
-                )
-                for out_col in range(schedule.output_cols)
-                for taps, kernel_cols, input_base in [
-                    _column_window(out_col, layer, in_cols)
-                ]
-                if taps > 0
+    for index, pv in spec.task_emission(len(planned), num_pvs):
+        output_row, filter_rows, columns = planned[index]
+        tasks.append(
+            RowTask(
+                pv_index=pv,
+                output_row=output_row,
+                filter_rows=filter_rows,
+                columns=columns,
             )
-            tasks.append(
-                RowTask(
-                    pv_index=pv % num_pvs,
-                    output_row=output_row,
-                    filter_rows=group.filter_rows,
-                    columns=columns,
-                )
-            )
-            pv += 1
+        )
     return tasks
 
 
@@ -390,11 +414,17 @@ def plan_dense_row_tasks(
     k_cols: int,
     stride: int,
     num_pvs: int,
+    schedule_spec: ScheduleLike = None,
 ) -> List[RowTask]:
-    """Plan the conventional (dense) row tasks: every tap of every window."""
-    tasks: List[RowTask] = []
-    for i, row in enumerate(range(out_rows)):
-        columns = tuple(
+    """Plan the conventional (dense) row tasks: every tap of every window.
+
+    The schedule spec's PV-policy and column-traversal knobs apply exactly as
+    in the zero-skipping planner (``row_order`` is moot: the dense walk is
+    already a raster over a single pattern).
+    """
+    spec = resolve_schedule(schedule_spec)
+    columns = spec.permute_columns(
+        tuple(
             ColumnWork(
                 taps=k_cols,
                 input_base=out_col * stride,
@@ -404,18 +434,27 @@ def plan_dense_row_tasks(
             )
             for out_col in range(out_cols)
         )
+    )
+    filter_rows = tuple(range(k_rows))
+    tasks: List[RowTask] = []
+    for row, pv in spec.task_emission(out_rows, num_pvs):
         tasks.append(
             RowTask(
-                pv_index=i % num_pvs,
+                pv_index=pv,
                 output_row=row,
-                filter_rows=tuple(range(k_rows)),
+                filter_rows=filter_rows,
                 columns=columns,
             )
         )
     return tasks
 
 
-def build_wave_program(name: str, wave: Sequence[RowTask], num_pvs: int) -> MicroProgram:
+def build_wave_program(
+    name: str,
+    wave: Sequence[RowTask],
+    num_pvs: int,
+    schedule_spec: ScheduleLike = None,
+) -> MicroProgram:
     """Column-synchronised micro-program for one wave of row tasks.
 
     All tasks advance column index in lockstep: per column, each active PV
@@ -423,10 +462,19 @@ def build_wave_program(name: str, wave: Sequence[RowTask], num_pvs: int) -> Micr
     ``mimd.exe`` µops dispatch ``repeat``/``mac``/``act`` to every PV.  PVs
     that have exhausted their columns receive a ``nop``.  Each PV's local
     buffer is preloaded with exactly the µops it will be dispatched — active
-    PVs get ``mac``/``act``/``repeat`` (plus ``nop`` if some column leaves
+    PVs get ``mac``/``act``/``repeat`` (plus ``nop`` if some dispatch leaves
     them idle), PVs with no work in the wave get only ``nop`` — so compiled
     programs carry no dead local µops.
+
+    The schedule spec's lowering knobs act here: ``repeat_unroll`` splits a
+    column's accumulation into several repeat/mac dispatch groups before the
+    single committing ``act`` (exact, because the PE accumulator persists
+    across dispatches), and ``hoist_invariant_cfg`` elides configuration and
+    repeat-register writes whose target already holds the value (exact,
+    because the machine's registers persist until rewritten).  The default
+    spec reproduces the legacy emission byte-identically.
     """
+    spec = resolve_schedule(schedule_spec)
     builder = MicroProgramBuilder(name=name, num_pvs=num_pvs)
     mac = ExecuteUop(op=ExecuteOp.MAC)
     act = ExecuteUop(op=ExecuteOp.ACT, activation="identity")
@@ -443,26 +491,53 @@ def build_wave_program(name: str, wave: Sequence[RowTask], num_pvs: int) -> Micr
         ]
         for column_index in range(max_columns)
     ]
-    emitted = [active for active in column_active if active]
+    # Per column, split each active PV's repeat count into the spec's unroll
+    # parts (part 0 is never empty); the dispatch groups decide preloading.
+    column_parts: List[Dict[int, Tuple[int, ...]]] = [
+        {
+            pv: spec.split_repeat(by_pv[pv].columns[column_index].taps)
+            for pv in column_active[column_index]
+        }
+        for column_index in range(max_columns)
+    ]
+    dispatch_groups: List[List[int]] = []
+    for column_index in range(max_columns):
+        active = column_active[column_index]
+        if not active:
+            continue
+        dispatch_groups.append(active)
+        for part in range(1, spec.repeat_unroll):
+            group = [
+                pv for pv in active if column_parts[column_index][pv][part] > 0
+            ]
+            if group:
+                dispatch_groups.append(group)
     mac_idx: Dict[int, int] = {}
     act_idx: Dict[int, int] = {}
     rep_idx: Dict[int, int] = {}
     nop_idx: Dict[int, int] = {}
     for pv in range(num_pvs):
-        if any(pv in active for active in emitted):
+        if any(pv in group for group in dispatch_groups):
             mac_idx[pv] = builder.preload_local(pv, mac)
             act_idx[pv] = builder.preload_local(pv, act)
             rep_idx[pv] = builder.preload_local(pv, rep)
-        if any(pv not in active for active in emitted):
+        if any(pv not in group for group in dispatch_groups):
             nop_idx[pv] = builder.preload_local(pv, nop)
+
+    cfg_state: Optional[Dict[Tuple[int, AddressGenerator, ConfigRegister], int]]
+    repeat_state: Optional[Dict[int, int]]
+    cfg_state = {} if spec.hoist_invariant_cfg else None
+    repeat_state = {} if spec.hoist_invariant_cfg else None
 
     for column_index in range(max_columns):
         active_pvs = column_active[column_index]
+        parts = column_parts[column_index]
         for pv in active_pvs:
             work = by_pv[pv].columns[column_index]
             _emit_generator(
                 builder, pv, AddressGenerator.INPUT,
                 offset=work.input_base, end=work.taps, repeat=1,
+                cfg_state=cfg_state,
             )
             _emit_generator(
                 builder, pv, AddressGenerator.WEIGHT,
@@ -470,24 +545,34 @@ def build_wave_program(name: str, wave: Sequence[RowTask], num_pvs: int) -> Micr
                 end=(work.taps - 1) * work.weight_step + 1,
                 repeat=1,
                 step=work.weight_step,
+                cfg_state=cfg_state,
             )
             _emit_generator(
                 builder, pv, AddressGenerator.OUTPUT,
                 offset=work.output_column, end=1, repeat=1,
+                cfg_state=cfg_state,
             )
-            builder.emit_mimd_load(pv, "repeat", work.taps)
+            _emit_repeat_load(builder, pv, parts[pv][0], repeat_state)
         if not active_pvs:
             continue
 
-        def indices(active_map, idle_map):
+        def indices(active_map, idle_map, group):
             return [
-                active_map[pv] if pv in active_pvs else idle_map[pv]
+                active_map[pv] if pv in group else idle_map[pv]
                 for pv in range(num_pvs)
             ]
 
-        builder.emit_mimd(indices(rep_idx, nop_idx))
-        builder.emit_mimd(indices(mac_idx, nop_idx))
-        builder.emit_mimd(indices(act_idx, nop_idx))
+        builder.emit_mimd(indices(rep_idx, nop_idx, active_pvs))
+        builder.emit_mimd(indices(mac_idx, nop_idx, active_pvs))
+        for part in range(1, spec.repeat_unroll):
+            group = [pv for pv in active_pvs if parts[pv][part] > 0]
+            if not group:
+                continue
+            for pv in group:
+                _emit_repeat_load(builder, pv, parts[pv][part], repeat_state)
+            builder.emit_mimd(indices(rep_idx, nop_idx, group))
+            builder.emit_mimd(indices(mac_idx, nop_idx, group))
+        builder.emit_mimd(indices(act_idx, nop_idx, active_pvs))
     return builder.build()
 
 
@@ -501,16 +586,39 @@ def _emit_generator(
     repeat: int,
     step: int = 1,
     addr: int = 0,
+    cfg_state: Optional[Dict[Tuple[int, AddressGenerator, ConfigRegister], int]] = None,
 ) -> None:
     # A single-address pattern (End=1) degenerates to step 1: the hardware
     # constrains Step <= End.
     step = min(step, end)
-    builder.emit_access_cfg(pv, generator, ConfigRegister.ADDR, addr)
-    builder.emit_access_cfg(pv, generator, ConfigRegister.OFFSET, offset)
-    builder.emit_access_cfg(pv, generator, ConfigRegister.STEP, step)
-    builder.emit_access_cfg(pv, generator, ConfigRegister.END, end)
-    builder.emit_access_cfg(pv, generator, ConfigRegister.REPEAT, repeat)
+    for register, value in (
+        (ConfigRegister.ADDR, addr),
+        (ConfigRegister.OFFSET, offset),
+        (ConfigRegister.STEP, step),
+        (ConfigRegister.END, end),
+        (ConfigRegister.REPEAT, repeat),
+    ):
+        if cfg_state is not None:
+            key = (pv, generator, register)
+            if cfg_state.get(key) == value:
+                continue
+            cfg_state[key] = value
+        builder.emit_access_cfg(pv, generator, register, value)
     builder.emit_access_start(pv, generator)
+
+
+def _emit_repeat_load(
+    builder: MicroProgramBuilder,
+    pv: int,
+    count: int,
+    repeat_state: Optional[Dict[int, int]],
+) -> None:
+    """``mimd.ld`` of the per-PV repeat register, elidable when hoisting."""
+    if repeat_state is not None:
+        if repeat_state.get(pv) == count:
+            return
+        repeat_state[pv] = count
+    builder.emit_mimd_load(pv, "repeat", count)
 
 
 def compile_layer_programs(
@@ -521,6 +629,7 @@ def compile_layer_programs(
     skip_zeros: bool = True,
     max_waves: Optional[int] = None,
     max_columns: Optional[int] = None,
+    schedule: ScheduleLike = None,
 ) -> Tuple[MicroProgram, ...]:
     """Statically compile a convolutional layer binding to micro-programs.
 
@@ -533,9 +642,14 @@ def compile_layer_programs(
     ``max_waves`` / ``max_columns`` bound the emitted program to a
     representative tile so whole-workload grids stay cheap; the µop *pattern*
     of the truncated program is identical to the full one.
+
+    ``schedule`` selects the :class:`~repro.schedule.ScheduleSpec` lowering
+    the fixed layer algorithm (spec string, instance, or ``None`` for the
+    default, which reproduces the legacy emission byte-identically).
     """
     if num_pvs <= 0 or pes_per_pv <= 0:
         raise CompilationError("compile dimensions must be positive")
+    spec = resolve_schedule(schedule)
     layer = binding.layer
     if not isinstance(layer, (ConvLayer, TransposedConvLayer)):
         raise CompilationError(
@@ -556,21 +670,25 @@ def compile_layer_programs(
     k_rows, k_cols = slice_layer.kernel
 
     if isinstance(slice_layer, TransposedConvLayer) and skip_zeros:
-        schedule = build_schedule(slice_binding)
-        max_active = max(len(g.filter_rows) for g in schedule.row_groups)
+        dataflow = build_schedule(slice_binding, spec)
+        max_active = max(len(g.filter_rows) for g in dataflow.row_groups)
         if max_active > pes_per_pv:
             raise CompilationError(
                 f"{binding.name}: needs {max_active} active PEs per PV but the "
                 f"target has only {pes_per_pv}"
             )
-        tasks = plan_ganax_row_tasks(slice_layer, in_cols, schedule, num_pvs)
+        tasks = plan_ganax_row_tasks(
+            slice_layer, in_cols, dataflow, num_pvs, schedule_spec=spec
+        )
     else:
         if k_rows > pes_per_pv:
             raise CompilationError(
                 f"{binding.name}: kernel height {k_rows} exceeds {pes_per_pv} PEs per PV"
             )
         stride = 1 if isinstance(slice_layer, TransposedConvLayer) else slice_layer.stride[1]
-        tasks = plan_dense_row_tasks(out_rows, out_cols, k_rows, k_cols, stride, num_pvs)
+        tasks = plan_dense_row_tasks(
+            out_rows, out_cols, k_rows, k_cols, stride, num_pvs, schedule_spec=spec
+        )
 
     if max_columns is not None:
         tasks = [
@@ -589,7 +707,8 @@ def compile_layer_programs(
     if max_waves is not None:
         waves = waves[:max_waves]
     return tuple(
-        build_wave_program(binding.name, wave, num_pvs) for wave in waves
+        build_wave_program(binding.name, wave, num_pvs, schedule_spec=spec)
+        for wave in waves
     )
 
 

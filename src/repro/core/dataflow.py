@@ -29,6 +29,7 @@ from ..errors import DataflowError
 from ..nn.layers import ConvLayer, TransposedConvLayer
 from ..nn.network import LayerBinding
 from ..nn.shapes import FeatureMapShape
+from ..schedule import ScheduleLike, resolve_schedule
 
 
 @dataclass(frozen=True)
@@ -139,6 +140,27 @@ class DataflowSchedule:
         }
         return len(signature) == 1
 
+    def row_plan(
+        self, schedule: ScheduleLike = None
+    ) -> Tuple[Tuple[int, RowGroup], ...]:
+        """``(output_row, group)`` pairs in the order a schedule lowers them.
+
+        The pairs themselves are fixed by the algorithm — which rows exist
+        and which consequential filter rows each carries never changes — but
+        a :class:`~repro.schedule.ScheduleSpec`'s ``row_order`` decides the
+        walk: ``"grouped"`` (default) follows the reorganized groups phase by
+        phase, ``"raster"`` re-sorts by ascending output row across groups.
+        """
+        spec = resolve_schedule(schedule)
+        pairs = [
+            (output_row, group)
+            for group in self.row_groups
+            for output_row in group.output_rows
+        ]
+        if spec.row_order == "raster":
+            pairs.sort(key=lambda pair: pair[0])
+        return tuple(pairs)
+
     def group_for_row(self, output_row: int) -> RowGroup:
         for group in self.row_groups:
             if output_row in group.output_rows:
@@ -167,13 +189,23 @@ class DataflowSchedule:
 # ----------------------------------------------------------------------
 # Schedule construction
 # ----------------------------------------------------------------------
-def build_schedule(binding: LayerBinding) -> DataflowSchedule:
+def build_schedule(
+    binding: LayerBinding, schedule: ScheduleLike = None
+) -> DataflowSchedule:
     """Build the GANAX dataflow schedule for a convolutional layer binding.
 
     Conventional convolutions are handled as the degenerate single-pattern
     case (stride-1 "transposed" structure with every filter row consequential),
     which is how GANAX runs discriminators in pure SIMD mode.
+
+    ``schedule`` names a :class:`~repro.schedule.ScheduleSpec` (spec string,
+    instance, or ``None`` for the default).  The group decomposition returned
+    here is the *algorithm* half of the separation and is identical for every
+    spec; the spec is resolved (so unknown names fail here, before any
+    planning) and drives the ordering knobs through
+    :meth:`DataflowSchedule.row_plan` and the compiler.
     """
+    resolve_schedule(schedule)
     layer = binding.layer
     if isinstance(layer, TransposedConvLayer):
         return _build_tconv_schedule(layer, binding.input_shape)

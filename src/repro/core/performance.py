@@ -44,6 +44,7 @@ from ..hw.counters import EventCounters
 from ..isa.encoding import GLOBAL_UOP_BITS
 from ..nn.layers import TransposedConvLayer
 from ..nn.network import LayerBinding
+from ..schedule import ScheduleLike, ScheduleSpec, resolve_schedule
 from .dataflow import ScheduleSummary, schedule_summary
 
 
@@ -83,6 +84,7 @@ def estimate_layer(
     config: ArchitectureConfig,
     *,
     zero_skipping: bool = True,
+    schedule: ScheduleLike = None,
 ) -> GanaxLayerEstimate:
     """Estimate cycles and activity of one layer on GANAX.
 
@@ -90,17 +92,24 @@ def estimate_layer(
     ``"ganax-noskip"`` registry entry): transposed convolutions execute the
     zero-inserted input with the conventional row-stationary dataflow while
     the global controller still pays the MIMD µop dispatch overhead.
+
+    ``schedule`` selects the :class:`~repro.schedule.ScheduleSpec` whose
+    lowering knobs scale the dispatch accounting (see
+    :func:`_dispatch_overhead`); the default spec reproduces the legacy
+    estimate exactly.  Conventional layers run in pure SIMD mode where the
+    MIMD schedule has no effect.
     """
+    spec = resolve_schedule(schedule)
     layer = binding.layer
     if isinstance(layer, TransposedConvLayer):
         if not zero_skipping:
-            return _estimate_dense_transposed_conv(binding, config)
-        return _estimate_transposed_conv(binding, config)
+            return _estimate_dense_transposed_conv(binding, config, spec)
+        return _estimate_transposed_conv(binding, config, spec)
     return _from_baseline(baseline_estimate(binding, config), mode="simd")
 
 
 def _dispatch_overhead(
-    schedule: ScheduleSummary, config: ArchitectureConfig
+    schedule: ScheduleSummary, config: ArchitectureConfig, spec: ScheduleSpec
 ) -> Tuple[int, int, int]:
     """MIMD dispatch accounting shared by the skipping and dense tconv paths.
 
@@ -110,12 +119,22 @@ def _dispatch_overhead(
     Returns ``(dispatch_events, dispatch_cycles, uop_fetches)`` — both
     execution modes must model the same dispatch tax, since their difference
     is exactly what the zero-skipping ablation isolates.
+
+    The schedule spec scales the tax with pure-integer factors — repeat
+    unrolling multiplies the dispatch events, configuration hoisting shrinks
+    the per-event µop-fetch fan-out — applied identically here and in the
+    vectorized layer table, so the scalar and NumPy paths stay bit-identical
+    and the default spec reproduces the legacy numbers exactly.
     """
-    dispatch_events = schedule.output_rows * max(1, schedule.num_patterns)
+    dispatch_events = (
+        schedule.output_rows
+        * max(1, schedule.num_patterns)
+        * spec.dispatch_event_multiplier()
+    )
     dispatch_cycles = math.ceil(
         dispatch_events * config.mimd_dispatch_overhead_cycles / max(1, config.num_pvs)
     )
-    uop_fetches = dispatch_events * (1 + config.num_pvs)
+    uop_fetches = dispatch_events * spec.uop_fetches_per_event(config.num_pvs)
     return dispatch_events, dispatch_cycles, uop_fetches
 
 
@@ -137,7 +156,7 @@ def _from_baseline(estimate: BaselineLayerEstimate, mode: str) -> GanaxLayerEsti
 
 
 def _estimate_transposed_conv(
-    binding: LayerBinding, config: ArchitectureConfig
+    binding: LayerBinding, config: ArchitectureConfig, spec: ScheduleSpec
 ) -> GanaxLayerEstimate:
     layer = binding.layer
     assert isinstance(layer, TransposedConvLayer)
@@ -167,7 +186,7 @@ def _estimate_transposed_conv(
 
     # --- MIMD dispatch overhead ---------------------------------------------
     dispatch_events, dispatch_cycles, uop_fetches = _dispatch_overhead(
-        schedule, config
+        schedule, config, spec
     )
 
     # --- DRAM ---------------------------------------------------------------
@@ -233,7 +252,7 @@ def _estimate_transposed_conv(
 
 
 def _estimate_dense_transposed_conv(
-    binding: LayerBinding, config: ArchitectureConfig
+    binding: LayerBinding, config: ArchitectureConfig, spec: ScheduleSpec
 ) -> GanaxLayerEstimate:
     """Transposed convolution with zero skipping disabled (``ganax-noskip``).
 
@@ -244,15 +263,20 @@ def _estimate_dense_transposed_conv(
     output row per access pattern, which is pure overhead here — the variant
     pays the GANAX dispatch tax without harvesting any sparsity.
     """
-    return _dense_tconv_from_base(binding, baseline_estimate(binding, config), config)
+    return _dense_tconv_from_base(
+        binding, baseline_estimate(binding, config), config, spec
+    )
 
 
 def _dense_tconv_from_base(
-    binding: LayerBinding, base: BaselineLayerEstimate, config: ArchitectureConfig
+    binding: LayerBinding,
+    base: BaselineLayerEstimate,
+    config: ArchitectureConfig,
+    spec: ScheduleSpec,
 ) -> GanaxLayerEstimate:
     """Overlay the MIMD dispatch tax on a precomputed baseline estimate."""
     schedule = schedule_summary(binding)
-    _events, dispatch_cycles, uop_fetches = _dispatch_overhead(schedule, config)
+    _events, dispatch_cycles, uop_fetches = _dispatch_overhead(schedule, config, spec)
     cycles = max(
         base.compute_cycles + base.accumulation_cycles + dispatch_cycles,
         base.dram_cycles,
@@ -312,6 +336,7 @@ def estimate_network(
     config: ArchitectureConfig,
     *,
     zero_skipping: bool = True,
+    schedule: ScheduleLike = None,
 ) -> Tuple[GanaxLayerEstimate, ...]:
     """Estimate every layer of a network on GANAX as one NumPy array program.
 
@@ -321,6 +346,7 @@ def estimate_network(
     :func:`estimate_layer` over the bindings — layers whose intermediates
     would lose float64 exactness fall back to the scalar path.
     """
+    spec = resolve_schedule(schedule)
     bindings = tuple(bindings)
     estimates: List[GanaxLayerEstimate] = [None] * len(bindings)  # type: ignore[list-item]
     tconv = [
@@ -338,10 +364,10 @@ def estimate_network(
     if tconv:
         tconv_bindings = [b for _i, b in tconv]
         if zero_skipping:
-            tconv_estimates = _tconv_table_estimates(tconv_bindings, config)
+            tconv_estimates = _tconv_table_estimates(tconv_bindings, config, spec)
         else:
             tconv_estimates = [
-                _dense_tconv_from_base(b, base, config)
+                _dense_tconv_from_base(b, base, config, spec)
                 for b, base in zip(
                     tconv_bindings,
                     baseline_estimate_network(tconv_bindings, config),
@@ -353,7 +379,7 @@ def estimate_network(
 
 
 def _tconv_table_estimates(
-    bindings: Sequence[LayerBinding], config: ArchitectureConfig
+    bindings: Sequence[LayerBinding], config: ArchitectureConfig, spec: ScheduleSpec
 ) -> List[GanaxLayerEstimate]:
     """The zero-skipping MIMD-SIMD rows of the layer table, column-wise."""
     summaries = [schedule_summary(b) for b in bindings]
@@ -367,11 +393,15 @@ def _tconv_table_estimates(
     depth_taps = [_depth_tap_factor(b.layer, b) for b in bindings]
     tiles = [gbuf_input_tiles(elements, config) for elements in in_elems]
 
-    # Pure-integer columns, exact in Python.
+    # Pure-integer columns, exact in Python; the schedule factors are the
+    # same integers _dispatch_overhead applies on the scalar path.
+    event_multiplier = spec.dispatch_event_multiplier()
+    fetches_per_event = spec.uop_fetches_per_event(config.num_pvs)
     dispatch_events = [
-        s.output_rows * max(1, s.num_patterns) for s in summaries
+        s.output_rows * max(1, s.num_patterns) * event_multiplier
+        for s in summaries
     ]
-    uop_fetches = [events * (1 + config.num_pvs) for events in dispatch_events]
+    uop_fetches = [events * fetches_per_event for events in dispatch_events]
     weight_reads = [w * t for w, t in zip(weights, tiles)]
     dram_read = [e + wr for e, wr in zip(in_elems, weight_reads)]
     dram_bytes = [
@@ -387,7 +417,7 @@ def _tconv_table_estimates(
     ]
 
     if not _float64_safe(cons, out_elems, dram_bytes, dispatch_work):
-        return [_estimate_transposed_conv(b, config) for b in bindings]
+        return [_estimate_transposed_conv(b, config, spec) for b in bindings]
 
     peak = config.num_pes
     utilization_cap = config.ganax_target_utilization
@@ -411,7 +441,7 @@ def _tconv_table_estimates(
     )
     accumulation_hops = [_iround(value) for value in accumulation_products.tolist()]
     if not _float64_safe(accumulation_hops):
-        return [_estimate_transposed_conv(b, config) for b in bindings]
+        return [_estimate_transposed_conv(b, config, spec) for b in bindings]
     accumulation_cycles = _ceil_div(accumulation_hops, effective_throughput)
     dispatch_cycles = _ceil_div(
         dispatch_work, np.float64(max(1, config.num_pvs))

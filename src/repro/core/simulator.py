@@ -40,6 +40,7 @@ class GanaxSimulator(GanSimulatorBase):
             binding,
             self._config,
             zero_skipping=self._options.ganax_zero_skipping,
+            schedule=self._options.schedule,
         )
 
     def simulate_layer(self, binding: LayerBinding) -> LayerResult:
@@ -62,5 +63,6 @@ class GanaxSimulator(GanSimulatorBase):
             bindings,
             self._config,
             zero_skipping=self._options.ganax_zero_skipping,
+            schedule=self._options.schedule,
         )
         return self._layer_results_from_estimates(bindings, estimates)

@@ -310,6 +310,13 @@ class DesignSpaceExplorer:
         applied configuration — the single source of truth for both
         :meth:`evaluate` and :meth:`evaluate_stream`, so the two paths can
         never disagree about job construction.
+
+        A point carrying a schedule axis value runs its jobs with that
+        schedule substituted into the shared options; the job's cache key
+        folds the schedule's knob fingerprint, so (geometry × schedule)
+        points never collide in the cache while a schedule-insensitive
+        accelerator (whose ``canonical_options`` collapses the schedule)
+        still shares one entry per geometry.
         """
         jobs: List[SimulationJob] = []
         slots: List[Tuple[int, str, bool]] = []
@@ -317,6 +324,9 @@ class DesignSpaceExplorer:
         for point_index, point in enumerate(points):
             config = point.apply(self._base_config)
             configs.append(config)
+            options = self._options
+            if point.schedule is not None:
+                options = options.with_updates(schedule=point.schedule)
             for model in self._models:
                 for name, is_candidate in (
                     (self._accelerator, True),
@@ -327,7 +337,7 @@ class DesignSpaceExplorer:
                             model=model,
                             accelerator=name,
                             config=config,
-                            options=self._options,
+                            options=options,
                         )
                     )
                     slots.append((point_index, model.name, is_candidate))

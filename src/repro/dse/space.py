@@ -29,6 +29,15 @@ from ..errors import ConfigurationError
 #: Feasibility predicate over a ``{field: value}`` assignment.
 Constraint = Callable[[Mapping[str, Any]], bool]
 
+#: The one non-config axis a design space may carry: the µop schedule.  Its
+#: candidate values are registered spec strings (see :mod:`repro.schedule`);
+#: the axis never touches :class:`ArchitectureConfig` — the explorer routes
+#: it into :attr:`~repro.config.SimulationOptions.schedule` instead — and a
+#: point's schedule must pass the verify-then-simulate gate
+#: (:func:`repro.schedule.verify_schedule`) at the point's geometry before
+#: the point is considered feasible.
+SCHEDULE_DIMENSION: str = "schedule"
+
 #: Built-in candidate values for the configuration fields a design-space
 #: search commonly explores.  ``DesignSpace.for_accelerator`` uses these for
 #: every requested field the caller does not override; fields without a
@@ -66,6 +75,23 @@ class Dimension:
     values: Tuple[Any, ...]
 
     def __post_init__(self) -> None:
+        if self.name == SCHEDULE_DIMENSION:
+            # Schedule candidates canonicalize through the schedule registry
+            # (``colmajor`` -> ``colmajor@tile64``), so unknown specs fail at
+            # space construction and aliases collapse to one grid value.
+            from ..schedule import canonical_schedule_name
+
+            seen_names: List[str] = []
+            for value in self.values:
+                canonical_name = canonical_schedule_name(str(value))
+                if canonical_name not in seen_names:
+                    seen_names.append(canonical_name)
+            if not seen_names:
+                raise ConfigurationError(
+                    f"dimension '{self.name}' needs at least one value"
+                )
+            object.__setattr__(self, "values", tuple(seen_names))
+            return
         if self.name not in _CONFIG_FIELD_NAMES:
             raise ConfigurationError(
                 f"'{self.name}' is not an ArchitectureConfig field; "
@@ -120,9 +146,27 @@ class DesignPoint:
         """Canonical human-readable identifier, e.g. ``num_pvs=8,pes_per_pv=16``."""
         return ",".join(f"{name}={value}" for name, value in self.items)
 
+    @property
+    def schedule(self) -> Optional[str]:
+        """The point's schedule spec string, when the space has that axis."""
+        return self.values.get(SCHEDULE_DIMENSION)
+
     def apply(self, base_config: ArchitectureConfig) -> ArchitectureConfig:
-        """The base configuration with this point's fields substituted."""
-        return base_config.with_updates(**dict(self.items))
+        """The base configuration with this point's *config* fields substituted.
+
+        The :data:`SCHEDULE_DIMENSION` axis is not an
+        :class:`ArchitectureConfig` field; the explorer applies it to
+        :class:`~repro.config.SimulationOptions` instead, so it is skipped
+        here.
+        """
+        updates = {
+            name: value
+            for name, value in self.items
+            if name != SCHEDULE_DIMENSION
+        }
+        if not updates:
+            return base_config
+        return base_config.with_updates(**updates)
 
 
 class DesignSpace:
@@ -191,15 +235,32 @@ class DesignSpace:
     # Feasibility
     # ------------------------------------------------------------------
     def is_feasible(self, point: DesignPoint) -> bool:
-        """Whether the point passes every constraint and builds a valid config."""
+        """Whether the point passes every constraint and builds a valid config.
+
+        Points carrying a :data:`SCHEDULE_DIMENSION` value are additionally
+        gated by the schedule subsystem's verify-then-simulate contract:
+        the schedule's lowering is compiled over pinned probe layers at the
+        point's geometry and statically verified
+        (:func:`repro.schedule.verify_schedule`, memoized per knob
+        fingerprint × geometry); a schedule whose programs carry ERROR
+        findings is pruned here and never reaches a simulator.
+        """
         values = point.values
         for constraint in self._constraints:
             if not constraint(values):
                 return False
         try:
-            point.apply(self._base_config)
+            config = point.apply(self._base_config)
         except ConfigurationError:
             return False
+        schedule = values.get(SCHEDULE_DIMENSION)
+        if schedule is not None:
+            from ..schedule import schedule_is_feasible
+
+            if not schedule_is_feasible(
+                schedule, num_pvs=config.num_pvs, pes_per_pv=config.pes_per_pv
+            ):
+                return False
         return True
 
     # ------------------------------------------------------------------
@@ -315,15 +376,20 @@ class DesignSpace:
         axis the model ignores would only produce duplicate cache entries.
         Candidate values come from ``overrides`` when given, else from
         :data:`DEFAULT_DIMENSION_VALUES`.
+
+        The :data:`SCHEDULE_DIMENSION` axis is accepted alongside the config
+        fields for models that react to the schedule (i.e. whose
+        ``canonical_options`` does not collapse it away); its candidate
+        values default to every registered schedule.
         """
-        from ..accelerators.registry import create_accelerator
+        from ..accelerators.registry import create_accelerator, get_accelerator
 
         base_config = base_config or ArchitectureConfig.paper_default()
         model = create_accelerator(accelerator, config=base_config)
         reactive = tuple(model.config_space())
         overrides = dict(overrides or {})
 
-        unknown = set(overrides) - _CONFIG_FIELD_NAMES
+        unknown = set(overrides) - _CONFIG_FIELD_NAMES - {SCHEDULE_DIMENSION}
         if unknown:
             raise ConfigurationError(
                 f"override fields are not ArchitectureConfig fields: {sorted(unknown)}"
@@ -344,6 +410,28 @@ class DesignSpace:
             )
         dimensions: List[Dimension] = []
         for name in selected:
+            if name == SCHEDULE_DIMENSION:
+                # Schedule reactivity is declared through canonical_options:
+                # a model that collapses every schedule to "default" (the
+                # baseline, the roofline) would evaluate identical jobs at
+                # every schedule value — reject the axis like an ignored
+                # config field.
+                from ..config import SimulationOptions
+                from ..schedule import schedule_names
+
+                spec = get_accelerator(model.name)
+                probe = spec.canonical_options(
+                    SimulationOptions(schedule="raster")
+                )
+                if probe.schedule == "default":
+                    raise ConfigurationError(
+                        f"accelerator '{model.name}' does not react to the "
+                        "schedule (its canonical_options collapses every "
+                        "schedule to 'default')"
+                    )
+                values = overrides.get(name, schedule_names())
+                dimensions.append(Dimension(name=name, values=tuple(values)))
+                continue
             if name not in reactive:
                 raise ConfigurationError(
                     f"accelerator '{model.name}' does not react to '{name}'; "

@@ -123,6 +123,44 @@ class DataflowError(ReproError):
     """The dataflow reorganization produced an inconsistent schedule."""
 
 
+class ScheduleError(ReproError):
+    """A schedule specification is malformed or cannot be applied."""
+
+
+class UnknownScheduleError(ScheduleError):
+    """A schedule spec string names no registered schedule or family.
+
+    Raised by :func:`repro.schedule.resolve_schedule` and the CLI's
+    ``--schedule`` parsing; the message lists every registered schedule name
+    and every family (with its spec grammar reachable via ``list-schedules``)
+    so a typo is immediately actionable.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        registered: "tuple[str, ...]" = (),
+        families: "tuple[str, ...]" = (),
+    ) -> None:
+        self.name = name
+        self.registered = tuple(registered)
+        self.families = tuple(families)
+        known = ", ".join(self.registered) if self.registered else "none"
+        message = f"unknown schedule '{name}'; registered schedules: {known}"
+        if self.families:
+            message += (
+                "; registered families (usable as '<family>@<args>'): "
+                + ", ".join(self.families)
+            )
+        super().__init__(message)
+
+    def __reduce__(self):
+        # args holds the formatted message, not (name, registered, families);
+        # without this, unpickling (e.g. from a process-pool worker) re-wraps
+        # the message through __init__ and garbles it.
+        return (type(self), (self.name, self.registered, self.families))
+
+
 class AnalysisError(ReproError):
     """Metric or report computation failed (e.g. empty result set)."""
 

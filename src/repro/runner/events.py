@@ -62,6 +62,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 #:   correlation id to every record.  Purely additive: every version-1 field
 #:   is unchanged, so version-2 readers accept version-1 records (see
 #:   ``MIN_COMPATIBLE_SCHEMA_VERSION`` in :mod:`repro.service.protocol`).
+#:   Later version-2 streams also carry the job's ``schedule`` spec name —
+#:   additive again, so the version number is unchanged.
 RECORD_SCHEMA_VERSION: int = 2
 
 #: Every event kind the runner emits, in life-cycle order.
@@ -145,6 +147,7 @@ class RunnerEvent:
             "index": self.index,
             "model": self.job.model_name,
             "accelerator": self.job.accelerator,
+            "schedule": self.job.options.schedule,
             "timestamp": self.timestamp,
         }
         if self.job_uid is not None:

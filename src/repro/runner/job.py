@@ -44,6 +44,7 @@ from ..analysis.serialization import (
 )
 from ..config import ArchitectureConfig, SimulationOptions
 from ..nn.network import GANModel
+from ..schedule import resolve_schedule, schedule_fingerprint
 from ..telemetry import get_tracer
 from ..workloads.registry import get_workload, resolve_workload, workload_version_for
 
@@ -118,9 +119,14 @@ class SimulationJob:
         stale cached results are never served.  Options are fingerprinted in
         the accelerator's *canonical* form
         (:meth:`~repro.accelerators.AcceleratorSpec.canonical_options`), so
-        option values a model ignores or forces share one cache entry.
+        option values a model ignores or forces share one cache entry.  The
+        schedule is keyed by the resolved spec's knob fingerprint (not just
+        its name) so jobs differing only in schedule never share an entry,
+        while a schedule-insensitive model that canonicalizes the schedule
+        away keeps one entry across schedules.
         """
         spec = get_accelerator(self.accelerator)
+        canonical = spec.canonical_options(self.options)
         return fingerprint_data(
             {
                 "accelerator": {"name": spec.name, "version": spec.version},
@@ -129,7 +135,13 @@ class SimulationJob:
                     "version": self.workload_version,
                 },
                 "config": config_fingerprint(self.config),
-                "options": options_fingerprint(spec.canonical_options(self.options)),
+                "options": options_fingerprint(canonical),
+                "schedule": {
+                    "name": canonical.schedule,
+                    "fingerprint": schedule_fingerprint(
+                        resolve_schedule(canonical.schedule)
+                    ),
+                },
             }
         )
 

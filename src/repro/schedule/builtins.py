@@ -1,0 +1,92 @@
+"""Builtin schedules and families (registered on first registry use).
+
+``default`` is the reference point: it reproduces the pre-schedule-subsystem
+lowering byte-identically.  The remaining builtins each move exactly one knob
+so their effect is attributable in ablations and DSE sweeps.
+"""
+
+from __future__ import annotations
+
+from .registry import parse_compact_args, register_schedule, register_schedule_family
+from .spec import DEFAULT_SCHEDULE, ScheduleSpec
+
+register_schedule(DEFAULT_SCHEDULE)
+
+register_schedule(
+    ScheduleSpec(
+        name="hoisted",
+        description=(
+            "tuned: elides access-engine configuration and repeat-register "
+            "writes whose target already holds the value (fewer uops, "
+            "identical addresses)"
+        ),
+        hoist_invariant_cfg=True,
+    )
+)
+
+register_schedule(
+    ScheduleSpec(
+        name="raster",
+        description=(
+            "output rows in ascending raster order across row groups (each "
+            "row keeps its group's consequential filter rows)"
+        ),
+        row_order="raster",
+    )
+)
+
+register_schedule(
+    ScheduleSpec(
+        name="blocked",
+        description=(
+            "each PV owns a contiguous block of row tasks; waves interleave "
+            "the blocks so every wave still fills distinct PVs"
+        ),
+        pv_policy="blocked",
+    )
+)
+
+
+def _resolve_colmajor(args: str) -> ScheduleSpec:
+    knobs = parse_compact_args(
+        "colmajor", args, keys={"tile": "column_tile"}, defaults={"column_tile": 64}
+    )
+    tile = knobs["column_tile"]
+    return ScheduleSpec(
+        name=f"colmajor@tile{tile}",
+        description=(
+            f"column-major traversal over {tile}-wide output-column tiles"
+        ),
+        column_tile=tile,
+    )
+
+
+register_schedule_family(
+    "colmajor",
+    _resolve_colmajor,
+    grammar="colmajor@tile<int>",
+    description="column-major output-column traversal over fixed-width tiles",
+)
+
+
+def _resolve_unroll(args: str) -> ScheduleSpec:
+    knobs = parse_compact_args(
+        "unroll", args, keys={"u": "repeat_unroll"}, defaults={"repeat_unroll": 2}
+    )
+    factor = knobs["repeat_unroll"]
+    return ScheduleSpec(
+        name=f"unroll@u{factor}",
+        description=(
+            f"splits each column's accumulation into {factor} repeat-dispatch "
+            "groups before the final act"
+        ),
+        repeat_unroll=factor,
+    )
+
+
+register_schedule_family(
+    "unroll",
+    _resolve_unroll,
+    grammar="unroll@u<int>",
+    description="repeat-chain unrolling into multiple dispatch groups",
+)

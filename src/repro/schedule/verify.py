@@ -1,0 +1,162 @@
+"""Feasibility gate: verify a schedule's lowering before it is simulated.
+
+The design-space explorer treats schedules as just another axis, but unlike a
+geometry knob a schedule changes the *µop streams* the machine executes — a
+buggy or ill-fitting spec could emit programs that overflow a local µop
+buffer, dispatch to idle PVs, or leave an access engine unconfigured.  The
+contract of the schedule subsystem is therefore **verify-then-simulate**:
+every candidate schedule is compiled over pinned probe layers and run through
+the static verifier (:func:`repro.staticcheck.verify_program`); only
+schedules whose programs carry zero ERROR findings reach a simulator.
+
+The probe pair exercises both lowering paths at small, geometry-independent
+sizes:
+
+* a stride-2 5×5 transposed convolution (three active filter rows per phase
+  after the output-row reorganization — the paper's conv1-style shape), and
+* a unit-stride 3×3 convolution (the dense row-stationary path).
+
+Feasibility is cached per ``(schedule fingerprint, num_pvs, pes_per_pv)``:
+the DSE sweeps (geometry × schedule) grids, and re-verifying an unchanged
+spec for every repeated geometry point would dominate small searches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Tuple
+
+from .registry import ScheduleLike, resolve_schedule
+from .spec import ScheduleSpec, schedule_fingerprint
+
+
+@dataclass(frozen=True)
+class ScheduleFeasibility:
+    """Outcome of one verify-then-simulate gate evaluation."""
+
+    schedule: str
+    num_pvs: int
+    pes_per_pv: int
+    feasible: bool
+    reason: str = ""
+    programs: int = 0
+    findings: int = 0
+
+    def __bool__(self) -> bool:
+        return self.feasible
+
+
+def _probe_bindings():
+    """The pinned probe layers every candidate schedule must lower cleanly."""
+    from ..nn.layers import ConvLayer, TransposedConvLayer
+    from ..nn.network import Network
+    from ..nn.shapes import FeatureMapShape
+
+    network = Network(
+        name="schedule-probe",
+        input_shape=FeatureMapShape.image(4, 8, 8),
+        layers=[
+            TransposedConvLayer(
+                name="tconv_probe", out_channels=4, kernel=5, stride=2, padding=2,
+                output_padding=1,
+            ),
+            ConvLayer(name="conv_probe", out_channels=4, kernel=3, stride=1, padding=1),
+        ],
+    )
+    return network.bindings
+
+
+@lru_cache(maxsize=256)
+def _verify_fingerprint(
+    fingerprint: str, spec: ScheduleSpec, num_pvs: int, pes_per_pv: int
+) -> ScheduleFeasibility:
+    # Late imports: this module must stay importable from the registry layer,
+    # which only depends on repro.errors; the compiler/staticcheck machinery
+    # is pulled in only when a gate actually runs.
+    from ..config import ArchitectureConfig
+    from ..core.compiler import compile_layer_programs
+    from ..errors import CompilationError, ConfigurationError
+    from ..staticcheck.checks import verify_program
+    from ..staticcheck.ir import MachineModel, Severity
+
+    try:
+        config = ArchitectureConfig(num_pvs=num_pvs, pes_per_pv=pes_per_pv)
+    except ConfigurationError as exc:
+        return ScheduleFeasibility(
+            schedule=spec.name, num_pvs=num_pvs, pes_per_pv=pes_per_pv,
+            feasible=False, reason=f"invalid geometry: {exc}",
+        )
+    programs_checked = 0
+    error_findings = 0
+    first_reason = ""
+    for binding in _probe_bindings():
+        for skip_zeros in (True, False):
+            try:
+                programs = compile_layer_programs(
+                    binding,
+                    num_pvs=num_pvs,
+                    pes_per_pv=pes_per_pv,
+                    skip_zeros=skip_zeros,
+                    max_waves=1,
+                    max_columns=4,
+                    schedule=spec,
+                )
+            except CompilationError as exc:
+                return ScheduleFeasibility(
+                    schedule=spec.name, num_pvs=num_pvs, pes_per_pv=pes_per_pv,
+                    feasible=False, programs=programs_checked,
+                    reason=f"{binding.name} (skip_zeros={skip_zeros}): {exc}",
+                )
+            model = MachineModel.for_executor(
+                config,
+                num_pvs=num_pvs,
+                pes_per_pv=pes_per_pv,
+                output_columns=binding.output_shape.spatial[-1],
+            )
+            for program in programs:
+                programs_checked += 1
+                for finding in verify_program(program, model):
+                    if finding.severity is Severity.ERROR:
+                        error_findings += 1
+                        if not first_reason:
+                            first_reason = (
+                                f"{binding.name} (skip_zeros={skip_zeros}): "
+                                f"{finding.message}"
+                            )
+    return ScheduleFeasibility(
+        schedule=spec.name,
+        num_pvs=num_pvs,
+        pes_per_pv=pes_per_pv,
+        feasible=error_findings == 0,
+        reason=first_reason,
+        programs=programs_checked,
+        findings=error_findings,
+    )
+
+
+def verify_schedule(
+    schedule: ScheduleLike = None, *, num_pvs: int = 16, pes_per_pv: int = 16
+) -> ScheduleFeasibility:
+    """Gate one schedule at one geometry: compile probes, verify, report.
+
+    Results are cached on the spec's knob *fingerprint* (not its name), so
+    aliases of the same knobs — and repeated DSE evaluations — share one
+    verification run per geometry.
+    """
+    spec = resolve_schedule(schedule)
+    return _verify_fingerprint(
+        schedule_fingerprint(spec), spec, int(num_pvs), int(pes_per_pv)
+    )
+
+
+def schedule_is_feasible(
+    schedule: ScheduleLike = None, *, num_pvs: int = 16, pes_per_pv: int = 16
+) -> bool:
+    """True when :func:`verify_schedule` reports a clean lowering."""
+    return verify_schedule(schedule, num_pvs=num_pvs, pes_per_pv=pes_per_pv).feasible
+
+
+def clear_feasibility_cache() -> None:
+    """Drop memoized gate results (tests re-register schedules under a name)."""
+    _verify_fingerprint.cache_clear()

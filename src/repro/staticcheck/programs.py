@@ -23,6 +23,7 @@ from ..config import ArchitectureConfig
 from ..core.compiler import compile_layer_programs
 from ..errors import CompilationError
 from ..nn.network import GANModel, LayerBinding
+from ..schedule import ScheduleLike, resolve_schedule
 from ..workloads.registry import get_workload, resolve_workload, workload_names
 from .checks import verify_program
 from .ir import Finding, MachineModel, Severity
@@ -107,12 +108,15 @@ def check_binding(
     max_waves: int = 1,
     max_columns: int = 8,
     select: Optional[Sequence[str]] = None,
+    schedule: ScheduleLike = None,
 ) -> Tuple[int, int, List[Finding]]:
     """Compile one bound layer and verify its programs.
 
     Returns ``(programs, global_uops, findings)``.  The verification model
     mirrors :class:`~repro.core.compiler.GanaxLayerExecutor` buffer sizing
-    for this layer's output width.
+    for this layer's output width.  ``schedule`` selects the
+    :class:`~repro.schedule.ScheduleSpec` lowering the layer; the verifier
+    then sees exactly the µop stream that schedule would execute.
     """
     programs = compile_layer_programs(
         binding,
@@ -121,6 +125,7 @@ def check_binding(
         skip_zeros=skip_zeros,
         max_waves=max_waves,
         max_columns=max_columns,
+        schedule=schedule,
     )
     model = MachineModel.for_executor(
         config,
@@ -145,14 +150,18 @@ def run_check_grid(
     max_columns: int = 8,
     select: Optional[Sequence[str]] = None,
     layer: Optional[str] = None,
+    schedule: ScheduleLike = None,
 ) -> GridReport:
     """Compile-and-verify every cell of a workload × accelerator × mode grid.
 
     ``workloads`` defaults to the six registered paper GANs.  Each
     accelerator name is resolved through the registry (validating it and
     adopting its architecture geometry).  ``layer`` restricts the sweep to
-    bindings whose name contains the given substring.
+    bindings whose name contains the given substring.  ``schedule`` lowers
+    every cell with the given :class:`~repro.schedule.ScheduleSpec` (resolved
+    once up front so typos fail before any compilation).
     """
+    spec_schedule = resolve_schedule(schedule)
     names = list(workloads) if workloads is not None else list(workload_names())
     entries: List[ProgramReport] = []
     for accelerator_name in accelerators:
@@ -173,6 +182,7 @@ def run_check_grid(
                             max_waves=max_waves,
                             max_columns=max_columns,
                             select=select,
+                            schedule=spec_schedule,
                         )
                     except CompilationError as exc:
                         # A layer the compiler rejects outright is not a

@@ -23,17 +23,23 @@ from repro.workloads.registry import get_workload
 
 CHK_DIR = Path(__file__).parent / "filecheck"
 
-#: golden file -> (workload, layer, skip_zeros).  All goldens compile one
-#: wave of at most 4 output columns (the harness's representative tile).
+#: golden file -> (workload, layer, skip_zeros, schedule).  All goldens
+#: compile one wave of at most 4 output columns (the harness's
+#: representative tile); the ``colmajor2`` goldens pin a NON-default
+#: schedule's lowering alongside the default ones.
 GOLDENS = {
-    "dcgan_tconv1_skip.chk": ("dcgan", "tconv1", True),
-    "dcgan_tconv1_dense.chk": ("dcgan", "tconv1", False),
-    "dcgan_conv1_skip.chk": ("dcgan", "conv1", True),
-    "dcgan_conv5_dense.chk": ("dcgan", "conv5", False),
+    "dcgan_tconv1_skip.chk": ("dcgan", "tconv1", True, "default"),
+    "dcgan_tconv1_dense.chk": ("dcgan", "tconv1", False, "default"),
+    "dcgan_conv1_skip.chk": ("dcgan", "conv1", True, "default"),
+    "dcgan_conv5_dense.chk": ("dcgan", "conv5", False, "default"),
+    "dcgan_conv1_colmajor2_skip.chk": ("dcgan", "conv1", True, "colmajor@tile2"),
+    "dcgan_tconv1_colmajor2_skip.chk": ("dcgan", "tconv1", True, "colmajor@tile2"),
 }
 
 
-def _compile_disassembly(workload: str, layer: str, skip_zeros: bool) -> str:
+def _compile_disassembly(
+    workload: str, layer: str, skip_zeros: bool, schedule: str = "default"
+) -> str:
     model = get_workload(workload)
     bindings = {
         b.name: b
@@ -46,6 +52,7 @@ def _compile_disassembly(workload: str, layer: str, skip_zeros: bool) -> str:
         skip_zeros=skip_zeros,
         max_waves=1,
         max_columns=4,
+        schedule=schedule,
     )
     assert programs, f"{workload}/{layer} compiled to no programs"
     return programs[0].disassemble()
@@ -176,3 +183,26 @@ class TestGoldenPrograms:
         layers = {(spec[0], spec[1]) for spec in GOLDENS.values()}
         assert modes == {True, False}
         assert len(layers) >= 3
+
+    def test_goldens_cover_a_non_default_schedule(self):
+        schedules = {spec[3] for spec in GOLDENS.values()}
+        assert "default" in schedules
+        assert schedules - {"default"}
+
+    @pytest.mark.parametrize(
+        "golden",
+        sorted(name for name, spec in GOLDENS.items() if spec[3] != "default"),
+    )
+    def test_schedule_golden_rejects_default_lowering(self, golden):
+        """A non-default golden must catch the default column order.
+
+        The seeded mutation here is the realistic one: compile the same
+        layer under the *default* schedule (columns 0, 1, 2, 3 instead of
+        the tiled 0, 2, 4, 6) and demand the schedule-specific golden
+        refuses it — proving the golden pins the traversal order, not just
+        the µop mix.
+        """
+        workload, layer, skip_zeros, _schedule = GOLDENS[golden]
+        default_stream = _compile_disassembly(workload, layer, skip_zeros, "default")
+        with pytest.raises(FileCheckError):
+            filecheck(default_stream, (CHK_DIR / golden).read_text())
